@@ -1,0 +1,81 @@
+// E1 — Figure 19: the JRC preference suite (size in KB, number of rules).
+//
+// Prints the reconstructed Figure 19 table, then runs micro-benchmarks for
+// parsing each preference from APPEL XML.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "workload/jrc_preferences.h"
+
+namespace p3pdb::bench {
+namespace {
+
+using workload::AllPreferenceLevels;
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+using workload::PreferenceLevelName;
+using workload::PreferenceSizeKb;
+
+void PrintFigure19() {
+  std::printf("Figure 19: JRC APPEL Preferences (reconstruction)\n");
+  std::vector<int> widths = {12, 10, 7};
+  PrintTableRule(widths);
+  PrintTableRow({"Preference", "Size (KB)", "#Rules"}, widths);
+  PrintTableRule(widths);
+  double total_kb = 0;
+  double total_rules = 0;
+  for (PreferenceLevel level : AllPreferenceLevels()) {
+    appel::AppelRuleset rs = JrcPreference(level);
+    double kb = PreferenceSizeKb(rs);
+    total_kb += kb;
+    total_rules += static_cast<double>(rs.RuleCount());
+    PrintTableRow({PreferenceLevelName(level), FormatDouble(kb, 1),
+                   std::to_string(rs.RuleCount())},
+                  widths);
+  }
+  PrintTableRule(widths);
+  PrintTableRow({"Average", FormatDouble(total_kb / 5.0, 1),
+                 FormatDouble(total_rules / 5.0, 1)},
+                widths);
+  PrintTableRule(widths);
+  std::printf(
+      "(paper: 3.1/2.8/2.1/0.9/0.3 KB and 10/7/4/2/1 rules, avg 1.9 KB, "
+      "4.8 rules)\n\n");
+}
+
+void BM_ParsePreference(benchmark::State& state) {
+  PreferenceLevel level = AllPreferenceLevels()[state.range(0)];
+  std::string text = appel::RulesetToText(JrcPreference(level));
+  for (auto _ : state) {
+    auto parsed = appel::RulesetFromText(text);
+    if (!parsed.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetLabel(PreferenceLevelName(level));
+}
+BENCHMARK(BM_ParsePreference)->DenseRange(0, 4);
+
+void BM_SerializePreference(benchmark::State& state) {
+  PreferenceLevel level = AllPreferenceLevels()[state.range(0)];
+  appel::AppelRuleset rs = JrcPreference(level);
+  for (auto _ : state) {
+    std::string text = appel::RulesetToText(rs);
+    benchmark::DoNotOptimize(text);
+  }
+  state.SetLabel(PreferenceLevelName(level));
+}
+BENCHMARK(BM_SerializePreference)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace p3pdb::bench
+
+int main(int argc, char** argv) {
+  p3pdb::bench::PrintFigure19();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

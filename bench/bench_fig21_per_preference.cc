@@ -1,0 +1,122 @@
+// E4 — Figure 21: per-preference-type execution times for matching a
+// preference against a policy.
+//
+// One row per JRC sensitivity level. The XQuery cell for Medium is empty:
+// its XTABLE translation (deep STATEMENT > DATA-GROUP > DATA > CATEGORIES
+// pattern over the one-table-per-element schema) exceeds the statement
+// complexity budget, reproducing "the XTABLE translation of the XQuery into
+// SQL was too complex for DB2 to execute".
+//
+// Shapes under reproduction: the APPEL engine's time is roughly flat across
+// levels (augmentation dominates, independent of the rules); the SQL time
+// grows with rule count and is cheapest for Very Low.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "workload/jrc_preferences.h"
+
+namespace p3pdb::bench {
+namespace {
+
+using workload::JrcPreference;
+using workload::PreferenceLevelName;
+
+void PrintFigure21() {
+  auto experiment = MatchingExperiment::Create();
+  if (!experiment.ok()) {
+    std::printf("error: %s\n", experiment.status().ToString().c_str());
+    return;
+  }
+  auto results = experiment.value()->Run();
+  if (!results.ok()) {
+    std::printf("error: %s\n", results.status().ToString().c_str());
+    return;
+  }
+
+  std::printf(
+      "Figure 21: per-preference-type execution times (average per "
+      "match)\n");
+  std::vector<int> widths = {11, 13, 12, 12, 12, 12};
+  PrintTableRule(widths);
+  PrintTableRow({"Preference", "APPEL Engine", "SQL Convert", "SQL Query",
+                 "SQL Total", "XQuery"},
+                widths);
+  PrintTableRule(widths);
+  for (const LevelTimings& lt : results.value()) {
+    PrintTableRow(
+        {PreferenceLevelName(lt.level),
+         FormatMicros(lt.appel_engine.Average()),
+         FormatMicros(lt.sql_convert.Average()),
+         FormatMicros(lt.sql_query.Average()),
+         FormatMicros(lt.sql_total.Average()),
+         lt.xquery_supported ? FormatMicros(lt.xquery_total.Average())
+                             : std::string("- (too complex)")},
+        widths);
+  }
+  PrintTableRule(widths);
+  std::printf(
+      "(paper, seconds: APPEL ~2.6 across levels; SQL total "
+      "0.17/0.24/0.27/0.09/0.05; XQuery 2.63/2.33/-/1.51/0.31)\n\n");
+}
+
+void BM_MatchPerLevelSql(benchmark::State& state) {
+  auto experiment = MatchingExperiment::Create({.repetitions = 1});
+  if (!experiment.ok()) {
+    state.SkipWithError("setup");
+    return;
+  }
+  auto level = workload::AllPreferenceLevels()[state.range(0)];
+  auto pref = experiment.value()->sql_server()->CompilePreference(
+      JrcPreference(level));
+  if (!pref.ok()) {
+    state.SkipWithError("compile");
+    return;
+  }
+  const auto& ids = experiment.value()->sql_policy_ids();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = experiment.value()->sql_server()->MatchPolicyId(
+        pref.value(), ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(PreferenceLevelName(level));
+}
+BENCHMARK(BM_MatchPerLevelSql)->DenseRange(0, 4);
+
+void BM_MatchPerLevelNative(benchmark::State& state) {
+  auto experiment = MatchingExperiment::Create({.repetitions = 1});
+  if (!experiment.ok()) {
+    state.SkipWithError("setup");
+    return;
+  }
+  auto level = workload::AllPreferenceLevels()[state.range(0)];
+  auto pref = experiment.value()->native_server()->CompilePreference(
+      JrcPreference(level));
+  if (!pref.ok()) {
+    state.SkipWithError("compile");
+    return;
+  }
+  const auto& ids = experiment.value()->native_policy_ids();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = experiment.value()->native_server()->MatchPolicyId(
+        pref.value(), ids[i++ % ids.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(PreferenceLevelName(level));
+}
+BENCHMARK(BM_MatchPerLevelNative)->DenseRange(0, 4);
+
+}  // namespace
+}  // namespace p3pdb::bench
+
+int main(int argc, char** argv) {
+  p3pdb::bench::PrintFigure21();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

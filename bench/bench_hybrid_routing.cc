@@ -1,0 +1,164 @@
+// A3 — the §4.2 hybrid-architecture claim: "By caching a reference file,
+// the client may avoid some checks ... it is possible to design a hybrid
+// architecture in which the reference file processing is done at the client
+// while the preference checking is done at the server."
+//
+// Three request paths over the same site (29 policies, one reference file):
+//   full server  — MatchUri: applicablePolicy() SQL over the Figure 16
+//                  tables + preference evaluation;
+//   hybrid       — HybridClient: URI resolved against the client's cached
+//                  reference file, only the evaluation hits the server;
+//   direct       — MatchPolicyId: evaluation only (lower bound).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "server/hybrid_client.h"
+#include "workload/jrc_preferences.h"
+
+namespace p3pdb::bench {
+namespace {
+
+using server::EngineKind;
+using server::HybridClient;
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+
+struct Setup {
+  std::unique_ptr<server::PolicyServer> server;
+  std::unique_ptr<HybridClient> client;
+  server::CompiledPreference pref;
+  std::vector<std::string> paths;
+  std::vector<int64_t> ids;
+};
+
+Result<std::unique_ptr<Setup>> MakeSetup() {
+  auto setup = std::make_unique<Setup>();
+  P3PDB_ASSIGN_OR_RETURN(setup->server, MakeBenchServer(EngineKind::kSql));
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  for (const p3p::Policy& policy : corpus) {
+    P3PDB_ASSIGN_OR_RETURN(int64_t id, setup->server->InstallPolicy(policy));
+    setup->ids.push_back(id);
+    setup->paths.push_back("/" + policy.name + "/item/page.html");
+  }
+  p3p::ReferenceFile rf = workload::CorpusReferenceFile(corpus);
+  P3PDB_RETURN_IF_ERROR(setup->server->InstallReferenceFile(rf));
+  setup->client = std::make_unique<HybridClient>(setup->server.get());
+  P3PDB_RETURN_IF_ERROR(setup->client->FetchReferenceFile(rf));
+  P3PDB_ASSIGN_OR_RETURN(
+      setup->pref,
+      setup->server->CompilePreference(JrcPreference(PreferenceLevel::kHigh)));
+  return setup;
+}
+
+void PrintRoutingTable() {
+  auto setup = MakeSetup();
+  if (!setup.ok()) {
+    std::printf("error: %s\n", setup.status().ToString().c_str());
+    return;
+  }
+  Setup& s = *setup.value();
+
+  auto measure = [&](auto&& fn) -> Result<double> {
+    // Warm-up.
+    for (size_t i = 0; i < s.paths.size(); ++i) {
+      P3PDB_RETURN_IF_ERROR(fn(i));
+    }
+    TimingStats stats;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (size_t i = 0; i < s.paths.size(); ++i) {
+        Stopwatch sw;
+        P3PDB_RETURN_IF_ERROR(fn(i));
+        stats.Add(sw.ElapsedMicros());
+      }
+    }
+    return stats.Average();
+  };
+
+  auto full = measure([&](size_t i) -> Status {
+    auto r = s.server->MatchUri(s.pref, s.paths[i]);
+    return r.ok() ? Status::OK() : r.status();
+  });
+  auto hybrid = measure([&](size_t i) -> Status {
+    auto r = s.client->Check(s.pref, s.paths[i]);
+    return r.ok() ? Status::OK() : r.status();
+  });
+  auto direct = measure([&](size_t i) -> Status {
+    auto r = s.server->MatchPolicyId(s.pref, s.ids[i]);
+    return r.ok() ? Status::OK() : r.status();
+  });
+  if (!full.ok() || !hybrid.ok() || !direct.ok()) {
+    std::printf("error running routing ablation\n");
+    return;
+  }
+
+  std::printf("Ablation A3: request routing (High preference, avg/request)\n");
+  std::vector<int> widths = {38, 12};
+  PrintTableRule(widths);
+  PrintTableRow({"Path", "Avg"}, widths);
+  PrintTableRule(widths);
+  PrintTableRow({"full server (SQL applicablePolicy + eval)",
+                 FormatMicros(full.value())},
+                widths);
+  PrintTableRow({"hybrid (client rf cache + server eval)",
+                 FormatMicros(hybrid.value())},
+                widths);
+  PrintTableRow({"direct policy-id eval (lower bound)",
+                 FormatMicros(direct.value())},
+                widths);
+  PrintTableRule(widths);
+  double routing_overhead = full.value() - direct.value();
+  double saved = routing_overhead > 0
+                     ? 100.0 * (full.value() - hybrid.value()) /
+                           routing_overhead
+                     : 0.0;
+  saved = std::min(100.0, std::max(0.0, saved));
+  std::printf(
+      "Hybrid saves ~%.0f%% of the URI-routing overhead while keeping "
+      "preference checking\non the server — the §4.2 sketch, quantified.\n\n",
+      saved);
+}
+
+void BM_FullServerMatchUri(benchmark::State& state) {
+  auto setup = MakeSetup();
+  if (!setup.ok()) {
+    state.SkipWithError("setup");
+    return;
+  }
+  Setup& s = *setup.value();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = s.server->MatchUri(s.pref, s.paths[i++ % s.paths.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullServerMatchUri);
+
+void BM_HybridCheck(benchmark::State& state) {
+  auto setup = MakeSetup();
+  if (!setup.ok()) {
+    state.SkipWithError("setup");
+    return;
+  }
+  Setup& s = *setup.value();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = s.client->Check(s.pref, s.paths[i++ % s.paths.size()]);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_HybridCheck);
+
+}  // namespace
+}  // namespace p3pdb::bench
+
+int main(int argc, char** argv) {
+  p3pdb::bench::PrintRoutingTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// E2 — §6.3.1: shredding the policy corpus into the privacy tables.
+//
+// The paper shredded 30 policies (29 crawled + 1 example) into DB2 and
+// reports average/max/min shredding time, concluding the amortized cost is
+// negligible because policies change rarely. This binary reproduces the
+// measurement on the optimized (Figure 14) schema and, for comparison, the
+// pedagogical Figure 8 schema, then runs per-policy micro-benchmarks.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::bench {
+namespace {
+
+using server::EngineKind;
+
+struct ShredStats {
+  TimingStats per_policy;
+  double total_us = 0;
+};
+
+Result<ShredStats> MeasureShredding(EngineKind kind,
+                                    const std::vector<p3p::Policy>& policies) {
+  ShredStats stats;
+  P3PDB_ASSIGN_OR_RETURN(auto server, MakeBenchServer(kind));
+  for (const p3p::Policy& policy : policies) {
+    Stopwatch sw;
+    P3PDB_ASSIGN_OR_RETURN(int64_t id, server->InstallPolicy(policy));
+    double us = sw.ElapsedMicros();
+    (void)id;
+    stats.per_policy.Add(us);
+    stats.total_us += us;
+  }
+  return stats;
+}
+
+void PrintShreddingTable() {
+  // 29 corpus policies + Volga = the paper's 30.
+  std::vector<p3p::Policy> policies = workload::FortuneCorpus();
+  policies.push_back(workload::VolgaPolicy());
+
+  std::printf("Section 6.3.1: shredding time for %zu policies\n",
+              policies.size());
+  std::vector<int> widths = {26, 12, 12, 12, 12};
+  PrintTableRule(widths);
+  PrintTableRow({"Schema", "Average", "Max", "Min", "Total"}, widths);
+  PrintTableRule(widths);
+  struct Config {
+    const char* label;
+    EngineKind kind;
+  };
+  for (const Config& config :
+       {Config{"Optimized (Figure 14)", EngineKind::kSql},
+        Config{"Simple (Figure 8)", EngineKind::kSqlSimple}}) {
+    auto stats = MeasureShredding(config.kind, policies);
+    if (!stats.ok()) {
+      std::printf("error: %s\n", stats.status().ToString().c_str());
+      return;
+    }
+    PrintTableRow({config.label,
+                   FormatMicros(stats.value().per_policy.Average()),
+                   FormatMicros(stats.value().per_policy.Max()),
+                   FormatMicros(stats.value().per_policy.Min()),
+                   FormatMicros(stats.value().total_us)},
+                  widths);
+  }
+  PrintTableRule(widths);
+  std::printf(
+      "(paper, DB2 on 2002 hardware: avg 3.19 s, max 11.94 s, min 1.17 s; "
+      "the conclusion is the shape: shredding amortizes to negligible "
+      "because a policy changes rarely while matches are frequent)\n\n");
+}
+
+void BM_ShredPolicyOptimized(benchmark::State& state) {
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  const p3p::Policy& policy = corpus[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto server = MakeBenchServer(EngineKind::kSql);
+    if (!server.ok()) {
+      state.SkipWithError("server");
+      break;
+    }
+    auto id = server.value()->InstallPolicy(policy);
+    if (!id.ok()) {
+      state.SkipWithError("install");
+      break;
+    }
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetLabel(policy.name);
+}
+BENCHMARK(BM_ShredPolicyOptimized)->Arg(0)->Arg(15)->Arg(28);
+
+void BM_ShredPolicySimple(benchmark::State& state) {
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  const p3p::Policy& policy = corpus[static_cast<size_t>(state.range(0))];
+  for (auto _ : state) {
+    auto server = MakeBenchServer(EngineKind::kSqlSimple);
+    if (!server.ok()) {
+      state.SkipWithError("server");
+      break;
+    }
+    auto id = server.value()->InstallPolicy(policy);
+    if (!id.ok()) {
+      state.SkipWithError("install");
+      break;
+    }
+    benchmark::DoNotOptimize(id);
+  }
+  state.SetLabel(policy.name);
+}
+BENCHMARK(BM_ShredPolicySimple)->Arg(0)->Arg(15)->Arg(28);
+
+}  // namespace
+}  // namespace p3pdb::bench
+
+int main(int argc, char** argv) {
+  p3pdb::bench::PrintShreddingTable();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,159 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace p3pdb::bench {
+
+using server::Augmentation;
+using server::EngineKind;
+using server::PolicyServer;
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+
+Result<std::unique_ptr<PolicyServer>> MakeBenchServer(EngineKind kind,
+                                                      int max_subquery_depth) {
+  PolicyServer::Options options;
+  options.engine = kind;
+  options.augmentation = kind == EngineKind::kNativeAppel
+                             ? Augmentation::kPerMatch
+                             : Augmentation::kAtInstall;
+  options.max_subquery_depth = max_subquery_depth;
+  return PolicyServer::Create(options);
+}
+
+Result<std::unique_ptr<MatchingExperiment>> MatchingExperiment::Create() {
+  return Create(Options{});
+}
+
+Result<std::unique_ptr<MatchingExperiment>> MatchingExperiment::Create(
+    Options options) {
+  std::unique_ptr<MatchingExperiment> exp(new MatchingExperiment());
+  exp->options_ = options;
+  exp->corpus_ = workload::FortuneCorpus(
+      {.seed = options.corpus_seed, .policy_count = options.policy_count});
+
+  P3PDB_ASSIGN_OR_RETURN(exp->native_server_,
+                         MakeBenchServer(EngineKind::kNativeAppel));
+  P3PDB_ASSIGN_OR_RETURN(exp->sql_server_,
+                         MakeBenchServer(EngineKind::kSql));
+  P3PDB_ASSIGN_OR_RETURN(
+      exp->xtable_server_,
+      MakeBenchServer(EngineKind::kXQueryXTable, kXTableDepthBudget));
+
+  for (const p3p::Policy& policy : exp->corpus_) {
+    P3PDB_ASSIGN_OR_RETURN(int64_t nid,
+                           exp->native_server_->InstallPolicy(policy));
+    exp->native_policy_ids_.push_back(nid);
+    P3PDB_ASSIGN_OR_RETURN(int64_t sid,
+                           exp->sql_server_->InstallPolicy(policy));
+    exp->sql_policy_ids_.push_back(sid);
+    P3PDB_ASSIGN_OR_RETURN(int64_t xid,
+                           exp->xtable_server_->InstallPolicy(policy));
+    exp->xtable_policy_ids_.push_back(xid);
+  }
+  return exp;
+}
+
+Result<std::vector<LevelTimings>> MatchingExperiment::Run() {
+  std::vector<LevelTimings> results;
+  for (PreferenceLevel level : workload::AllPreferenceLevels()) {
+    LevelTimings timings;
+    timings.level = level;
+    appel::AppelRuleset ruleset = JrcPreference(level);
+
+    // Compiled forms reused for the per-match query timings.
+    P3PDB_ASSIGN_OR_RETURN(server::CompiledPreference native_pref,
+                           native_server_->CompilePreference(ruleset));
+    P3PDB_ASSIGN_OR_RETURN(server::CompiledPreference sql_pref,
+                           sql_server_->CompilePreference(ruleset));
+    auto xtable_pref = xtable_server_->CompilePreference(ruleset);
+    timings.xquery_supported = xtable_pref.ok();
+
+    // Warm-up pass (the paper reports warm numbers).
+    for (size_t p = 0; p < corpus_.size(); ++p) {
+      auto r1 = native_server_->MatchPolicyId(native_pref,
+                                              native_policy_ids_[p]);
+      if (!r1.ok()) return r1.status();
+      auto r2 = sql_server_->MatchPolicyId(sql_pref, sql_policy_ids_[p]);
+      if (!r2.ok()) return r2.status();
+      if (timings.xquery_supported) {
+        auto r3 = xtable_server_->MatchPolicyId(xtable_pref.value(),
+                                                xtable_policy_ids_[p]);
+        if (!r3.ok()) return r3.status();
+      }
+    }
+
+    for (int rep = 0; rep < options_.repetitions; ++rep) {
+      for (size_t p = 0; p < corpus_.size(); ++p) {
+        // Native APPEL engine (includes per-match naive augmentation).
+        {
+          Stopwatch sw;
+          auto r = native_server_->MatchPolicyId(native_pref,
+                                                 native_policy_ids_[p]);
+          double us = sw.ElapsedMicros();
+          if (!r.ok()) return r.status();
+          timings.appel_engine.Add(us);
+        }
+        // SQL: conversion measured as a fresh translation per match (the
+        // paper's conversion column), query with the compiled form.
+        {
+          Stopwatch sw;
+          auto compiled = sql_server_->CompilePreference(ruleset);
+          double convert_us = sw.ElapsedMicros();
+          if (!compiled.ok()) return compiled.status();
+          Stopwatch sw2;
+          auto r = sql_server_->MatchPolicyId(compiled.value(),
+                                              sql_policy_ids_[p]);
+          double query_us = sw2.ElapsedMicros();
+          if (!r.ok()) return r.status();
+          timings.sql_convert.Add(convert_us);
+          timings.sql_query.Add(query_us);
+          timings.sql_total.Add(convert_us + query_us);
+        }
+        // XQuery: conversion chain plus execution, per match.
+        if (timings.xquery_supported) {
+          Stopwatch sw;
+          auto compiled = xtable_server_->CompilePreference(ruleset);
+          if (!compiled.ok()) return compiled.status();
+          auto r = xtable_server_->MatchPolicyId(compiled.value(),
+                                                 xtable_policy_ids_[p]);
+          double us = sw.ElapsedMicros();
+          if (!r.ok()) return r.status();
+          timings.xquery_total.Add(us);
+        }
+      }
+    }
+    results.push_back(std::move(timings));
+  }
+  return results;
+}
+
+std::string FormatMicros(double micros) {
+  if (micros >= 1000.0) {
+    return FormatDouble(micros / 1000.0, 2) + " ms";
+  }
+  return FormatDouble(micros, 1) + " us";
+}
+
+void PrintTableRule(const std::vector<int>& widths) {
+  std::fputc('+', stdout);
+  for (int w : widths) {
+    for (int i = 0; i < w + 2; ++i) std::fputc('-', stdout);
+    std::fputc('+', stdout);
+  }
+  std::fputc('\n', stdout);
+}
+
+void PrintTableRow(const std::vector<std::string>& cells,
+                   const std::vector<int>& widths) {
+  std::fputc('|', stdout);
+  for (size_t i = 0; i < widths.size(); ++i) {
+    const std::string& cell = i < cells.size() ? cells[i] : std::string();
+    std::printf(" %-*s |", widths[i], cell.c_str());
+  }
+  std::fputc('\n', stdout);
+}
+
+}  // namespace p3pdb::bench

@@ -1,0 +1,102 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// The experiments of §6 measure the time to match a preference against a
+// policy on three implementations: the native APPEL engine (client-centric
+// baseline), the SQL implementation (conversion + query, Figure 15
+// translator over the Figure 14 schema), and the XQuery path (APPEL ->
+// XQuery -> XTABLE SQL over the Figure 8 schema). This harness installs the
+// synthetic Fortune-1000 corpus in one server per engine, compiles the five
+// JRC preference levels, and times matches the way the paper reports them
+// (warm numbers; avg/max/min per match).
+
+#ifndef P3PDB_BENCH_HARNESS_H_
+#define P3PDB_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/stopwatch.h"
+#include "server/policy_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+
+namespace p3pdb::bench {
+
+/// The statement complexity budget of the XTABLE path's database, chosen so
+/// that the Medium preference's deep DATA/CATEGORIES pattern exceeds it
+/// (the paper: "the XTABLE translation ... was too complex for DB2").
+inline constexpr int kXTableDepthBudget = 6;
+
+/// Per-(level, policy) timings across the three implementations, in
+/// microseconds per match.
+struct LevelTimings {
+  workload::PreferenceLevel level;
+  TimingStats appel_engine;   // native APPEL engine, per-match augmentation
+  TimingStats sql_convert;    // APPEL -> SQL translation
+  TimingStats sql_query;      // query execution against shredded tables
+  TimingStats sql_total;      // convert + query
+  TimingStats xquery_total;   // APPEL -> XQuery -> XTABLE SQL -> execute
+  bool xquery_supported = true;  // false when the translation fails to prepare
+};
+
+/// The full §6 matching experiment.
+class MatchingExperiment {
+ public:
+  struct Options {
+    uint64_t corpus_seed = 2003;
+    size_t policy_count = 29;
+    /// Matches per (level, policy) pair after one discarded warm-up pass.
+    int repetitions = 3;
+  };
+
+  static Result<std::unique_ptr<MatchingExperiment>> Create(Options options);
+  static Result<std::unique_ptr<MatchingExperiment>> Create();
+
+  /// Runs the experiment; one LevelTimings per JRC level, Figure 19 order.
+  Result<std::vector<LevelTimings>> Run();
+
+  const std::vector<p3p::Policy>& corpus() const { return corpus_; }
+  server::PolicyServer* sql_server() { return sql_server_.get(); }
+  server::PolicyServer* native_server() { return native_server_.get(); }
+  server::PolicyServer* xtable_server() { return xtable_server_.get(); }
+
+  const std::vector<int64_t>& sql_policy_ids() const {
+    return sql_policy_ids_;
+  }
+  const std::vector<int64_t>& native_policy_ids() const {
+    return native_policy_ids_;
+  }
+  const std::vector<int64_t>& xtable_policy_ids() const {
+    return xtable_policy_ids_;
+  }
+
+ private:
+  MatchingExperiment() = default;
+
+  Options options_;
+  std::vector<p3p::Policy> corpus_;
+  std::unique_ptr<server::PolicyServer> native_server_;
+  std::unique_ptr<server::PolicyServer> sql_server_;
+  std::unique_ptr<server::PolicyServer> xtable_server_;
+  std::vector<int64_t> native_policy_ids_;
+  std::vector<int64_t> sql_policy_ids_;
+  std::vector<int64_t> xtable_policy_ids_;
+};
+
+/// Creates a server of the given kind with the §6 defaults for it.
+Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
+    server::EngineKind kind, int max_subquery_depth = 32);
+
+/// seconds/milliseconds pretty-printing for the report tables.
+std::string FormatMicros(double micros);
+
+/// Prints a Markdown-ish table row.
+void PrintTableRule(const std::vector<int>& widths);
+void PrintTableRow(const std::vector<std::string>& cells,
+                   const std::vector<int>& widths);
+
+}  // namespace p3pdb::bench
+
+#endif  // P3PDB_BENCH_HARNESS_H_

@@ -1,0 +1,108 @@
+// The architecture matrix of the paper's Figure 7, live.
+//
+// Runs the same preference checks on all five engines — the client-centric
+// native APPEL engine, the proposed SQL implementation (both schemas), and
+// the two XQuery variations — verifying they agree on every outcome and
+// showing where the time goes.
+//
+//   $ ./engine_comparison
+
+#include <cstdio>
+#include <map>
+
+#include "common/stopwatch.h"
+#include "server/policy_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+
+using p3pdb::Stopwatch;
+using p3pdb::TimingStats;
+using p3pdb::server::Augmentation;
+using p3pdb::server::EngineKind;
+using p3pdb::server::EngineKindName;
+using p3pdb::server::PolicyServer;
+using p3pdb::workload::JrcPreference;
+using p3pdb::workload::PreferenceLevel;
+
+int main() {
+  const EngineKind engines[] = {
+      EngineKind::kNativeAppel, EngineKind::kSql, EngineKind::kSqlSimple,
+      EngineKind::kXQueryNative, EngineKind::kXQueryXTable};
+
+  std::vector<p3pdb::p3p::Policy> corpus = p3pdb::workload::FortuneCorpus();
+
+  std::printf("%-15s %-10s %-12s %-12s %-10s\n", "engine", "install",
+              "compile", "match avg", "outcomes");
+  std::map<std::string, std::string> outcome_digest;
+  std::string reference_digest;
+  for (EngineKind kind : engines) {
+    PolicyServer::Options options;
+    options.engine = kind;
+    options.augmentation = kind == EngineKind::kNativeAppel
+                               ? Augmentation::kPerMatch
+                               : Augmentation::kAtInstall;
+    auto server = PolicyServer::Create(options);
+    if (!server.ok()) {
+      std::fprintf(stderr, "%s: %s\n", EngineKindName(kind),
+                   server.status().ToString().c_str());
+      return 1;
+    }
+
+    Stopwatch install_sw;
+    std::vector<long long> ids;
+    for (const auto& policy : corpus) {
+      auto id = server.value()->InstallPolicy(policy);
+      if (!id.ok()) {
+        std::fprintf(stderr, "install: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(id.value());
+    }
+    double install_ms = install_sw.ElapsedMillis();
+
+    Stopwatch compile_sw;
+    auto pref = server.value()->CompilePreference(
+        JrcPreference(PreferenceLevel::kHigh));
+    double compile_us = compile_sw.ElapsedMicros();
+    if (!pref.ok()) {
+      std::fprintf(stderr, "compile: %s\n",
+                   pref.status().ToString().c_str());
+      return 1;
+    }
+
+    TimingStats match_stats;
+    std::string digest;
+    for (long long id : ids) {
+      Stopwatch sw;
+      auto result = server.value()->MatchPolicyId(pref.value(), id);
+      double us = sw.ElapsedMicros();
+      if (!result.ok()) {
+        std::fprintf(stderr, "match: %s\n",
+                     result.status().ToString().c_str());
+        return 1;
+      }
+      match_stats.Add(us);
+      digest += result.value().behavior[0];  // 'b' / 'r'
+    }
+    if (reference_digest.empty()) reference_digest = digest;
+    const bool agrees = digest == reference_digest;
+    std::printf("%-15s %7.1f ms %9.1f us %9.1f us  %s\n",
+                EngineKindName(kind), install_ms, compile_us,
+                match_stats.Average(),
+                agrees ? "agree" : "DISAGREE!");
+    if (!agrees) {
+      std::fprintf(stderr, "engines disagree: %s vs %s\n",
+                   reference_digest.c_str(), digest.c_str());
+      return 1;
+    }
+  }
+  std::printf(
+      "\nAll five engines computed identical outcomes for the High "
+      "preference across %zu\npolicies. The specialized client engine and "
+      "the general-purpose database engine\nare interchangeable in "
+      "semantics — the difference is where the work happens and\nhow fast "
+      "it is (the paper's Figure 7 decision matrix).\n",
+      corpus.size());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// export_corpus: writes the benchmark workload to disk as real files —
+// the 29 synthetic Fortune-1000 policies, the site reference file, and the
+// five JRC preference levels — so they can be inspected, diffed, or fed to
+// p3p_check.
+//
+//   $ ./export_corpus out_dir
+//   $ ./p3p_check out_dir/policies/pinnacle-books.xml \
+//                 out_dir/preferences/high.xml sql
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "appel/model.h"
+#include "p3p/policy_xml.h"
+#include "p3p/reference_file.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool WriteFile(const fs::path& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+std::string SlugFor(const char* level_name) {
+  std::string slug;
+  for (const char* p = level_name; *p; ++p) {
+    slug.push_back(*p == ' ' ? '-' : static_cast<char>(std::tolower(*p)));
+  }
+  return slug;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = argc > 1 ? argv[1] : "p3p-corpus";
+  std::error_code ec;
+  fs::create_directories(root / "policies", ec);
+  fs::create_directories(root / "preferences", ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", root.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+
+  std::vector<p3pdb::p3p::Policy> corpus = p3pdb::workload::FortuneCorpus();
+  for (const p3pdb::p3p::Policy& policy : corpus) {
+    if (!WriteFile(root / "policies" / (policy.name + ".xml"),
+                   p3pdb::p3p::PolicyToText(policy))) {
+      return 1;
+    }
+  }
+  if (!WriteFile(root / "policies" / "volga.xml",
+                 p3pdb::workload::VolgaPolicyXml())) {
+    return 1;
+  }
+  if (!WriteFile(root / "reference-file.xml",
+                 p3pdb::p3p::ReferenceFileToText(
+                     p3pdb::workload::CorpusReferenceFile(corpus)))) {
+    return 1;
+  }
+  for (auto level : p3pdb::workload::AllPreferenceLevels()) {
+    std::string slug =
+        SlugFor(p3pdb::workload::PreferenceLevelName(level));
+    if (!WriteFile(root / "preferences" / (slug + ".xml"),
+                   p3pdb::appel::RulesetToText(
+                       p3pdb::workload::JrcPreference(level)))) {
+      return 1;
+    }
+  }
+  if (!WriteFile(root / "preferences" / "jane.xml",
+                 p3pdb::workload::JanePreferenceXml())) {
+    return 1;
+  }
+
+  std::printf("wrote %zu policies, 6 preferences, 1 reference file to %s\n",
+              corpus.size() + 1, root.c_str());
+  return 0;
+}

@@ -1,0 +1,158 @@
+// p3p_check: command-line preference checker.
+//
+// Usage:
+//   p3p_check                                  demo: Volga vs Jane (§2)
+//   p3p_check POLICY.xml PREF.xml [engine]     check PREF against POLICY
+//
+// engine is one of: native-appel (default: sql), sql, sql-simple,
+// xquery-native, xquery-xtable. Prints the behavior of the first rule that
+// fires, the rule index, and for the SQL engines the generated queries when
+// -v is given.
+//
+//   $ ./p3p_check policy.xml pref.xml sql -v
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "appel/model.h"
+#include "p3p/policy_xml.h"
+#include "server/policy_server.h"
+#include "workload/paper_examples.h"
+
+using p3pdb::server::EngineKind;
+using p3pdb::server::PolicyServer;
+
+namespace {
+
+bool ReadFile(const char* path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+bool ParseEngine(const char* name, EngineKind* out) {
+  struct Pair {
+    const char* name;
+    EngineKind kind;
+  };
+  static constexpr Pair kEngines[] = {
+      {"native-appel", EngineKind::kNativeAppel},
+      {"sql", EngineKind::kSql},
+      {"sql-simple", EngineKind::kSqlSimple},
+      {"xquery-native", EngineKind::kXQueryNative},
+      {"xquery-xtable", EngineKind::kXQueryXTable},
+  };
+  for (const Pair& p : kEngines) {
+    if (std::strcmp(name, p.name) == 0) {
+      *out = p.kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Fail(const p3pdb::Status& status, const char* what) {
+  std::fprintf(stderr, "p3p_check: %s: %s\n", what,
+               status.ToString().c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string policy_xml;
+  std::string pref_xml;
+  EngineKind engine = EngineKind::kSql;
+  bool verbose = false;
+
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-v") == 0) {
+      verbose = true;
+    } else if (std::strcmp(argv[i], "-h") == 0 ||
+               std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: p3p_check [POLICY.xml PREF.xml] [engine] [-v]\n"
+          "engines: native-appel sql sql-simple xquery-native "
+          "xquery-xtable\n");
+      return 0;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+
+  if (positional.empty()) {
+    std::printf("(no inputs; running the paper's demo: Volga vs Jane)\n");
+    policy_xml = p3pdb::workload::VolgaPolicyXml();
+    pref_xml = p3pdb::workload::JanePreferenceXml();
+  } else if (positional.size() >= 2) {
+    if (!ReadFile(positional[0], &policy_xml)) {
+      std::fprintf(stderr, "p3p_check: cannot read %s\n", positional[0]);
+      return 2;
+    }
+    if (!ReadFile(positional[1], &pref_xml)) {
+      std::fprintf(stderr, "p3p_check: cannot read %s\n", positional[1]);
+      return 2;
+    }
+    if (positional.size() >= 3 && !ParseEngine(positional[2], &engine)) {
+      std::fprintf(stderr, "p3p_check: unknown engine '%s'\n",
+                   positional[2]);
+      return 2;
+    }
+  } else {
+    std::fprintf(stderr, "usage: p3p_check [POLICY.xml PREF.xml] [engine]\n");
+    return 2;
+  }
+
+  auto policy = p3pdb::p3p::PolicyFromText(policy_xml);
+  if (!policy.ok()) return Fail(policy.status(), "policy");
+  if (p3pdb::Status st = policy.value().Validate(); !st.ok()) {
+    return Fail(st, "policy validation");
+  }
+  auto pref = p3pdb::appel::RulesetFromText(pref_xml);
+  if (!pref.ok()) return Fail(pref.status(), "preference");
+
+  PolicyServer::Options options;
+  options.engine = engine;
+  options.augmentation = engine == EngineKind::kNativeAppel
+                             ? p3pdb::server::Augmentation::kPerMatch
+                             : p3pdb::server::Augmentation::kAtInstall;
+  auto server = PolicyServer::Create(options);
+  if (!server.ok()) return Fail(server.status(), "server");
+  auto policy_id = server.value()->InstallPolicy(policy.value());
+  if (!policy_id.ok()) return Fail(policy_id.status(), "install");
+  auto compiled = server.value()->CompilePreference(pref.value());
+  if (!compiled.ok()) return Fail(compiled.status(), "compile");
+
+  if (verbose) {
+    for (size_t i = 0; i < compiled.value().sql.rule_queries.size(); ++i) {
+      std::printf("-- rule %zu SQL:\n%s\n", i + 1,
+                  compiled.value().sql.rule_queries[i].c_str());
+    }
+    for (size_t i = 0;
+         i < compiled.value().xquery_text.rule_queries.size(); ++i) {
+      std::printf("-- rule %zu XQuery:\n%s\n", i + 1,
+                  compiled.value().xquery_text.rule_queries[i].c_str());
+    }
+  }
+
+  auto result =
+      server.value()->MatchPolicyId(compiled.value(), policy_id.value());
+  if (!result.ok()) return Fail(result.status(), "match");
+
+  std::printf("engine:   %s\n", EngineKindName(engine));
+  std::printf("behavior: %s\n", result.value().behavior.c_str());
+  if (result.value().fired_rule_index >= 0) {
+    std::printf("rule:     %d\n", result.value().fired_rule_index + 1);
+  } else {
+    std::printf("rule:     none fired (fail-safe default)\n");
+  }
+  // Exit code mirrors the decision so the tool scripts well: 0 = request
+  // (release data), 1 = anything else.
+  return result.value().behavior == "request" ? 0 : 1;
+}

@@ -1,0 +1,56 @@
+// Deterministic pseudo-random generator for workload synthesis.
+//
+// Benchmarks and property tests must be reproducible run-to-run, so all
+// randomness in p3pdb flows through this seeded SplitMix64 generator instead
+// of std::random_device.
+
+#ifndef P3PDB_COMMON_RANDOM_H_
+#define P3PDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace p3pdb {
+
+/// SplitMix64: tiny, fast, and adequate for workload shuffling.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed + 0x9E3779B97F4A7C15ULL) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    return lo + static_cast<int>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    return items[Uniform(items.size())];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace p3pdb
+
+#endif  // P3PDB_COMMON_RANDOM_H_

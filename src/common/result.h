@@ -1,0 +1,81 @@
+// Result<T>: a value-or-Status, the companion of Status for functions that
+// produce a value on success.
+
+#ifndef P3PDB_COMMON_RESULT_H_
+#define P3PDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace p3pdb {
+
+/// Holds either a T (when status().ok()) or an error Status.
+///
+/// Typical use:
+///   Result<Policy> r = ParsePolicy(text);
+///   if (!r.ok()) return r.status();
+///   const Policy& p = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result. Intentionally implicit so functions can
+  /// `return value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Constructs a failed result. Intentionally implicit so functions can
+  /// `return Status::ParseError(...);`. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result built from OK status without a value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the value or aborts with the error message. For tests, benches,
+  /// and examples only.
+  T ValueOrDie() && {
+    if (!ok()) {
+      fprintf(stderr, "ValueOrDie on error: %s\n", status_.ToString().c_str());
+      abort();
+    }
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace p3pdb
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// binds the value to `lhs`.
+#define P3PDB_ASSIGN_OR_RETURN(lhs, expr)            \
+  P3PDB_ASSIGN_OR_RETURN_IMPL(                       \
+      P3PDB_CONCAT_(_result_tmp_, __LINE__), lhs, expr)
+
+#define P3PDB_CONCAT_INNER_(a, b) a##b
+#define P3PDB_CONCAT_(a, b) P3PDB_CONCAT_INNER_(a, b)
+
+#define P3PDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // P3PDB_COMMON_RESULT_H_

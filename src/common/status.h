@@ -1,0 +1,92 @@
+// Status: the error-handling primitive used across p3pdb.
+//
+// No exceptions cross API boundaries in this codebase (Arrow/RocksDB idiom).
+// Functions that can fail return Status, or Result<T> (see result.h) when
+// they also produce a value.
+
+#ifndef P3PDB_COMMON_STATUS_H_
+#define P3PDB_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace p3pdb {
+
+/// Broad classification of a failure. Kept deliberately small; the message
+/// carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // caller passed something malformed
+  kParseError,       // XML / SQL / APPEL / XQuery text did not parse
+  kNotFound,         // named table, column, policy, or URI mapping missing
+  kAlreadyExists,    // duplicate table / policy id
+  kUnsupported,      // valid input outside the implemented subset
+  kLimitExceeded,    // query complexity / resource limit hit
+  kInternal,         // invariant violation inside the library
+};
+
+/// Human-readable name of a StatusCode, e.g. "ParseError".
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the OK path (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status LimitExceeded(std::string msg) {
+    return Status(StatusCode::kLimitExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace p3pdb
+
+/// Propagates a non-OK Status to the caller.
+#define P3PDB_RETURN_IF_ERROR(expr)                  \
+  do {                                               \
+    ::p3pdb::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+#endif  // P3PDB_COMMON_STATUS_H_

@@ -1,0 +1,71 @@
+// Wall-clock stopwatch used by the benchmark harnesses to report the
+// avg/max/min tables of the paper (Figures 20 and 21).
+
+#ifndef P3PDB_COMMON_STOPWATCH_H_
+#define P3PDB_COMMON_STOPWATCH_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace p3pdb {
+
+/// Measures elapsed wall time in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Microseconds since construction or the last Restart().
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates samples and reports the average/max/min triple the paper's
+/// evaluation tables use.
+class TimingStats {
+ public:
+  void Add(double value) { samples_.push_back(value); }
+
+  size_t count() const { return samples_.size(); }
+
+  /// Raw samples, for merging across experiments.
+  const std::vector<double>& samples() const { return samples_; }
+
+  double Average() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Max() const {
+    double m = std::numeric_limits<double>::lowest();
+    for (double s : samples_) m = std::max(m, s);
+    return samples_.empty() ? 0.0 : m;
+  }
+
+  double Min() const {
+    double m = std::numeric_limits<double>::max();
+    for (double s : samples_) m = std::min(m, s);
+    return samples_.empty() ? 0.0 : m;
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace p3pdb
+
+#endif  // P3PDB_COMMON_STOPWATCH_H_

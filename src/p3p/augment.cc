@@ -1,0 +1,130 @@
+#include "p3p/augment.h"
+
+#include <algorithm>
+#include <set>
+
+namespace p3pdb::p3p {
+
+namespace {
+
+/// Merges `extra` into `categories`, keeping it sorted and deduplicated.
+/// Returns how many values were added.
+size_t MergeCategories(std::vector<std::string>* categories,
+                       const std::vector<std::string>& extra) {
+  std::set<std::string> merged(categories->begin(), categories->end());
+  size_t before = merged.size();
+  merged.insert(extra.begin(), extra.end());
+  categories->assign(merged.begin(), merged.end());
+  return merged.size() - before;
+}
+
+}  // namespace
+
+size_t AugmentPolicy(Policy* policy, const DataSchema& schema) {
+  size_t added = 0;
+  for (PolicyStatement& stmt : policy->statements) {
+    for (DataGroup& group : stmt.data_groups) {
+      for (DataItem& item : group.items) {
+        std::vector<std::string> cats = schema.CategoriesFor(item.ref);
+        added += MergeCategories(&item.categories, cats);
+      }
+    }
+  }
+  return added;
+}
+
+size_t AugmentPolicy(Policy* policy) {
+  return AugmentPolicy(policy, DataSchema::Base());
+}
+
+std::unique_ptr<xml::Element> AugmentPolicyXml(const xml::Element& policy_root,
+                                               const DataSchema& schema) {
+  std::unique_ptr<xml::Element> copy = policy_root.Clone();
+  for (auto& stmt : copy->children()) {
+    if (stmt->LocalName() != "STATEMENT") continue;
+    for (auto& group : stmt->children()) {
+      if (group->LocalName() != "DATA-GROUP") continue;
+      for (auto& data : group->children()) {
+        if (data->LocalName() != "DATA") continue;
+        std::string_view ref = data->AttrOr("ref", "");
+        std::vector<std::string> cats =
+            schema.CategoriesFor(NormalizeDataRef(ref));
+        if (cats.empty()) continue;
+        xml::Element* categories = data->FindChild("CATEGORIES");
+        if (categories == nullptr) {
+          categories = data->AddChild("CATEGORIES");
+        }
+        for (const std::string& cat : cats) {
+          if (categories->FindChild(cat) == nullptr) {
+            categories->AddChild(cat);
+          }
+        }
+      }
+    }
+  }
+  return copy;
+}
+
+std::unique_ptr<xml::Element> AugmentPolicyXml(
+    const xml::Element& policy_root) {
+  return AugmentPolicyXml(policy_root, DataSchema::Base());
+}
+
+namespace {
+
+/// Depth-first enumeration of the schema forest, materializing each node's
+/// full dotted path — the work an engine does when its only representation
+/// of the base schema is the schema document itself.
+void EnumeratePaths(const DataSchemaNode& node, const std::string& prefix,
+                    std::string_view target, const DataSchemaNode** found) {
+  for (const auto& child : node.children()) {
+    std::string path =
+        prefix.empty() ? child->name() : prefix + "." + child->name();
+    if (path == target) {
+      *found = child.get();
+      // A real scan would not early-out either, but the match is unique;
+      // keep scanning siblings to preserve the linear cost profile.
+    }
+    EnumeratePaths(*child, path, target, found);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> NaiveCategoriesFor(const DataSchema& schema,
+                                            std::string_view ref) {
+  std::string target(NormalizeDataRef(ref));
+  const DataSchemaNode* found = nullptr;
+  EnumeratePaths(schema.root(), "", target, &found);
+  if (found == nullptr) return {};
+  return SubtreeCategories(*found);
+}
+
+std::unique_ptr<xml::Element> AugmentPolicyXmlNaive(
+    const xml::Element& policy_root, const DataSchema& schema) {
+  std::unique_ptr<xml::Element> copy = policy_root.Clone();
+  for (auto& stmt : copy->children()) {
+    if (stmt->LocalName() != "STATEMENT") continue;
+    for (auto& group : stmt->children()) {
+      if (group->LocalName() != "DATA-GROUP") continue;
+      for (auto& data : group->children()) {
+        if (data->LocalName() != "DATA") continue;
+        std::string_view ref = data->AttrOr("ref", "");
+        std::vector<std::string> cats = NaiveCategoriesFor(schema, ref);
+        if (cats.empty()) continue;
+        xml::Element* categories = data->FindChild("CATEGORIES");
+        if (categories == nullptr) {
+          categories = data->AddChild("CATEGORIES");
+        }
+        for (const std::string& cat : cats) {
+          if (categories->FindChild(cat) == nullptr) {
+            categories->AddChild(cat);
+          }
+        }
+      }
+    }
+  }
+  return copy;
+}
+
+}  // namespace p3pdb::p3p

@@ -1,0 +1,54 @@
+// Category augmentation (P3P base data schema resolution).
+//
+// Before preferences mentioning CATEGORIES can be matched, every DATA
+// element of the policy must be annotated with the categories the base data
+// schema assigns to its ref. The paper's profiling (§6.3.2) attributes most
+// of the JRC APPEL engine's per-match cost to exactly this step, because the
+// client-centric engine redoes it on every match, whereas the server-centric
+// SQL implementation performs it once while shredding. Both placements are
+// exposed here so the A2 ablation benchmark can measure the difference.
+
+#ifndef P3PDB_P3P_AUGMENT_H_
+#define P3PDB_P3P_AUGMENT_H_
+
+#include <memory>
+
+#include "p3p/data_schema.h"
+#include "p3p/policy.h"
+#include "xml/node.h"
+
+namespace p3pdb::p3p {
+
+/// Merges the base-schema categories of each DATA item's ref into the
+/// item's category list (model form, used by the shredder). Returns the
+/// number of category values added.
+size_t AugmentPolicy(Policy* policy, const DataSchema& schema);
+size_t AugmentPolicy(Policy* policy);  // against DataSchema::Base()
+
+/// DOM form, mirroring what the client-side APPEL engine does per match:
+/// deep-copies the policy element and adds/extends the CATEGORIES child of
+/// every DATA element under every STATEMENT. The copy models the engine's
+/// working tree (the original policy must not be mutated between matches).
+std::unique_ptr<xml::Element> AugmentPolicyXml(const xml::Element& policy_root,
+                                               const DataSchema& schema);
+std::unique_ptr<xml::Element> AugmentPolicyXml(
+    const xml::Element& policy_root);
+
+/// The *naive* per-match form, modeling the JRC engine the paper profiled
+/// (§6.3.2): an engine that keeps the base data schema as a document rather
+/// than an index resolves every DATA ref by enumerating the schema forest
+/// and comparing full dotted path names. Identical output to
+/// AugmentPolicyXml, but with the per-match cost profile the paper
+/// attributes most of the client engine's latency to. Benchmarks (E3/E4,
+/// ablation A2) use this for the client-centric baseline.
+std::unique_ptr<xml::Element> AugmentPolicyXmlNaive(
+    const xml::Element& policy_root, const DataSchema& schema);
+
+/// Naive path resolution helper: linear scan of the schema forest building
+/// dotted paths (exposed for tests; must agree with DataSchema::Lookup).
+std::vector<std::string> NaiveCategoriesFor(const DataSchema& schema,
+                                            std::string_view ref);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_AUGMENT_H_

@@ -1,0 +1,336 @@
+#include "p3p/compact.h"
+
+#include <algorithm>
+#include <set>
+#include <span>
+
+#include "common/string_util.h"
+
+namespace p3pdb::p3p {
+
+namespace {
+
+struct TokenMapping {
+  const char* token;
+  const char* value;
+};
+
+constexpr TokenMapping kPurposeTokens[] = {
+    {"CUR", "current"},        {"ADM", "admin"},
+    {"DEV", "develop"},        {"TAI", "tailoring"},
+    {"PSA", "pseudo-analysis"}, {"PSD", "pseudo-decision"},
+    {"IVA", "individual-analysis"}, {"IVD", "individual-decision"},
+    {"CON", "contact"},        {"HIS", "historical"},
+    {"TEL", "telemarketing"},  {"OTP", "other-purpose"},
+};
+
+constexpr TokenMapping kRecipientTokens[] = {
+    {"OUR", "ours"},      {"DEL", "delivery"},        {"SAM", "same"},
+    {"OTR", "other-recipient"}, {"UNR", "unrelated"}, {"PUB", "public"},
+};
+
+constexpr TokenMapping kRetentionTokens[] = {
+    {"NOR", "no-retention"},      {"STP", "stated-purpose"},
+    {"LEG", "legal-requirement"}, {"BUS", "business-practices"},
+    {"IND", "indefinitely"},
+};
+
+constexpr TokenMapping kCategoryTokens[] = {
+    {"PHY", "physical"},    {"ONL", "online"},     {"UNI", "uniqueid"},
+    {"PUR", "purchase"},    {"FIN", "financial"},  {"COM", "computer"},
+    {"NAV", "navigation"},  {"INT", "interactive"}, {"DEM", "demographic"},
+    {"CNT", "content"},     {"STA", "state"},      {"POL", "political"},
+    {"HEA", "health"},      {"PRE", "preference"}, {"LOC", "location"},
+    {"GOV", "government"},  {"OTC", "other-category"},
+};
+
+constexpr TokenMapping kAccessTokens[] = {
+    {"NOI", "nonident"},          {"ALL", "all"},
+    {"CAO", "contact-and-other"}, {"IDC", "ident-contact"},
+    {"OTI", "other-ident"},       {"NON", "none"},
+};
+
+const char* TokenFor(std::span<const TokenMapping> table,
+                     std::string_view value) {
+  for (const TokenMapping& m : table) {
+    if (value == m.value) return m.token;
+  }
+  return nullptr;
+}
+
+const char* ValueFor(std::span<const TokenMapping> table,
+                     std::string_view token) {
+  for (const TokenMapping& m : table) {
+    if (token == m.token) return m.value;
+  }
+  return nullptr;
+}
+
+/// Consent suffix per spec §4: "a" always, "i" opt-in, "o" opt-out; the
+/// bare token means always.
+char ConsentSuffix(Required r) {
+  switch (r) {
+    case Required::kAlways:
+      return 'a';
+    case Required::kOptIn:
+      return 'i';
+    case Required::kOptOut:
+      return 'o';
+  }
+  return 'a';
+}
+
+bool ParseConsentSuffix(char c, Required* out) {
+  switch (c) {
+    case 'a':
+      *out = Required::kAlways;
+      return true;
+    case 'i':
+      *out = Required::kOptIn;
+      return true;
+    case 'o':
+      *out = Required::kOptOut;
+      return true;
+    default:
+      return false;
+  }
+}
+
+void AddConsentToken(std::vector<CompactConsentToken>* tokens,
+                     std::string value, Required required) {
+  for (const CompactConsentToken& t : *tokens) {
+    if (t.value == value && t.required == required) return;
+  }
+  tokens->push_back(CompactConsentToken{std::move(value), required});
+}
+
+}  // namespace
+
+bool CompactPolicy::HasPurpose(std::string_view value) const {
+  return std::any_of(purposes.begin(), purposes.end(),
+                     [&](const auto& t) { return t.value == value; });
+}
+
+bool CompactPolicy::HasRecipient(std::string_view value) const {
+  return std::any_of(recipients.begin(), recipients.end(),
+                     [&](const auto& t) { return t.value == value; });
+}
+
+bool CompactPolicy::HasCategory(std::string_view value) const {
+  return std::find(categories.begin(), categories.end(), value) !=
+         categories.end();
+}
+
+CompactPolicy BuildCompactPolicy(const Policy& policy) {
+  CompactPolicy compact;
+  compact.access = policy.access;
+  compact.has_disputes = !policy.disputes.empty();
+  std::set<std::string> retentions;
+  std::set<std::string> categories;
+  for (const PolicyStatement& stmt : policy.statements) {
+    if (stmt.non_identifiable) compact.non_identifiable = true;
+    for (const PurposeItem& p : stmt.purposes) {
+      AddConsentToken(&compact.purposes, p.value, p.required);
+    }
+    for (const RecipientItem& r : stmt.recipients) {
+      AddConsentToken(&compact.recipients, r.value, r.required);
+    }
+    if (!stmt.retention.empty()) retentions.insert(stmt.retention);
+    for (const DataGroup& group : stmt.data_groups) {
+      for (const DataItem& item : group.items) {
+        categories.insert(item.categories.begin(), item.categories.end());
+      }
+    }
+  }
+  compact.retentions.assign(retentions.begin(), retentions.end());
+  compact.categories.assign(categories.begin(), categories.end());
+  return compact;
+}
+
+std::string CompactPolicyToString(const CompactPolicy& compact) {
+  std::vector<std::string> tokens;
+  if (!compact.access.empty()) {
+    if (const char* t = TokenFor(kAccessTokens, compact.access)) {
+      tokens.push_back(t);
+    }
+  }
+  if (compact.has_disputes) tokens.push_back("DSP");
+  if (compact.non_identifiable) tokens.push_back("NID");
+  for (const CompactConsentToken& p : compact.purposes) {
+    const char* t = TokenFor(kPurposeTokens, p.value);
+    if (t == nullptr) continue;
+    std::string token = t;
+    if (p.required != Required::kAlways) {
+      token.push_back(ConsentSuffix(p.required));
+    }
+    tokens.push_back(std::move(token));
+  }
+  for (const CompactConsentToken& r : compact.recipients) {
+    const char* t = TokenFor(kRecipientTokens, r.value);
+    if (t == nullptr) continue;
+    std::string token = t;
+    if (r.required != Required::kAlways) {
+      token.push_back(ConsentSuffix(r.required));
+    }
+    tokens.push_back(std::move(token));
+  }
+  for (const std::string& r : compact.retentions) {
+    if (const char* t = TokenFor(kRetentionTokens, r)) tokens.push_back(t);
+  }
+  for (const std::string& c : compact.categories) {
+    if (const char* t = TokenFor(kCategoryTokens, c)) tokens.push_back(t);
+  }
+  if (compact.test) tokens.push_back("TST");
+  return Join(tokens, " ");
+}
+
+Result<CompactPolicy> ParseCompactPolicy(std::string_view text) {
+  CompactPolicy compact;
+  for (const std::string& raw : Split(std::string(text), ' ')) {
+    std::string token = Trim(raw);
+    if (token.empty()) continue;
+    if (token == "DSP") {
+      compact.has_disputes = true;
+      continue;
+    }
+    if (token == "NID") {
+      compact.non_identifiable = true;
+      continue;
+    }
+    if (token == "TST") {
+      compact.test = true;
+      continue;
+    }
+    // Consent suffix?
+    Required required = Required::kAlways;
+    std::string base = token;
+    if (token.size() == 4 && ParseConsentSuffix(token[3], &required)) {
+      base = token.substr(0, 3);
+    } else if (token.size() != 3) {
+      return Status::ParseError("malformed compact token '" + token + "'");
+    }
+    if (const char* v = ValueFor(kPurposeTokens, base)) {
+      AddConsentToken(&compact.purposes, v, required);
+      continue;
+    }
+    if (const char* v = ValueFor(kRecipientTokens, base)) {
+      AddConsentToken(&compact.recipients, v, required);
+      continue;
+    }
+    if (required != Required::kAlways) {
+      return Status::ParseError("consent suffix on non-consent token '" +
+                                token + "'");
+    }
+    if (const char* v = ValueFor(kRetentionTokens, base)) {
+      compact.retentions.push_back(v);
+      continue;
+    }
+    if (const char* v = ValueFor(kCategoryTokens, base)) {
+      compact.categories.push_back(v);
+      continue;
+    }
+    if (const char* v = ValueFor(kAccessTokens, base)) {
+      if (!compact.access.empty()) {
+        return Status::ParseError("duplicate access token '" + token + "'");
+      }
+      compact.access = v;
+      continue;
+    }
+    return Status::ParseError("unknown compact token '" + token + "'");
+  }
+  return compact;
+}
+
+const char* CookieVerdictName(CookieVerdict v) {
+  switch (v) {
+    case CookieVerdict::kAccept:
+      return "accept";
+    case CookieVerdict::kLeashed:
+      return "leashed";
+    case CookieVerdict::kBlock:
+      return "block";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Personally identifiable information in the IE6 sense: identified
+/// contactable data categories.
+bool UsesPii(const CompactPolicy& c) {
+  return c.HasCategory("physical") || c.HasCategory("online") ||
+         c.HasCategory("uniqueid") || c.HasCategory("financial") ||
+         c.HasCategory("government") || c.HasCategory("location");
+}
+
+/// Purposes beyond serving the current request.
+bool HasSecondaryUse(const CompactPolicy& c, Required weakest_allowed) {
+  for (const CompactConsentToken& p : c.purposes) {
+    if (p.value == "current" || p.value == "admin" || p.value == "develop") {
+      continue;
+    }
+    // Secondary use is fine when the user keeps at least the demanded
+    // level of choice.
+    if (weakest_allowed == Required::kOptOut &&
+        p.required != Required::kAlways) {
+      continue;  // opt-in or opt-out offered
+    }
+    if (weakest_allowed == Required::kOptIn &&
+        p.required == Required::kOptIn) {
+      continue;  // only explicit consent acceptable
+    }
+    return true;
+  }
+  return false;
+}
+
+bool SharesBeyondAgents(const CompactPolicy& c) {
+  for (const CompactConsentToken& r : c.recipients) {
+    if (r.value == "ours" || r.value == "delivery" || r.value == "same") {
+      continue;
+    }
+    if (r.required != Required::kAlways) continue;  // choice offered
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+CookieVerdict EvaluateCookiePolicy(const CompactPolicy* compact,
+                                   CookiePrivacyLevel level) {
+  switch (level) {
+    case CookiePrivacyLevel::kLow:
+      return CookieVerdict::kAccept;
+    case CookiePrivacyLevel::kBlockAll:
+      return CookieVerdict::kBlock;
+    case CookiePrivacyLevel::kMedium: {
+      if (compact == nullptr) return CookieVerdict::kBlock;
+      if (compact->non_identifiable) return CookieVerdict::kAccept;
+      if (UsesPii(*compact)) {
+        if (HasSecondaryUse(*compact, Required::kOptOut) ||
+            SharesBeyondAgents(*compact)) {
+          return CookieVerdict::kBlock;
+        }
+        // PII for primary use only: allowed but leashed.
+        return CookieVerdict::kLeashed;
+      }
+      return CookieVerdict::kAccept;
+    }
+    case CookiePrivacyLevel::kHigh: {
+      if (compact == nullptr) return CookieVerdict::kBlock;
+      if (compact->non_identifiable) return CookieVerdict::kAccept;
+      if (UsesPii(*compact)) {
+        if (HasSecondaryUse(*compact, Required::kOptIn) ||
+            SharesBeyondAgents(*compact)) {
+          return CookieVerdict::kBlock;
+        }
+        return CookieVerdict::kLeashed;
+      }
+      return CookieVerdict::kAccept;
+    }
+  }
+  return CookieVerdict::kBlock;
+}
+
+}  // namespace p3pdb::p3p

@@ -1,0 +1,88 @@
+// P3P compact policies (P3P 1.0 Recommendation §4; paper §3.2).
+//
+// A compact policy is a whitespace-separated token summary of a full
+// policy, carried in the HTTP response header alongside cookies — the form
+// Internet Explorer 6 evaluated to decide cookie admission (the paper's
+// second prominent client-centric implementation). Tokens are three-letter
+// codes: purposes (CUR, ADM, ..., with a/i/o consent suffixes), recipients
+// (OUR, DEL, ...), retention (NOR..IND), categories (PHY..OTC), access
+// (NOI..NON), plus DSP (disputes), NID (non-identifiable), TST (test).
+//
+// This module encodes a full Policy into its compact form, parses compact
+// text back, and provides an IE6-style cookie admission evaluator so the
+// cookie path of the reference file (COOKIE-INCLUDE) can be exercised end
+// to end.
+
+#ifndef P3PDB_P3P_COMPACT_H_
+#define P3PDB_P3P_COMPACT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "p3p/policy.h"
+
+namespace p3pdb::p3p {
+
+/// A purpose/recipient token with its consent suffix.
+struct CompactConsentToken {
+  std::string value;            // vocabulary value, e.g. "contact"
+  Required required = Required::kAlways;
+
+  bool operator==(const CompactConsentToken&) const = default;
+};
+
+/// The decoded content of a compact policy.
+struct CompactPolicy {
+  std::string access;                          // empty when absent
+  bool has_disputes = false;
+  bool non_identifiable = false;
+  bool test = false;
+  std::vector<CompactConsentToken> purposes;   // deduplicated, policy order
+  std::vector<CompactConsentToken> recipients;
+  std::vector<std::string> retentions;
+  std::vector<std::string> categories;
+
+  bool HasPurpose(std::string_view value) const;
+  bool HasRecipient(std::string_view value) const;
+  bool HasCategory(std::string_view value) const;
+};
+
+/// Summarizes a full policy into its compact form: the union of the
+/// statements' purposes/recipients/retentions and of all data items'
+/// categories (base-schema augmentation should run first for faithful
+/// category tokens).
+CompactPolicy BuildCompactPolicy(const Policy& policy);
+
+/// Renders the token string, e.g. "CAO DSP CUR IVDi CONi OUR SAM STP BUS
+/// ONL PHY PUR". Token order follows the spec's grouping.
+std::string CompactPolicyToString(const CompactPolicy& compact);
+
+/// Parses compact policy text. Unknown tokens fail with ParseError.
+Result<CompactPolicy> ParseCompactPolicy(std::string_view text);
+
+/// The IE6-style privacy slider levels for cookie admission.
+enum class CookiePrivacyLevel {
+  kLow,     // accept everything with any compact policy
+  kMedium,  // block PII without consent for third-party-ish use (default)
+  kHigh,    // block PII without explicit opt-in consent
+  kBlockAll,
+};
+
+enum class CookieVerdict { kAccept, kLeashed, kBlock };
+
+const char* CookieVerdictName(CookieVerdict v);
+
+/// Models IE6's evaluation of a cookie's compact policy: cookies whose
+/// policy uses personally identifiable data (physical/online/uniqueid/
+/// financial categories or non-anonymous purposes) without the consent the
+/// level demands are blocked; PII with opt-out consent is leashed
+/// (restricted) at medium. A cookie with no compact policy at all is
+/// blocked at medium and above — pass nullptr for that case.
+CookieVerdict EvaluateCookiePolicy(const CompactPolicy* compact,
+                                   CookiePrivacyLevel level);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_COMPACT_H_

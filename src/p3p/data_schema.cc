@@ -1,0 +1,336 @@
+#include "p3p/data_schema.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace p3pdb::p3p {
+
+DataSchemaNode* DataSchemaNode::AddChild(std::string name,
+                                         std::vector<std::string> categories,
+                                         bool variable_category) {
+  children_.push_back(std::make_unique<DataSchemaNode>(
+      std::move(name), std::move(categories), variable_category));
+  return children_.back().get();
+}
+
+const DataSchemaNode* DataSchemaNode::FindChild(std::string_view name) const {
+  for (const auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+DataSchemaNode* DataSchemaNode::FindChild(std::string_view name) {
+  for (auto& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+size_t DataSchemaNode::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+std::string_view NormalizeDataRef(std::string_view ref) {
+  size_t hash = ref.find('#');
+  if (hash != std::string_view::npos) ref = ref.substr(hash + 1);
+  return TrimView(ref);
+}
+
+const DataSchemaNode* DataSchema::Lookup(std::string_view ref) const {
+  ref = NormalizeDataRef(ref);
+  if (ref.empty()) return nullptr;
+  const DataSchemaNode* node = &root_;
+  size_t start = 0;
+  while (start <= ref.size()) {
+    size_t dot = ref.find('.', start);
+    std::string_view part = dot == std::string_view::npos
+                                ? ref.substr(start)
+                                : ref.substr(start, dot - start);
+    node = node->FindChild(part);
+    if (node == nullptr) return nullptr;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return node;
+}
+
+namespace {
+
+void CollectCategories(const DataSchemaNode& node,
+                       std::set<std::string>* out) {
+  if (!node.variable_category()) {
+    for (const std::string& c : node.categories()) out->insert(c);
+  }
+  for (const auto& child : node.children()) {
+    CollectCategories(*child, out);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> SubtreeCategories(const DataSchemaNode& node) {
+  std::set<std::string> cats;
+  CollectCategories(node, &cats);
+  return std::vector<std::string>(cats.begin(), cats.end());
+}
+
+std::vector<std::string> DataSchema::CategoriesFor(std::string_view ref) const {
+  const DataSchemaNode* node = Lookup(ref);
+  if (node == nullptr) return {};
+  return SubtreeCategories(*node);
+}
+
+bool DataSchema::IsVariableCategory(std::string_view ref) const {
+  const DataSchemaNode* node = Lookup(ref);
+  return node != nullptr && node->variable_category();
+}
+
+namespace {
+
+// -- Reusable data structures of the base schema (P3P 1.0 §5.5) ------------
+//
+// The spec factors the schema into named structures (personname, postal,
+// telephonenum, ...) instantiated under several roots; we mirror that
+// factoring.
+
+using Cats = std::vector<std::string>;
+
+void AddPersonname(DataSchemaNode* parent) {
+  DataSchemaNode* name =
+      parent->AddChild("name", Cats{"physical", "demographic"});
+  for (const char* part :
+       {"prefix", "given", "middle", "family", "suffix", "nickname"}) {
+    name->AddChild(part, Cats{"physical", "demographic"});
+  }
+}
+
+void AddCertificate(DataSchemaNode* parent, const char* element_name) {
+  DataSchemaNode* cert = parent->AddChild(element_name, Cats{"uniqueid"});
+  cert->AddChild("key", Cats{"uniqueid"});
+  cert->AddChild("format", Cats{"uniqueid"});
+}
+
+void AddPostal(DataSchemaNode* parent) {
+  DataSchemaNode* postal =
+      parent->AddChild("postal", Cats{"physical", "demographic"});
+  for (const char* part : {"name", "street", "city", "stateprov",
+                           "postalcode", "country", "organization"}) {
+    postal->AddChild(part, Cats{"physical", "demographic"});
+  }
+}
+
+void AddTelephone(DataSchemaNode* parent, const char* element_name) {
+  DataSchemaNode* phone = parent->AddChild(element_name, Cats{"physical"});
+  for (const char* part :
+       {"intcode", "loccode", "number", "ext", "comment"}) {
+    phone->AddChild(part, Cats{"physical"});
+  }
+}
+
+void AddTelecom(DataSchemaNode* parent) {
+  DataSchemaNode* telecom = parent->AddChild("telecom", Cats{});
+  AddTelephone(telecom, "telephone");
+  AddTelephone(telecom, "fax");
+  AddTelephone(telecom, "mobile");
+  AddTelephone(telecom, "pager");
+}
+
+void AddOnline(DataSchemaNode* parent) {
+  DataSchemaNode* online = parent->AddChild("online", Cats{"online"});
+  online->AddChild("email", Cats{"online"});
+  online->AddChild("uri", Cats{"online"});
+}
+
+void AddContactInfo(DataSchemaNode* parent, const char* element_name) {
+  DataSchemaNode* info = parent->AddChild(element_name, Cats{});
+  AddPostal(info);
+  AddTelecom(info);
+  AddOnline(info);
+}
+
+void AddLoginfo(DataSchemaNode* parent) {
+  DataSchemaNode* login = parent->AddChild("login", Cats{"uniqueid"});
+  login->AddChild("id", Cats{"uniqueid"});
+  login->AddChild("password", Cats{"uniqueid"});
+}
+
+void AddDate(DataSchemaNode* parent, const char* element_name,
+             const Cats& cats) {
+  DataSchemaNode* date = parent->AddChild(element_name, cats);
+  DataSchemaNode* ymd = date->AddChild("ymd", cats);
+  ymd->AddChild("year", cats);
+  ymd->AddChild("month", cats);
+  ymd->AddChild("day", cats);
+  date->AddChild("hms", cats);
+}
+
+/// The `user` and `thirdparty` roots share the same structure (§5.6.2-3).
+void AddUserLikeRoot(DataSchemaNode* root, const char* root_name) {
+  DataSchemaNode* user = root->AddChild(root_name, Cats{});
+  AddPersonname(user);
+  AddDate(user, "bdate", Cats{"demographic"});
+  AddLoginfo(user);
+  AddCertificate(user, "cert");
+  user->AddChild("gender", Cats{"demographic"});
+  user->AddChild("employer", Cats{"demographic"});
+  user->AddChild("department", Cats{"demographic"});
+  user->AddChild("jobtitle", Cats{"demographic"});
+  AddContactInfo(user, "home-info");
+  AddContactInfo(user, "business-info");
+}
+
+void AddDynamicRoot(DataSchemaNode* root) {
+  DataSchemaNode* dynamic = root->AddChild("dynamic", Cats{});
+  DataSchemaNode* clickstream =
+      dynamic->AddChild("clickstream", Cats{"navigation", "computer"});
+  clickstream->AddChild("uri", Cats{"navigation"});
+  clickstream->AddChild("timestamp", Cats{"navigation"});
+  clickstream->AddChild("clientip", Cats{"computer"});
+  DataSchemaNode* http = dynamic->AddChild("http", Cats{"navigation"});
+  http->AddChild("referer", Cats{"navigation"});
+  http->AddChild("useragent", Cats{"computer"});
+  dynamic->AddChild("clientevents", Cats{"navigation", "interactive"});
+  dynamic->AddChild("cookies", Cats{}, /*variable_category=*/true);
+  dynamic->AddChild("miscdata", Cats{}, /*variable_category=*/true);
+  dynamic->AddChild("searchtext", Cats{"interactive"});
+  dynamic->AddChild("interactionrecord", Cats{"interactive"});
+}
+
+void AddBusinessRoot(DataSchemaNode* root) {
+  DataSchemaNode* business = root->AddChild("business", Cats{});
+  business->AddChild("name", Cats{"demographic"});
+  business->AddChild("department", Cats{"demographic"});
+  AddCertificate(business, "cert");
+  AddContactInfo(business, "contact-info");
+}
+
+}  // namespace
+
+namespace {
+
+/// Human-readable display name, as the W3C base-schema document carries for
+/// every element: "user.home-info.postal.street" -> "User Home Info Postal
+/// Street".
+std::string DisplayNameFor(std::string_view path) {
+  std::string out;
+  bool upper_next = true;
+  for (char c : path) {
+    if (c == '.' || c == '-') {
+      out.push_back(' ');
+      upper_next = true;
+      continue;
+    }
+    out.push_back(upper_next && c >= 'a' && c <= 'z'
+                      ? static_cast<char>(c - 'a' + 'A')
+                      : c);
+    upper_next = false;
+  }
+  return out;
+}
+
+void EmitDataDefs(const DataSchemaNode& node, const std::string& prefix,
+                  xml::Element* root) {
+  for (const auto& child : node.children()) {
+    std::string path =
+        prefix.empty() ? child->name() : prefix + "." + child->name();
+    xml::Element* def = root->AddChild("DATA-DEF");
+    def->SetAttr("name", path);
+    def->SetAttr("display", DisplayNameFor(path));
+    if (!child->categories().empty()) {
+      def->SetAttr("categories", Join(child->categories(), " "));
+    }
+    if (child->variable_category()) def->SetAttr("variable", "yes");
+    EmitDataDefs(*child, path, root);
+  }
+}
+
+}  // namespace
+
+std::string DataSchemaToXml(const DataSchema& schema) {
+  xml::Element root("DATASCHEMA");
+  root.SetAttr("xmlns", "http://www.w3.org/2002/01/P3Pv1");
+  EmitDataDefs(schema.root(), "", &root);
+  return xml::Write(root);
+}
+
+Result<DataSchema> DataSchemaFromXml(std::string_view text) {
+  P3PDB_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  if (doc.root->LocalName() != "DATASCHEMA") {
+    return Status::ParseError("expected DATASCHEMA element, got '" +
+                              doc.root->name() + "'");
+  }
+  DataSchema schema;
+  for (const auto& child : doc.root->children()) {
+    if (child->LocalName() != "DATA-DEF") {
+      return Status::ParseError("unexpected element '" + child->name() +
+                                "' in DATASCHEMA");
+    }
+    std::string_view name = child->AttrOr("name", "");
+    if (name.empty()) {
+      return Status::ParseError("DATA-DEF without name");
+    }
+    // Descend, creating intermediate structure nodes; parents precede
+    // children in the serialized form, so attributes land on the right
+    // node when its own DATA-DEF arrives.
+    DataSchemaNode* node = schema.mutable_root();
+    size_t start = 0;
+    while (start <= name.size()) {
+      size_t dot = name.find('.', start);
+      std::string part(dot == std::string_view::npos
+                           ? name.substr(start)
+                           : name.substr(start, dot - start));
+      if (part.empty()) {
+        return Status::ParseError("malformed DATA-DEF name '" +
+                                  std::string(name) + "'");
+      }
+      DataSchemaNode* next = node->FindChild(part);
+      if (next == nullptr) {
+        next = node->AddChild(part, {}, false);
+      }
+      node = next;
+      if (dot == std::string_view::npos) break;
+      start = dot + 1;
+    }
+    std::string_view categories = child->AttrOr("categories", "");
+    if (!categories.empty()) {
+      std::vector<std::string> cats;
+      for (std::string& c : Split(categories, ' ')) {
+        if (!c.empty()) cats.push_back(std::move(c));
+      }
+      node->set_categories(std::move(cats));
+    }
+    if (child->AttrOr("variable", "no") == "yes") {
+      node->set_variable_category(true);
+    }
+  }
+  return schema;
+}
+
+const std::string& BaseDataSchemaXmlText() {
+  static const std::string* text =
+      new std::string(DataSchemaToXml(DataSchema::Base()));
+  return *text;
+}
+
+const DataSchema& DataSchema::Base() {
+  static const DataSchema* schema = [] {
+    auto* s = new DataSchema();
+    DataSchemaNode* root = s->mutable_root();
+    AddDynamicRoot(root);
+    AddUserLikeRoot(root, "user");
+    AddUserLikeRoot(root, "thirdparty");
+    AddBusinessRoot(root);
+    return s;
+  }();
+  return *schema;
+}
+
+}  // namespace p3pdb::p3p

@@ -1,0 +1,132 @@
+// The P3P base data schema (P3P 1.0 Recommendation, §5).
+//
+// P3P predefines a hierarchy of data elements — user.name.given,
+// user.home-info.postal.street, dynamic.miscdata, ... — and attaches fixed
+// data categories to most of them (a street address is "physical" data, a
+// login id is "uniqueid"). A few elements, such as dynamic.miscdata and
+// dynamic.cookies, are *variable-category*: their categories come from the
+// CATEGORIES child of the DATA element in the policy itself.
+//
+// The category augmentation that resolves a DATA ref to its categories is
+// the operation the paper found to dominate the JRC APPEL engine's matching
+// cost (§6.3.2): the client engine re-augments every policy on every match,
+// while the server-centric SQL path augments once at shredding time.
+
+#ifndef P3PDB_P3P_DATA_SCHEMA_H_
+#define P3PDB_P3P_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace p3pdb::p3p {
+
+/// One element of the data schema tree.
+class DataSchemaNode {
+ public:
+  DataSchemaNode(std::string name, std::vector<std::string> categories,
+                 bool variable_category)
+      : name_(std::move(name)),
+        categories_(std::move(categories)),
+        variable_category_(variable_category) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Fixed categories attached to this element (empty for structures whose
+  /// children carry the categories, and for variable-category elements).
+  const std::vector<std::string>& categories() const { return categories_; }
+
+  /// True when the policy supplies the categories (dynamic.miscdata,
+  /// dynamic.cookies).
+  bool variable_category() const { return variable_category_; }
+
+  const std::vector<std::unique_ptr<DataSchemaNode>>& children() const {
+    return children_;
+  }
+
+  DataSchemaNode* AddChild(std::string name,
+                           std::vector<std::string> categories,
+                           bool variable_category = false);
+
+  const DataSchemaNode* FindChild(std::string_view name) const;
+  DataSchemaNode* FindChild(std::string_view name);
+
+  void set_categories(std::vector<std::string> categories) {
+    categories_ = std::move(categories);
+  }
+  void set_variable_category(bool v) { variable_category_ = v; }
+
+  size_t SubtreeSize() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> categories_;
+  bool variable_category_;
+  std::vector<std::unique_ptr<DataSchemaNode>> children_;
+};
+
+/// The data schema: a forest rooted at the four top-level data sets
+/// (dynamic, user, thirdparty, business).
+class DataSchema {
+ public:
+  DataSchema() : root_("", {}, false) {}
+
+  /// The singleton base data schema of P3P 1.0.
+  static const DataSchema& Base();
+
+  DataSchemaNode* mutable_root() { return &root_; }
+  const DataSchemaNode& root() const { return root_; }
+
+  /// Resolves a data reference ("user.name.given", leading '#' and
+  /// fragment syntax accepted). Returns nullptr for unknown refs.
+  const DataSchemaNode* Lookup(std::string_view ref) const;
+
+  bool IsKnownRef(std::string_view ref) const {
+    return Lookup(ref) != nullptr;
+  }
+
+  /// The categories implied by a reference: the union of the fixed
+  /// categories of the named element and of all elements below it (a ref to
+  /// a structure such as user.home-info covers everything inside it).
+  /// Variable-category elements contribute nothing — the policy supplies
+  /// their categories. Result is sorted and deduplicated.
+  std::vector<std::string> CategoriesFor(std::string_view ref) const;
+
+  /// Whether the ref names a variable-category element.
+  bool IsVariableCategory(std::string_view ref) const;
+
+  /// Total number of elements (for stats/tests).
+  size_t ElementCount() const { return root_.SubtreeSize() - 1; }
+
+ private:
+  DataSchemaNode root_;
+};
+
+/// Strips the leading '#' (and an optional document part) from a DATA ref
+/// attribute: "#user.name" -> "user.name".
+std::string_view NormalizeDataRef(std::string_view ref);
+
+/// Union of the fixed categories of `node` and all its descendants, sorted
+/// and deduplicated (the category set a ref to this node implies).
+std::vector<std::string> SubtreeCategories(const DataSchemaNode& node);
+
+/// Serializes a schema as a DATASCHEMA document: a flat list of DATA-DEF
+/// elements with dotted names, space-separated categories, and a
+/// variable-category marker — the document form a P3P user agent downloads
+/// (P3P 1.0 ships its base data schema as such a document).
+std::string DataSchemaToXml(const DataSchema& schema);
+
+/// Parses a DATASCHEMA document back into a schema.
+Result<DataSchema> DataSchemaFromXml(std::string_view text);
+
+/// Cached XML text of the base data schema. The client-centric baseline
+/// reprocesses this document on every match (see appel::NativeEngine) —
+/// the cost the paper's profiling identified as dominant.
+const std::string& BaseDataSchemaXmlText();
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_DATA_SCHEMA_H_

@@ -1,0 +1,129 @@
+#include "p3p/policy.h"
+
+#include "p3p/data_schema.h"
+
+namespace p3pdb::p3p {
+
+Status Policy::Validate(bool strict_data_refs) const {
+  if (statements.empty()) {
+    return Status::InvalidArgument("policy '" + name +
+                                   "' has no statements");
+  }
+  if (!access.empty() && !IsValidAccess(access)) {
+    return Status::InvalidArgument("invalid ACCESS value '" + access + "'");
+  }
+  for (const Dispute& d : disputes) {
+    bool ok = false;
+    for (std::string_view t : DisputeResolutionTypes()) {
+      if (d.resolution_type == t) ok = true;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("invalid DISPUTES resolution-type '" +
+                                     d.resolution_type + "'");
+    }
+  }
+  size_t stmt_index = 0;
+  for (const PolicyStatement& stmt : statements) {
+    ++stmt_index;
+    const std::string where =
+        "policy '" + name + "' statement " + std::to_string(stmt_index);
+    if (!stmt.non_identifiable) {
+      if (stmt.purposes.empty()) {
+        return Status::InvalidArgument(where + ": no PURPOSE");
+      }
+      if (stmt.recipients.empty()) {
+        return Status::InvalidArgument(where + ": no RECIPIENT");
+      }
+      if (stmt.retention.empty()) {
+        return Status::InvalidArgument(where + ": no RETENTION");
+      }
+    }
+    for (const PurposeItem& p : stmt.purposes) {
+      if (!IsValidPurpose(p.value)) {
+        return Status::InvalidArgument(where + ": invalid purpose '" +
+                                       p.value + "'");
+      }
+      // `current` admits no choice: consent cannot be optional for the
+      // service the user explicitly requested (P3P §3.3.4).
+      if (p.value == "current" && p.required != Required::kAlways) {
+        return Status::InvalidArgument(
+            where + ": purpose 'current' cannot carry opt-in/opt-out");
+      }
+    }
+    for (const RecipientItem& r : stmt.recipients) {
+      if (!IsValidRecipient(r.value)) {
+        return Status::InvalidArgument(where + ": invalid recipient '" +
+                                       r.value + "'");
+      }
+      // Only `ours` is exempt from choice per §3.3.5; required applies to
+      // the other recipients.
+      if (r.value == "ours" && r.required != Required::kAlways) {
+        return Status::InvalidArgument(
+            where + ": recipient 'ours' cannot carry opt-in/opt-out");
+      }
+    }
+    if (!stmt.retention.empty() && !IsValidRetention(stmt.retention)) {
+      return Status::InvalidArgument(where + ": invalid retention '" +
+                                     stmt.retention + "'");
+    }
+    for (const DataGroup& group : stmt.data_groups) {
+      if (group.items.empty()) {
+        return Status::InvalidArgument(where + ": empty DATA-GROUP");
+      }
+      for (const DataItem& item : group.items) {
+        if (item.ref.empty()) {
+          return Status::InvalidArgument(where + ": DATA without ref");
+        }
+        for (const std::string& cat : item.categories) {
+          if (!IsValidCategory(cat)) {
+            return Status::InvalidArgument(where + ": invalid category '" +
+                                           cat + "'");
+          }
+        }
+        if (strict_data_refs && group.base.empty()) {
+          const DataSchema& schema = DataSchema::Base();
+          if (!schema.IsKnownRef(item.ref)) {
+            return Status::InvalidArgument(where + ": unknown data ref '" +
+                                           item.ref + "'");
+          }
+          if (schema.IsVariableCategory(item.ref) &&
+              item.categories.empty()) {
+            return Status::InvalidArgument(
+                where + ": variable-category ref '" + item.ref +
+                "' requires explicit CATEGORIES");
+          }
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Policy Canonicalized(const Policy& policy) {
+  Policy out = policy;
+  for (PolicyStatement& stmt : out.statements) {
+    if (stmt.data_groups.size() <= 1) continue;
+    DataGroup merged;
+    for (DataGroup& group : stmt.data_groups) {
+      if (merged.base.empty()) merged.base = group.base;
+      for (DataItem& item : group.items) {
+        merged.items.push_back(std::move(item));
+      }
+    }
+    stmt.data_groups.clear();
+    stmt.data_groups.push_back(std::move(merged));
+  }
+  return out;
+}
+
+size_t Policy::DataItemCount() const {
+  size_t n = 0;
+  for (const PolicyStatement& stmt : statements) {
+    for (const DataGroup& group : stmt.data_groups) {
+      n += group.items.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace p3pdb::p3p

@@ -1,0 +1,97 @@
+// Object model for P3P privacy policies (P3P 1.0 Recommendation, §3).
+//
+// A policy is a sequence of STATEMENTs, each declaring the purposes,
+// recipients, and retention for a group of data items — exactly the
+// structure the schema-decomposition algorithm of the paper's Figure 8
+// shreds into relational tables. ENTITY, ACCESS, and DISPUTES-GROUP are kept
+// so that policies round-trip faithfully.
+
+#ifndef P3PDB_P3P_POLICY_H_
+#define P3PDB_P3P_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p3p/vocab.h"
+
+namespace p3pdb::p3p {
+
+/// A DATA element: a reference into the data schema plus any
+/// policy-supplied categories (required for variable-category refs such as
+/// dynamic.miscdata).
+struct DataItem {
+  std::string ref;  // normalized, no leading '#': "user.name"
+  bool optional = false;
+  std::vector<std::string> categories;
+};
+
+/// A DATA-GROUP element.
+struct DataGroup {
+  std::string base;  // optional `base` attribute (custom schema URI)
+  std::vector<DataItem> items;
+};
+
+/// One purpose value with its consent attribute.
+struct PurposeItem {
+  std::string value;  // one of Purposes()
+  Required required = Required::kAlways;
+};
+
+/// One recipient value with its consent attribute.
+struct RecipientItem {
+  std::string value;  // one of Recipients()
+  Required required = Required::kAlways;
+};
+
+/// A STATEMENT element.
+struct PolicyStatement {
+  std::string consequence;  // human-readable rationale, may be empty
+  bool non_identifiable = false;
+  std::vector<PurposeItem> purposes;
+  std::vector<RecipientItem> recipients;
+  std::string retention;  // one of Retentions()
+  std::vector<DataGroup> data_groups;
+};
+
+/// A DISPUTES element of the DISPUTES-GROUP.
+struct Dispute {
+  std::string resolution_type;  // service | independent | court | law
+  std::string service;          // URI
+  std::string short_description;
+};
+
+/// The legal entity making the policy (subset: its identifying data refs).
+struct Entity {
+  std::vector<DataItem> data;
+};
+
+/// A full P3P policy.
+struct Policy {
+  std::string name;     // the `name` attribute (fragment id in the policy file)
+  std::string discuri;  // human-readable policy URI
+  std::string opturi;   // opt-in/opt-out URI
+  std::string access;   // one of AccessValues(), may be empty
+  Entity entity;
+  std::vector<Dispute> disputes;
+  std::vector<PolicyStatement> statements;
+
+  /// Structural and vocabulary validation. `strict_data_refs` additionally
+  /// requires every DATA ref to resolve in the base data schema (policies
+  /// using custom schemas would pass false).
+  Status Validate(bool strict_data_refs = true) const;
+
+  /// Total number of DATA items across all statements.
+  size_t DataItemCount() const;
+};
+
+/// Returns a copy with each statement's DATA-GROUPs merged into one.
+/// Groups carry no semantics of their own beyond the `base` attribute (the
+/// first non-empty one is kept), and the Figure 14 schema folds them into
+/// the Data table; canonicalizing before install keeps the native-DOM and
+/// relational evidence exactly equivalent.
+Policy Canonicalized(const Policy& policy);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_POLICY_H_

@@ -1,0 +1,228 @@
+#include "p3p/policy_xml.h"
+
+#include "common/string_util.h"
+#include "p3p/data_schema.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace p3pdb::p3p {
+
+namespace {
+
+Result<std::vector<DataItem>> ParseDataGroupItems(const xml::Element& group) {
+  std::vector<DataItem> items;
+  for (const xml::Element* data : group.FindChildren("DATA")) {
+    DataItem item;
+    std::optional<std::string_view> ref = data->Attr("ref");
+    if (!ref.has_value()) {
+      return Status::ParseError("DATA element without ref attribute");
+    }
+    item.ref = std::string(NormalizeDataRef(*ref));
+    std::string_view optional = data->AttrOr("optional", "no");
+    if (optional != "yes" && optional != "no") {
+      return Status::ParseError("DATA optional attribute must be yes|no");
+    }
+    item.optional = optional == "yes";
+    if (const xml::Element* cats = data->FindChild("CATEGORIES")) {
+      for (const auto& cat : cats->children()) {
+        item.categories.push_back(std::string(cat->LocalName()));
+      }
+    }
+    items.push_back(std::move(item));
+  }
+  return items;
+}
+
+Result<PolicyStatement> ParseStatement(const xml::Element& elem) {
+  PolicyStatement stmt;
+  for (const auto& child : elem.children()) {
+    std::string_view name = child->LocalName();
+    if (name == "CONSEQUENCE") {
+      stmt.consequence = Trim(child->text());
+    } else if (name == "NON-IDENTIFIABLE") {
+      stmt.non_identifiable = true;
+    } else if (name == "PURPOSE") {
+      for (const auto& p : child->children()) {
+        PurposeItem item;
+        item.value = std::string(p->LocalName());
+        std::string_view req = p->AttrOr("required", kRequiredDefault);
+        if (!ParseRequired(req, &item.required)) {
+          return Status::ParseError("invalid required value '" +
+                                    std::string(req) + "' on purpose");
+        }
+        stmt.purposes.push_back(std::move(item));
+      }
+    } else if (name == "RECIPIENT") {
+      for (const auto& r : child->children()) {
+        RecipientItem item;
+        item.value = std::string(r->LocalName());
+        std::string_view req = r->AttrOr("required", kRequiredDefault);
+        if (!ParseRequired(req, &item.required)) {
+          return Status::ParseError("invalid required value '" +
+                                    std::string(req) + "' on recipient");
+        }
+        stmt.recipients.push_back(std::move(item));
+      }
+    } else if (name == "RETENTION") {
+      if (child->ChildCount() != 1) {
+        return Status::ParseError(
+            "RETENTION must contain exactly one value element");
+      }
+      stmt.retention = std::string(child->children()[0]->LocalName());
+    } else if (name == "DATA-GROUP") {
+      DataGroup group;
+      group.base = std::string(child->AttrOr("base", ""));
+      P3PDB_ASSIGN_OR_RETURN(group.items, ParseDataGroupItems(*child));
+      stmt.data_groups.push_back(std::move(group));
+    } else if (name == "EXTENSION") {
+      // Extensions are preserved semantically opaque; ignored here.
+    } else {
+      return Status::ParseError("unexpected element '" +
+                                std::string(name) + "' in STATEMENT");
+    }
+  }
+  return stmt;
+}
+
+}  // namespace
+
+Result<Policy> PolicyFromXml(const xml::Element& root) {
+  if (root.LocalName() != "POLICY") {
+    return Status::ParseError("expected POLICY element, got '" +
+                              root.name() + "'");
+  }
+  Policy policy;
+  policy.name = std::string(root.AttrOr("name", ""));
+  policy.discuri = std::string(root.AttrOr("discuri", ""));
+  policy.opturi = std::string(root.AttrOr("opturi", ""));
+  for (const auto& child : root.children()) {
+    std::string_view name = child->LocalName();
+    if (name == "ENTITY") {
+      if (const xml::Element* group = child->FindChild("DATA-GROUP")) {
+        P3PDB_ASSIGN_OR_RETURN(policy.entity.data,
+                               ParseDataGroupItems(*group));
+      }
+    } else if (name == "ACCESS") {
+      if (child->ChildCount() != 1) {
+        return Status::ParseError("ACCESS must contain exactly one value");
+      }
+      policy.access = std::string(child->children()[0]->LocalName());
+    } else if (name == "DISPUTES-GROUP") {
+      for (const xml::Element* d : child->FindChildren("DISPUTES")) {
+        Dispute dispute;
+        dispute.resolution_type =
+            std::string(d->AttrOr("resolution-type", ""));
+        dispute.service = std::string(d->AttrOr("service", ""));
+        dispute.short_description =
+            std::string(d->AttrOr("short-description", ""));
+        policy.disputes.push_back(std::move(dispute));
+      }
+    } else if (name == "STATEMENT") {
+      P3PDB_ASSIGN_OR_RETURN(PolicyStatement stmt, ParseStatement(*child));
+      policy.statements.push_back(std::move(stmt));
+    } else if (name == "EXPIRY" || name == "EXTENSION" || name == "TEST") {
+      // Recognized but not modeled.
+    } else {
+      return Status::ParseError("unexpected element '" + std::string(name) +
+                                "' in POLICY");
+    }
+  }
+  return policy;
+}
+
+Result<Policy> PolicyFromText(std::string_view text) {
+  P3PDB_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  const xml::Element* root = doc.root.get();
+  if (root->LocalName() == "POLICIES") {
+    root = root->FindChild("POLICY");
+    if (root == nullptr) {
+      return Status::ParseError("POLICIES element contains no POLICY");
+    }
+  }
+  return PolicyFromXml(*root);
+}
+
+std::unique_ptr<xml::Element> PolicyToXml(const Policy& policy) {
+  auto root = std::make_unique<xml::Element>("POLICY");
+  if (!policy.name.empty()) root->SetAttr("name", policy.name);
+  if (!policy.discuri.empty()) root->SetAttr("discuri", policy.discuri);
+  if (!policy.opturi.empty()) root->SetAttr("opturi", policy.opturi);
+
+  auto add_data_items = [](xml::Element* parent,
+                           const std::vector<DataItem>& items) {
+    for (const DataItem& item : items) {
+      xml::Element* data = parent->AddChild("DATA");
+      data->SetAttr("ref", "#" + item.ref);
+      if (item.optional) data->SetAttr("optional", "yes");
+      if (!item.categories.empty()) {
+        xml::Element* cats = data->AddChild("CATEGORIES");
+        for (const std::string& cat : item.categories) {
+          cats->AddChild(cat);
+        }
+      }
+    }
+  };
+
+  if (!policy.entity.data.empty()) {
+    xml::Element* entity = root->AddChild("ENTITY");
+    xml::Element* group = entity->AddChild("DATA-GROUP");
+    add_data_items(group, policy.entity.data);
+  }
+  if (!policy.access.empty()) {
+    root->AddChild("ACCESS")->AddChild(policy.access);
+  }
+  if (!policy.disputes.empty()) {
+    xml::Element* group = root->AddChild("DISPUTES-GROUP");
+    for (const Dispute& d : policy.disputes) {
+      xml::Element* disputes = group->AddChild("DISPUTES");
+      if (!d.resolution_type.empty()) {
+        disputes->SetAttr("resolution-type", d.resolution_type);
+      }
+      if (!d.service.empty()) disputes->SetAttr("service", d.service);
+      if (!d.short_description.empty()) {
+        disputes->SetAttr("short-description", d.short_description);
+      }
+    }
+  }
+  for (const PolicyStatement& stmt : policy.statements) {
+    xml::Element* s = root->AddChild("STATEMENT");
+    if (!stmt.consequence.empty()) {
+      s->AddChild("CONSEQUENCE")->set_text(stmt.consequence);
+    }
+    if (stmt.non_identifiable) s->AddChild("NON-IDENTIFIABLE");
+    if (!stmt.purposes.empty()) {
+      xml::Element* purpose = s->AddChild("PURPOSE");
+      for (const PurposeItem& p : stmt.purposes) {
+        xml::Element* v = purpose->AddChild(p.value);
+        if (p.required != Required::kAlways) {
+          v->SetAttr("required", RequiredToString(p.required));
+        }
+      }
+    }
+    if (!stmt.recipients.empty()) {
+      xml::Element* recipient = s->AddChild("RECIPIENT");
+      for (const RecipientItem& r : stmt.recipients) {
+        xml::Element* v = recipient->AddChild(r.value);
+        if (r.required != Required::kAlways) {
+          v->SetAttr("required", RequiredToString(r.required));
+        }
+      }
+    }
+    if (!stmt.retention.empty()) {
+      s->AddChild("RETENTION")->AddChild(stmt.retention);
+    }
+    for (const DataGroup& group : stmt.data_groups) {
+      xml::Element* g = s->AddChild("DATA-GROUP");
+      if (!group.base.empty()) g->SetAttr("base", group.base);
+      add_data_items(g, group.items);
+    }
+  }
+  return root;
+}
+
+std::string PolicyToText(const Policy& policy) {
+  std::unique_ptr<xml::Element> root = PolicyToXml(policy);
+  return xml::Write(*root);
+}
+
+}  // namespace p3pdb::p3p

@@ -1,0 +1,33 @@
+// XML (de)serialization between P3P policy text and the Policy model.
+
+#ifndef P3PDB_P3P_POLICY_XML_H_
+#define P3PDB_P3P_POLICY_XML_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "p3p/policy.h"
+#include "xml/node.h"
+
+namespace p3pdb::p3p {
+
+/// Parses a POLICY element (namespace prefixes are accepted and ignored).
+Result<Policy> PolicyFromXml(const xml::Element& root);
+
+/// Parses P3P policy text. The root may be POLICY or POLICIES (in which
+/// case the first POLICY child is taken).
+Result<Policy> PolicyFromText(std::string_view text);
+
+/// Serializes a policy back to a POLICY element.
+std::unique_ptr<xml::Element> PolicyToXml(const Policy& policy);
+
+/// Serializes to XML text (pretty-printed; sizes reported by the workload
+/// module are measured on this form, matching how the paper reports policy
+/// sizes in KB).
+std::string PolicyToText(const Policy& policy);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_POLICY_XML_H_

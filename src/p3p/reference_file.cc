@@ -1,0 +1,162 @@
+#include "p3p/reference_file.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+
+namespace p3pdb::p3p {
+
+bool UriPatternMatch(std::string_view pattern, std::string_view path) {
+  if (pattern.empty()) return false;
+  // Two-pointer wildcard match; '*' spans any substring including '/'.
+  size_t ti = 0, pi = 0;
+  size_t star_pi = std::string_view::npos, star_ti = 0;
+  while (ti < path.size()) {
+    if (pi < pattern.size() && pattern[pi] == path[ti]) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '*') {
+      star_pi = pi++;
+      star_ti = ti;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '*') ++pi;
+  return pi == pattern.size();
+}
+
+namespace {
+
+bool AnyPatternMatches(const std::vector<std::string>& patterns,
+                       std::string_view path) {
+  for (const std::string& p : patterns) {
+    if (UriPatternMatch(p, path)) return true;
+  }
+  return false;
+}
+
+std::optional<std::string> MatchRefs(
+    const std::vector<PolicyRef>& refs, std::string_view path,
+    const std::vector<std::string> PolicyRef::* includes,
+    const std::vector<std::string> PolicyRef::* excludes) {
+  for (const PolicyRef& ref : refs) {
+    if (!AnyPatternMatches(ref.*includes, path)) continue;
+    if (AnyPatternMatches(ref.*excludes, path)) continue;
+    return ref.about;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<std::string> ReferenceFile::PolicyForPath(
+    std::string_view local_path) const {
+  return MatchRefs(refs, local_path, &PolicyRef::includes,
+                   &PolicyRef::excludes);
+}
+
+std::optional<std::string> ReferenceFile::PolicyForCookie(
+    std::string_view cookie_path) const {
+  return MatchRefs(refs, cookie_path, &PolicyRef::cookie_includes,
+                   &PolicyRef::cookie_excludes);
+}
+
+Result<ReferenceFile> ReferenceFileFromXml(const xml::Element& root) {
+  if (root.LocalName() != "META") {
+    return Status::ParseError("expected META element, got '" + root.name() +
+                              "'");
+  }
+  ReferenceFile rf;
+  const xml::Element* references = root.FindChild("POLICY-REFERENCES");
+  if (references == nullptr) {
+    return Status::ParseError("META has no POLICY-REFERENCES");
+  }
+  for (const auto& child : references->children()) {
+    std::string_view name = child->LocalName();
+    if (name == "EXPIRY") {
+      std::string_view max_age = child->AttrOr("max-age", "");
+      if (!max_age.empty()) {
+        rf.expiry_max_age = std::atol(std::string(max_age).c_str());
+      }
+      continue;
+    }
+    if (name != "POLICY-REF") {
+      return Status::ParseError("unexpected element '" + std::string(name) +
+                                "' in POLICY-REFERENCES");
+    }
+    PolicyRef ref;
+    std::optional<std::string_view> about = child->Attr("about");
+    if (!about.has_value() || about->empty()) {
+      return Status::ParseError("POLICY-REF without about attribute");
+    }
+    ref.about = std::string(*about);
+    for (const auto& sub : child->children()) {
+      std::string_view sub_name = sub->LocalName();
+      std::string pattern = Trim(sub->text());
+      if (sub_name == "INCLUDE") {
+        ref.includes.push_back(std::move(pattern));
+      } else if (sub_name == "EXCLUDE") {
+        ref.excludes.push_back(std::move(pattern));
+      } else if (sub_name == "COOKIE-INCLUDE") {
+        // Cookie patterns may use the path attribute or text.
+        std::string p = std::string(sub->AttrOr("path", pattern));
+        ref.cookie_includes.push_back(std::move(p));
+      } else if (sub_name == "COOKIE-EXCLUDE") {
+        std::string p = std::string(sub->AttrOr("path", pattern));
+        ref.cookie_excludes.push_back(std::move(p));
+      } else if (sub_name == "METHOD" || sub_name == "HINT" ||
+                 sub_name == "EXTENSION") {
+        // Recognized but not modeled.
+      } else {
+        return Status::ParseError("unexpected element '" +
+                                  std::string(sub_name) + "' in POLICY-REF");
+      }
+    }
+    rf.refs.push_back(std::move(ref));
+  }
+  return rf;
+}
+
+Result<ReferenceFile> ReferenceFileFromText(std::string_view text) {
+  P3PDB_ASSIGN_OR_RETURN(xml::Document doc, xml::Parse(text));
+  return ReferenceFileFromXml(*doc.root);
+}
+
+std::unique_ptr<xml::Element> ReferenceFileToXml(const ReferenceFile& rf) {
+  auto root = std::make_unique<xml::Element>("META");
+  root->SetAttr("xmlns", "http://www.w3.org/2002/01/P3Pv1");
+  xml::Element* references = root->AddChild("POLICY-REFERENCES");
+  if (rf.expiry_max_age >= 0) {
+    references->AddChild("EXPIRY")->SetAttr(
+        "max-age", std::to_string(rf.expiry_max_age));
+  }
+  for (const PolicyRef& ref : rf.refs) {
+    xml::Element* r = references->AddChild("POLICY-REF");
+    r->SetAttr("about", ref.about);
+    for (const std::string& p : ref.includes) {
+      r->AddChild("INCLUDE")->set_text(p);
+    }
+    for (const std::string& p : ref.excludes) {
+      r->AddChild("EXCLUDE")->set_text(p);
+    }
+    for (const std::string& p : ref.cookie_includes) {
+      r->AddChild("COOKIE-INCLUDE")->SetAttr("path", p);
+    }
+    for (const std::string& p : ref.cookie_excludes) {
+      r->AddChild("COOKIE-EXCLUDE")->SetAttr("path", p);
+    }
+  }
+  return root;
+}
+
+std::string ReferenceFileToText(const ReferenceFile& rf) {
+  return xml::Write(*ReferenceFileToXml(rf));
+}
+
+}  // namespace p3pdb::p3p

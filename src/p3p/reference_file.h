@@ -1,0 +1,59 @@
+// P3P reference files (P3P 1.0 Recommendation §2.3-2.4; paper §2.3, §5.5).
+//
+// A site's reference file maps portions of its URI space to policies via
+// POLICY-REF elements carrying INCLUDE/EXCLUDE URI patterns ('*' wildcards).
+// Locating the applicable policy for a requested URI is the first step of
+// every preference check; in the server-centric architecture this lookup is
+// itself answered from shredded tables (Figure 16).
+
+#ifndef P3PDB_P3P_REFERENCE_FILE_H_
+#define P3PDB_P3P_REFERENCE_FILE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace p3pdb::p3p {
+
+/// One POLICY-REF element.
+struct PolicyRef {
+  std::string about;  // policy URI, e.g. "/P3P/policies.xml#shopping"
+  std::vector<std::string> includes;
+  std::vector<std::string> excludes;
+  std::vector<std::string> cookie_includes;
+  std::vector<std::string> cookie_excludes;
+};
+
+/// A parsed reference file (META / POLICY-REFERENCES).
+struct ReferenceFile {
+  std::vector<PolicyRef> refs;
+  /// Seconds from EXPIRY max-age; -1 when absent (spec default is 86400).
+  long expiry_max_age = -1;
+
+  /// Returns the `about` URI of the first POLICY-REF covering `local_path`
+  /// (spec §2.4.1: INCLUDEs match and no EXCLUDE matches; refs are tried in
+  /// document order). nullopt when no policy covers the path.
+  std::optional<std::string> PolicyForPath(std::string_view local_path) const;
+
+  /// Same, for a cookie's path using COOKIE-INCLUDE/COOKIE-EXCLUDE.
+  std::optional<std::string> PolicyForCookie(
+      std::string_view cookie_path) const;
+};
+
+/// '*' wildcard match over a URI local path (spec §2.4.2). An empty pattern
+/// matches nothing; "/*" matches everything under the root.
+bool UriPatternMatch(std::string_view pattern, std::string_view path);
+
+Result<ReferenceFile> ReferenceFileFromXml(const xml::Element& root);
+Result<ReferenceFile> ReferenceFileFromText(std::string_view text);
+std::unique_ptr<xml::Element> ReferenceFileToXml(const ReferenceFile& rf);
+std::string ReferenceFileToText(const ReferenceFile& rf);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_REFERENCE_FILE_H_

@@ -1,0 +1,99 @@
+#include "p3p/vocab.h"
+
+#include <algorithm>
+
+namespace p3pdb::p3p {
+
+namespace {
+
+constexpr std::string_view kPurposes[] = {
+    "current",         "admin",
+    "develop",         "tailoring",
+    "pseudo-analysis", "pseudo-decision",
+    "individual-analysis", "individual-decision",
+    "contact",         "historical",
+    "telemarketing",   "other-purpose",
+};
+
+constexpr std::string_view kRecipients[] = {
+    "ours", "delivery", "same", "other-recipient", "unrelated", "public",
+};
+
+constexpr std::string_view kRetentions[] = {
+    "no-retention",    "stated-purpose", "legal-requirement",
+    "business-practices", "indefinitely",
+};
+
+constexpr std::string_view kCategories[] = {
+    "physical",    "online",     "uniqueid",   "purchase",
+    "financial",   "computer",   "navigation", "interactive",
+    "demographic", "content",    "state",      "political",
+    "health",      "preference", "location",   "government",
+    "other-category",
+};
+
+constexpr std::string_view kRequiredValues[] = {"always", "opt-in", "opt-out"};
+
+constexpr std::string_view kAccessValues[] = {
+    "nonident",    "all",  "contact-and-other",
+    "ident-contact", "other-ident", "none",
+};
+
+constexpr std::string_view kDisputeResolutionTypes[] = {
+    "service", "independent", "court", "law",
+};
+
+bool Contains(std::span<const std::string_view> values, std::string_view v) {
+  return std::find(values.begin(), values.end(), v) != values.end();
+}
+
+}  // namespace
+
+std::span<const std::string_view> Purposes() { return kPurposes; }
+std::span<const std::string_view> Recipients() { return kRecipients; }
+std::span<const std::string_view> Retentions() { return kRetentions; }
+std::span<const std::string_view> Categories() { return kCategories; }
+std::span<const std::string_view> RequiredValues() { return kRequiredValues; }
+std::span<const std::string_view> AccessValues() { return kAccessValues; }
+std::span<const std::string_view> DisputeResolutionTypes() {
+  return kDisputeResolutionTypes;
+}
+
+bool IsValidPurpose(std::string_view v) { return Contains(kPurposes, v); }
+bool IsValidRecipient(std::string_view v) { return Contains(kRecipients, v); }
+bool IsValidRetention(std::string_view v) { return Contains(kRetentions, v); }
+bool IsValidCategory(std::string_view v) { return Contains(kCategories, v); }
+bool IsValidRequired(std::string_view v) {
+  return Contains(kRequiredValues, v);
+}
+bool IsValidAccess(std::string_view v) { return Contains(kAccessValues, v); }
+
+bool ParseRequired(std::string_view text, Required* out) {
+  if (text == "always") {
+    *out = Required::kAlways;
+    return true;
+  }
+  if (text == "opt-in") {
+    *out = Required::kOptIn;
+    return true;
+  }
+  if (text == "opt-out") {
+    *out = Required::kOptOut;
+    return true;
+  }
+  return false;
+}
+
+std::string_view RequiredToString(Required r) {
+  switch (r) {
+    case Required::kAlways:
+      return "always";
+    case Required::kOptIn:
+      return "opt-in";
+    case Required::kOptOut:
+      return "opt-out";
+  }
+  return "always";
+}
+
+}  // namespace p3pdb::p3p

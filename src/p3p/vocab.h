@@ -1,0 +1,58 @@
+// The fixed P3P 1.0 vocabulary (W3C Recommendation, 16 April 2002, §3.3).
+//
+// P3P predefines the value spaces for PURPOSE (12 values), RECIPIENT (6),
+// RETENTION (5), the data CATEGORIES, the `required` consent attribute, and
+// the ACCESS element. The shredders store these values as text; the
+// validators here are what the policy parser checks refs against.
+
+#ifndef P3PDB_P3P_VOCAB_H_
+#define P3PDB_P3P_VOCAB_H_
+
+#include <span>
+#include <string_view>
+
+namespace p3pdb::p3p {
+
+/// The 12 PURPOSE values (policy §3.3.4).
+std::span<const std::string_view> Purposes();
+
+/// The 6 RECIPIENT values (policy §3.3.5).
+std::span<const std::string_view> Recipients();
+
+/// The 5 RETENTION values (policy §3.3.6).
+std::span<const std::string_view> Retentions();
+
+/// The data CATEGORIES (policy §3.4.2; includes "other-category").
+std::span<const std::string_view> Categories();
+
+/// Values of the `required` attribute on PURPOSE/RECIPIENT subelements.
+std::span<const std::string_view> RequiredValues();
+
+/// Values of the ACCESS subelement (policy §3.2.5).
+std::span<const std::string_view> AccessValues();
+
+/// Values of the resolution-type attribute on DISPUTES (policy §3.2.6).
+std::span<const std::string_view> DisputeResolutionTypes();
+
+bool IsValidPurpose(std::string_view v);
+bool IsValidRecipient(std::string_view v);
+bool IsValidRetention(std::string_view v);
+bool IsValidCategory(std::string_view v);
+bool IsValidRequired(std::string_view v);
+bool IsValidAccess(std::string_view v);
+
+/// Consent level of the `required` attribute; the default when absent is
+/// kAlways (policy §3.3.4), the detail Jane's example in §2.2 of the paper
+/// hinges on.
+enum class Required { kAlways, kOptIn, kOptOut };
+
+constexpr std::string_view kRequiredDefault = "always";
+
+/// Parses a `required` value; fails on anything outside {always, opt-in,
+/// opt-out}.
+bool ParseRequired(std::string_view text, Required* out);
+std::string_view RequiredToString(Required r);
+
+}  // namespace p3pdb::p3p
+
+#endif  // P3PDB_P3P_VOCAB_H_

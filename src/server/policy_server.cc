@@ -1,0 +1,477 @@
+#include "server/policy_server.h"
+
+#include "common/string_util.h"
+#include "p3p/augment.h"
+#include "p3p/policy_xml.h"
+#include "sqldb/parser.h"
+#include "translator/applicable_policy.h"
+#include "translator/sql_optimized.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xquery/eval.h"
+#include "xquery/parser.h"
+#include "xquery/xtable.h"
+
+namespace p3pdb::server {
+
+using sqldb::QueryResult;
+using sqldb::Value;
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kNativeAppel:
+      return "native-appel";
+    case EngineKind::kSql:
+      return "sql";
+    case EngineKind::kSqlSimple:
+      return "sql-simple";
+    case EngineKind::kXQueryNative:
+      return "xquery-native";
+    case EngineKind::kXQueryXTable:
+      return "xquery-xtable";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr const char* kCatalogDdl = R"sql(
+CREATE TABLE PolicyCatalog (
+  policy_id INTEGER NOT NULL,
+  name VARCHAR(255) NOT NULL,
+  version INTEGER NOT NULL,
+  xml TEXT,
+  PRIMARY KEY (policy_id)
+);
+CREATE INDEX idx_catalog_name ON PolicyCatalog (name);
+CREATE TABLE MatchLog (
+  match_id INTEGER NOT NULL,
+  policy_id INTEGER NOT NULL,
+  behavior VARCHAR(32) NOT NULL,
+  fired_rule INTEGER NOT NULL,
+  PRIMARY KEY (match_id)
+);
+)sql";
+
+/// Resolves the fragment of a POLICY-REF `about` URI to a policy name:
+/// "/P3P/policies.xml#shopping" -> "shopping"; no fragment -> whole string.
+std::string AboutToPolicyName(std::string_view about) {
+  size_t hash = about.find('#');
+  if (hash == std::string_view::npos) return std::string(about);
+  return std::string(about.substr(hash + 1));
+}
+
+}  // namespace
+
+PolicyServer::PolicyServer(Options options)
+    : options_(options),
+      db_(sqldb::Database::Options{
+          .max_subquery_depth = options.max_subquery_depth,
+          .enforce_foreign_keys = true}),
+      native_engine_(appel::NativeEngine::Options{
+          .augment_per_match =
+              options.augmentation == Augmentation::kPerMatch}) {}
+
+Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(Options options) {
+  if (options.augmentation == Augmentation::kPerMatch &&
+      options.engine != EngineKind::kNativeAppel) {
+    return Status::InvalidArgument(
+        "per-match augmentation is only meaningful for the native APPEL "
+        "engine; SQL engines expand categories while shredding");
+  }
+  std::unique_ptr<PolicyServer> server(new PolicyServer(options));
+  P3PDB_RETURN_IF_ERROR(server->Init());
+  return server;
+}
+
+bool PolicyServer::UsesSqlMatching() const {
+  return options_.engine == EngineKind::kSql ||
+         options_.engine == EngineKind::kSqlSimple ||
+         options_.engine == EngineKind::kXQueryXTable;
+}
+
+bool PolicyServer::UsesSimpleSchema() const {
+  return options_.engine == EngineKind::kSqlSimple ||
+         options_.engine == EngineKind::kXQueryXTable;
+}
+
+Status PolicyServer::Init() {
+  P3PDB_RETURN_IF_ERROR(db_.ExecuteScript(kCatalogDdl));
+  if (UsesSqlMatching()) {
+    if (UsesSimpleSchema()) {
+      P3PDB_RETURN_IF_ERROR(shredder::InstallSimpleSchema(&db_));
+      simple_shredder_ = std::make_unique<shredder::SimpleShredder>(&db_);
+    } else {
+      P3PDB_RETURN_IF_ERROR(shredder::InstallOptimizedSchema(&db_));
+      optimized_shredder_ =
+          std::make_unique<shredder::OptimizedShredder>(&db_);
+    }
+    P3PDB_RETURN_IF_ERROR(shredder::InstallReferenceSchema(&db_));
+    reference_shredder_ = std::make_unique<shredder::ReferenceShredder>(&db_);
+    P3PDB_RETURN_IF_ERROR(
+        db_.ExecuteScript(translator::ApplicablePolicyDdl()));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P3PDB_RETURN_IF_ERROR(policy.Validate());
+  p3p::Policy canonical = p3p::Canonicalized(policy);
+  if (options_.augmentation == Augmentation::kAtInstall) {
+    p3p::AugmentPolicy(&canonical);
+  }
+
+  int64_t policy_id = -1;
+  if (UsesSqlMatching()) {
+    if (UsesSimpleSchema()) {
+      std::unique_ptr<xml::Element> dom = p3p::PolicyToXml(canonical);
+      P3PDB_ASSIGN_OR_RETURN(policy_id, simple_shredder_->ShredPolicy(*dom));
+    } else {
+      P3PDB_ASSIGN_OR_RETURN(policy_id,
+                             optimized_shredder_->ShredPolicy(canonical));
+    }
+  } else {
+    policy_id = static_cast<int64_t>(policy_ids_.size()) + 1;
+  }
+
+  // Evidence for the non-SQL engines: DOM for the XML-store variations and
+  // serialized text for the client-centric baseline, which re-parses it on
+  // every match. (The original, un-augmented text is kept in the catalog
+  // for PolicyXml retrieval.)
+  policy_dom_[policy_id] = p3p::PolicyToXml(canonical);
+  if (options_.engine == EngineKind::kNativeAppel) {
+    policy_text_[policy_id] = xml::Write(*policy_dom_[policy_id]);
+  }
+
+  const std::string name =
+      policy.name.empty() ? ("policy-" + std::to_string(policy_id))
+                          : policy.name;
+  int64_t version = PolicyVersionLocked(name) + 1;
+  P3PDB_RETURN_IF_ERROR(db_.InsertRow(
+      "PolicyCatalog",
+      {Value::Integer(policy_id), Value::Text(name), Value::Integer(version),
+       Value::Text(p3p::PolicyToText(policy))}));
+
+  policy_ids_.push_back(policy_id);
+  latest_policy_by_name_[name] = policy_id;
+  return policy_id;
+}
+
+Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Resolve about -> latest installed policy id by fragment name.
+  std::map<std::string, int64_t> resolution;
+  for (const p3p::PolicyRef& ref : rf.refs) {
+    auto it = latest_policy_by_name_.find(AboutToPolicyName(ref.about));
+    if (it != latest_policy_by_name_.end()) {
+      resolution[ref.about] = it->second;
+    }
+  }
+
+  if (UsesSqlMatching()) {
+    // Replace any previous reference data.
+    for (const char* table : {"Include", "Exclude", "CookieInclude",
+                              "CookieExclude", "Policyref", "Meta"}) {
+      auto cleared = db_.Execute(std::string("DELETE FROM ") + table);
+      if (!cleared.ok()) return cleared.status();
+    }
+    auto meta = reference_shredder_->ShredReferenceFile(rf, resolution);
+    if (!meta.ok()) return meta.status();
+  }
+  reference_file_ = rf;
+  has_reference_file_ = true;
+  return Status::OK();
+}
+
+Result<CompiledPreference> PolicyServer::CompilePreference(
+    const appel::AppelRuleset& ruleset) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P3PDB_RETURN_IF_ERROR(ruleset.Validate());
+  CompiledPreference pref;
+  pref.ruleset = ruleset;
+  switch (options_.engine) {
+    case EngineKind::kNativeAppel:
+      // No compilation in the client-centric model: the engine consumes
+      // the APPEL text itself on every match.
+      pref.appel_text = appel::RulesetToText(ruleset);
+      break;
+    case EngineKind::kSql: {
+      translator::OptimizedSqlTranslator translator;
+      P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
+      break;
+    }
+    case EngineKind::kSqlSimple: {
+      translator::SimpleSqlTranslator translator;
+      P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
+      break;
+    }
+    case EngineKind::kXQueryNative: {
+      xquery::AppelToXQueryTranslator translator;
+      P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
+                             translator.TranslateRuleset(ruleset));
+      for (const std::string& text : pref.xquery_text.rule_queries) {
+        P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
+        pref.xquery_asts.push_back(std::move(q));
+      }
+      break;
+    }
+    case EngineKind::kXQueryXTable: {
+      xquery::AppelToXQueryTranslator to_xq;
+      P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
+                             to_xq.TranslateRuleset(ruleset));
+      xquery::XTableTranslator to_sql;
+      for (const std::string& text : pref.xquery_text.rule_queries) {
+        // XTABLE consumes the XQuery *text*, so parse then translate —
+        // both conversions are part of this path's cost.
+        P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
+        P3PDB_ASSIGN_OR_RETURN(std::string sql, to_sql.TranslateQuery(q));
+        // Prepare-time validation, as DB2 would do: parse and bind the
+        // generated SQL, enforcing the statement complexity budget. This is
+        // where the deeply nested Medium translation fails (Figure 21).
+        P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<sqldb::Statement> stmt,
+                               sqldb::ParseStatement(sql));
+        if (stmt->kind == sqldb::StatementKind::kSelect) {
+          sqldb::Binder binder(db_, options_.max_subquery_depth);
+          P3PDB_RETURN_IF_ERROR(
+              binder.BindSelect(static_cast<sqldb::SelectStmt*>(stmt.get())));
+        }
+        pref.xtable_sql.push_back(std::move(sql));
+      }
+      break;
+    }
+  }
+  if (options_.use_prepared_statements) {
+    for (const std::string& sql : pref.sql.rule_queries) {
+      P3PDB_ASSIGN_OR_RETURN(sqldb::PreparedStatement stmt, db_.Prepare(sql));
+      pref.prepared_sql.push_back(std::move(stmt));
+    }
+    for (const std::string& sql : pref.xtable_sql) {
+      P3PDB_ASSIGN_OR_RETURN(sqldb::PreparedStatement stmt, db_.Prepare(sql));
+      pref.prepared_sql.push_back(std::move(stmt));
+    }
+  }
+  return pref;
+}
+
+Result<int64_t> PolicyServer::FindApplicablePolicyId(
+    std::string_view local_path, bool for_cookie) {
+  if (!has_reference_file_) {
+    return Status::InvalidArgument("no reference file installed");
+  }
+  if (UsesSqlMatching()) {
+    P3PDB_ASSIGN_OR_RETURN(
+        QueryResult result,
+        db_.Execute(
+            translator::ApplicablePolicyQuery(local_path, for_cookie)));
+    if (result.rows.empty()) return int64_t{-1};
+    return result.rows[0][0].AsInteger();
+  }
+  std::optional<std::string> about =
+      for_cookie ? reference_file_.PolicyForCookie(local_path)
+                 : reference_file_.PolicyForPath(local_path);
+  if (!about.has_value()) return int64_t{-1};
+  std::optional<int64_t> id = FindPolicyIdByAboutLocked(*about);
+  return id.has_value() ? *id : int64_t{-1};
+}
+
+std::optional<int64_t> PolicyServer::FindPolicyIdByAbout(
+    std::string_view about) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindPolicyIdByAboutLocked(about);
+}
+
+std::optional<int64_t> PolicyServer::FindPolicyIdByAboutLocked(
+    std::string_view about) const {
+  auto it = latest_policy_by_name_.find(AboutToPolicyName(about));
+  if (it == latest_policy_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status PolicyServer::MaterializeApplicablePolicy(int64_t policy_id) {
+  // A direct storage operation (not a SQL round-trip): this is server
+  // plumbing around the generated queries, equivalent to binding the
+  // one-row temporary table of the paper's Figure 13 preamble.
+  sqldb::Table* table =
+      db_.GetMutableTable(translator::kApplicablePolicyTable);
+  if (table == nullptr) {
+    return Status::Internal("ApplicablePolicy table missing");
+  }
+  for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
+    if (table->IsLive(row_id)) table->Delete(row_id);
+  }
+  return table->Insert({Value::Integer(policy_id)});
+}
+
+Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
+    const CompiledPreference& pref, int64_t policy_id) {
+  MatchResult result;
+  result.policy_id = policy_id;
+  result.behavior = appel::kDefaultBehavior;
+
+  switch (options_.engine) {
+    case EngineKind::kNativeAppel: {
+      auto it = policy_text_.find(policy_id);
+      if (it == policy_text_.end()) {
+        return Status::NotFound("policy id " + std::to_string(policy_id) +
+                                " not installed");
+      }
+      // The client-centric pipeline, per match: parse the policy XML the
+      // site served, parse the user's APPEL text, then evaluate (with the
+      // engine's per-match augmentation when so configured).
+      P3PDB_ASSIGN_OR_RETURN(xml::Document policy_doc,
+                             xml::Parse(it->second));
+      P3PDB_ASSIGN_OR_RETURN(appel::AppelRuleset ruleset,
+                             appel::RulesetFromText(pref.appel_text));
+      P3PDB_ASSIGN_OR_RETURN(
+          appel::MatchOutcome outcome,
+          native_engine_.Evaluate(ruleset, *policy_doc.root));
+      result.behavior = outcome.behavior;
+      result.fired_rule_index = outcome.fired_rule_index;
+      break;
+    }
+    case EngineKind::kSql:
+    case EngineKind::kSqlSimple: {
+      P3PDB_RETURN_IF_ERROR(MaterializeApplicablePolicy(policy_id));
+      const bool prepared = !pref.prepared_sql.empty();
+      const size_t rule_count = pref.sql.rule_queries.size();
+      for (size_t i = 0; i < rule_count; ++i) {
+        QueryResult rows;
+        if (prepared) {
+          P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute());
+        } else {
+          // Paper methodology: the SQL text is submitted to the database
+          // for every match; query time includes its prepare.
+          P3PDB_ASSIGN_OR_RETURN(rows, db_.Execute(pref.sql.rule_queries[i]));
+        }
+        if (!rows.rows.empty()) {
+          result.behavior = rows.rows[0][0].AsText();
+          result.fired_rule_index = static_cast<int>(i);
+          break;
+        }
+      }
+      break;
+    }
+    case EngineKind::kXQueryNative: {
+      auto it = policy_dom_.find(policy_id);
+      if (it == policy_dom_.end()) {
+        return Status::NotFound("policy id " + std::to_string(policy_id) +
+                                " not installed");
+      }
+      for (size_t i = 0; i < pref.xquery_asts.size(); ++i) {
+        P3PDB_ASSIGN_OR_RETURN(
+            bool fired, xquery::EvalQuery(pref.xquery_asts[i], *it->second));
+        if (fired) {
+          result.behavior = pref.xquery_text.behaviors[i];
+          result.fired_rule_index = static_cast<int>(i);
+          break;
+        }
+      }
+      break;
+    }
+    case EngineKind::kXQueryXTable: {
+      P3PDB_RETURN_IF_ERROR(MaterializeApplicablePolicy(policy_id));
+      for (size_t i = 0; i < pref.xtable_sql.size(); ++i) {
+        P3PDB_ASSIGN_OR_RETURN(QueryResult rows,
+                               db_.Execute(pref.xtable_sql[i]));
+        if (!rows.rows.empty()) {
+          result.behavior = rows.rows[0][0].AsText();
+          result.fired_rule_index = static_cast<int>(i);
+          break;
+        }
+      }
+      break;
+    }
+  }
+  if (options_.record_matches) {
+    P3PDB_RETURN_IF_ERROR(RecordMatch(result));
+  }
+  return result;
+}
+
+Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
+                                           std::string_view local_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P3PDB_ASSIGN_OR_RETURN(int64_t policy_id,
+                         FindApplicablePolicyId(local_path));
+  if (policy_id < 0) {
+    MatchResult result;
+    result.behavior = kNoPolicyBehavior;
+    result.policy_found = false;
+    return result;
+  }
+  return EvaluateAgainstCurrent(pref, policy_id);
+}
+
+Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
+                                              std::string_view cookie_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P3PDB_ASSIGN_OR_RETURN(
+      int64_t policy_id,
+      FindApplicablePolicyId(cookie_path, /*for_cookie=*/true));
+  if (policy_id < 0) {
+    MatchResult result;
+    result.behavior = kNoPolicyBehavior;
+    result.policy_found = false;
+    return result;
+  }
+  return EvaluateAgainstCurrent(pref, policy_id);
+}
+
+Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
+                                                int64_t policy_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (policy_dom_.find(policy_id) == policy_dom_.end()) {
+    return Status::NotFound("policy id " + std::to_string(policy_id) +
+                            " not installed");
+  }
+  return EvaluateAgainstCurrent(pref, policy_id);
+}
+
+Status PolicyServer::RecordMatch(const MatchResult& result) {
+  return db_.InsertRow(
+      "MatchLog",
+      {Value::Integer(next_match_id_++), Value::Integer(result.policy_id),
+       Value::Text(result.behavior),
+       Value::Integer(result.fired_rule_index)});
+}
+
+int64_t PolicyServer::PolicyVersion(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PolicyVersionLocked(name);
+}
+
+int64_t PolicyServer::PolicyVersionLocked(std::string_view name) {
+  auto result = db_.Execute(
+      "SELECT MAX(version) FROM PolicyCatalog WHERE name = " +
+      SqlQuote(name));
+  if (!result.ok() || result.value().rows.empty() ||
+      result.value().rows[0][0].is_null()) {
+    return 0;
+  }
+  return result.value().rows[0][0].AsInteger();
+}
+
+Result<std::string> PolicyServer::PolicyXml(std::string_view name,
+                                            int64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  P3PDB_ASSIGN_OR_RETURN(
+      QueryResult result,
+      db_.Execute("SELECT xml FROM PolicyCatalog WHERE name = " +
+                  SqlQuote(name) +
+                  " AND version = " + std::to_string(version)));
+  if (result.rows.empty()) {
+    return Status::NotFound("no version " + std::to_string(version) +
+                            " of policy '" + std::string(name) + "'");
+  }
+  return result.rows[0][0].AsText();
+}
+
+Result<sqldb::QueryResult> PolicyServer::ConflictReport() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return db_.Execute(
+      "SELECT policy_id, behavior, COUNT(*) AS matches FROM MatchLog "
+      "GROUP BY policy_id, behavior ORDER BY 1, 2");
+}
+
+}  // namespace p3pdb::server

@@ -1,0 +1,225 @@
+// PolicyServer: the server-centric P3P deployment of the paper's §4
+// (Figures 5 and 6).
+//
+// A web site installs its privacy policies (shredded into relational
+// tables, Figure 5) and its reference file; user preferences arrive as
+// APPEL, are compiled once into the engine's query form, and every page
+// request is checked by locating the applicable policy for the URI and
+// evaluating the compiled rules in order (Figure 6).
+//
+// Five engines cover the architecture matrix of Figure 7 and the three
+// variations of §4:
+//   kNativeAppel  — client-centric baseline: the JRC-style APPEL engine
+//                   matching against the policy DOM (specialized engine).
+//   kSql          — the proposed system: optimized schema + Figure 15 SQL.
+//   kSqlSimple    — pedagogical: Figure 8 schema + Figure 11 SQL.
+//   kXQueryNative — APPEL -> XQuery evaluated directly on the XML policy
+//                   (native XML store variation).
+//   kXQueryXTable — APPEL -> XQuery -> SQL over the simple schema
+//                   (XTABLE/XPERANTO variation).
+//
+// The server also demonstrates the §4.2 advantages: policy versioning in
+// the database, and conflict statistics that tell the site owner which
+// policies collide with users' preferences.
+//
+// Thread safety: all public methods are safe to call from multiple threads;
+// a single coarse mutex serializes them (matching mutates the materialized
+// ApplicablePolicy row and the executor statistics). At the paper's
+// workload scale a match costs tens of microseconds, so one server
+// sustains well over 10^4 checks/second serialized; sharding across
+// PolicyServer instances is the scale-out path.
+
+#ifndef P3PDB_SERVER_POLICY_SERVER_H_
+#define P3PDB_SERVER_POLICY_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "appel/engine.h"
+#include "appel/model.h"
+#include "common/result.h"
+#include "p3p/policy.h"
+#include "p3p/reference_file.h"
+#include "shredder/optimized_schema.h"
+#include "shredder/reference_schema.h"
+#include "shredder/simple_schema.h"
+#include "sqldb/database.h"
+#include "translator/sql_simple.h"
+#include "xml/node.h"
+#include "xquery/ast.h"
+#include "xquery/translate_appel.h"
+
+namespace p3pdb::server {
+
+enum class EngineKind {
+  kNativeAppel,
+  kSql,
+  kSqlSimple,
+  kXQueryNative,
+  kXQueryXTable,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Where category augmentation (base data schema expansion) happens.
+enum class Augmentation {
+  kAtInstall,  // once, while shredding/storing — the server-centric choice
+  kPerMatch,   // on every match — what the JRC client engine does
+  kNone,       // skipped entirely (ablation lower bound)
+};
+
+/// Behavior reported when no installed policy covers the requested URI.
+inline constexpr const char* kNoPolicyBehavior = "no-policy";
+
+/// Result of checking one preference against one request.
+struct MatchResult {
+  std::string behavior;        // fired rule's behavior, or "block" default
+  int64_t policy_id = -1;      // applicable policy; -1 when none covered
+  int fired_rule_index = -1;   // -1 = default behavior
+  bool policy_found = true;    // false when no policy covers the URI
+};
+
+/// A preference compiled for a particular engine. Obtain via
+/// PolicyServer::CompilePreference; reusable across many matches (the
+/// paper's "conversion time" is the cost of building this).
+struct CompiledPreference {
+  appel::AppelRuleset ruleset;               // always retained
+  std::string appel_text;                    // kNativeAppel: the client
+                                             // engine re-parses this per
+                                             // match, as the JRC engine did
+  translator::SqlRuleset sql;                // kSql / kSqlSimple
+  std::vector<sqldb::PreparedStatement> prepared_sql;  // bound rule queries
+  xquery::XQueryRuleset xquery_text;         // kXQuery*
+  std::vector<xquery::Query> xquery_asts;    // kXQueryNative
+  std::vector<std::string> xtable_sql;       // kXQueryXTable
+};
+
+class PolicyServer {
+ public:
+  struct Options {
+    EngineKind engine = EngineKind::kSql;
+    Augmentation augmentation = Augmentation::kAtInstall;
+    /// Statement complexity budget of the underlying database (models the
+    /// fixed budget that made DB2 reject XTABLE's Medium translation).
+    int max_subquery_depth = 32;
+    /// Log every match into the MatchLog table for site-owner analytics.
+    bool record_matches = false;
+    /// Bind the translated rule queries once at CompilePreference time and
+    /// reuse them across matches. Off by default to mirror the paper's
+    /// methodology (SQL text was submitted to DB2 for every match, and
+    /// "query time" includes the database's prepare); turning it on is the
+    /// modern deployment choice and cuts match latency further.
+    bool use_prepared_statements = false;
+  };
+
+  /// Creates a server and installs the engine's schemas.
+  static Result<std::unique_ptr<PolicyServer>> Create(Options options);
+
+  PolicyServer(const PolicyServer&) = delete;
+  PolicyServer& operator=(const PolicyServer&) = delete;
+
+  /// Installs (a new version of) a policy. Policies are keyed by their
+  /// `name`; re-installing a name creates the next version and future
+  /// reference-file resolutions pick it up. Returns the policy id.
+  Result<int64_t> InstallPolicy(const p3p::Policy& policy);
+
+  /// Installs the site's reference file (replacing any previous one).
+  /// POLICY-REF `about` fragments are resolved against installed policy
+  /// names.
+  Status InstallReferenceFile(const p3p::ReferenceFile& rf);
+
+  /// Compiles an APPEL preference for this server's engine. For the SQL
+  /// engines this is the paper's "conversion" step: translation plus
+  /// statement preparation; matches then pay execution cost only.
+  Result<CompiledPreference> CompilePreference(
+      const appel::AppelRuleset& ruleset);
+
+  /// Full pipeline: locate the applicable policy for the URI local path,
+  /// then evaluate the compiled preference against it.
+  Result<MatchResult> MatchUri(const CompiledPreference& pref,
+                               std::string_view local_path);
+
+  /// Like MatchUri, but resolves the URI of a cookie via the reference
+  /// file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns (§5.5).
+  Result<MatchResult> MatchCookie(const CompiledPreference& pref,
+                                  std::string_view cookie_path);
+
+  /// Evaluates the compiled preference against one installed policy
+  /// (the paper's experiments match each preference against every policy).
+  Result<MatchResult> MatchPolicyId(const CompiledPreference& pref,
+                                    int64_t policy_id);
+
+  /// Resolves a POLICY-REF `about` URI (by its fragment name) to the
+  /// latest installed policy id; nullopt when unknown. Used by the hybrid
+  /// client to pre-resolve its cached reference file.
+  std::optional<int64_t> FindPolicyIdByAbout(std::string_view about) const;
+
+  // -- §4.2 extras ---------------------------------------------------------
+
+  /// Latest version number of a named policy (0 if not installed).
+  int64_t PolicyVersion(std::string_view name);
+
+  /// XML text of a specific installed version (NotFound if absent).
+  Result<std::string> PolicyXml(std::string_view name, int64_t version);
+
+  /// Per-policy behavior counts from the MatchLog — what a site owner
+  /// would study to refine a conflicting policy. Rows:
+  /// (policy_id, behavior, matches).
+  Result<sqldb::QueryResult> ConflictReport();
+
+  /// Ids of installed policies, in install order.
+  const std::vector<int64_t>& policy_ids() const { return policy_ids_; }
+
+  /// The underlying database (for examples, tests, and stats).
+  sqldb::Database* database() { return &db_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  explicit PolicyServer(Options options);
+
+  Status Init();
+  bool UsesSqlMatching() const;
+  bool UsesSimpleSchema() const;
+  Result<int64_t> FindApplicablePolicyId(std::string_view local_path,
+                                         bool for_cookie = false);
+  Status MaterializeApplicablePolicy(int64_t policy_id);
+  Result<MatchResult> EvaluateAgainstCurrent(const CompiledPreference& pref,
+                                             int64_t policy_id);
+  Status RecordMatch(const MatchResult& result);
+
+  int64_t PolicyVersionLocked(std::string_view name);
+  std::optional<int64_t> FindPolicyIdByAboutLocked(
+      std::string_view about) const;
+
+  Options options_;
+  // Coarse-grained: public methods lock, private *Locked helpers assume it.
+  mutable std::mutex mu_;
+  sqldb::Database db_;
+  appel::NativeEngine native_engine_;
+
+  // Native-evidence store: the policy DOM each non-SQL engine evaluates,
+  // plus the serialized text the client-centric baseline re-parses per
+  // match (a client receives policy XML over the wire, it does not share
+  // the site's DOM).
+  std::map<int64_t, std::unique_ptr<xml::Element>> policy_dom_;
+  std::map<int64_t, std::string> policy_text_;
+  std::vector<int64_t> policy_ids_;
+  std::map<std::string, int64_t, std::less<>> latest_policy_by_name_;
+  p3p::ReferenceFile reference_file_;  // native-path URI resolution
+  bool has_reference_file_ = false;
+
+  // Shredders own their id sequences; ids are unique per server.
+  std::unique_ptr<shredder::SimpleShredder> simple_shredder_;
+  std::unique_ptr<shredder::OptimizedShredder> optimized_shredder_;
+  std::unique_ptr<shredder::ReferenceShredder> reference_shredder_;
+  int64_t next_match_id_ = 1;
+};
+
+}  // namespace p3pdb::server
+
+#endif  // P3PDB_SERVER_POLICY_SERVER_H_

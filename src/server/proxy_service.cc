@@ -1,0 +1,89 @@
+#include "server/proxy_service.h"
+
+namespace p3pdb::server {
+
+Result<PolicyServer*> ProxyService::AddSite(std::string host) {
+  if (host.empty()) {
+    return Status::InvalidArgument("empty host");
+  }
+  if (sites_.find(host) != sites_.end()) {
+    return Status::AlreadyExists("site '" + host + "' already registered");
+  }
+  P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<PolicyServer> server,
+                         PolicyServer::Create(site_options_));
+  Site site;
+  site.server = std::move(server);
+  PolicyServer* raw = site.server.get();
+  sites_.emplace(std::move(host), std::move(site));
+  return raw;
+}
+
+PolicyServer* ProxyService::GetSite(std::string_view host) {
+  auto it = sites_.find(host);
+  return it == sites_.end() ? nullptr : it->second.server.get();
+}
+
+Status ProxyService::Subscribe(std::string user,
+                               const appel::AppelRuleset& preference) {
+  P3PDB_RETURN_IF_ERROR(preference.Validate());
+  // A changed preference invalidates every cached compilation.
+  for (auto& [host, site] : sites_) {
+    site.compiled.erase(user);
+  }
+  users_[std::move(user)] = preference;
+  return Status::OK();
+}
+
+Status ProxyService::Unsubscribe(std::string_view user) {
+  auto it = users_.find(user);
+  if (it == users_.end()) {
+    return Status::NotFound("no subscriber '" + std::string(user) + "'");
+  }
+  users_.erase(it);
+  for (auto& [host, site] : sites_) {
+    site.compiled.erase(std::string(user));
+  }
+  return Status::OK();
+}
+
+Result<const CompiledPreference*> ProxyService::CompiledFor(
+    std::string_view user, Site* site) {
+  auto cached = site->compiled.find(user);
+  if (cached != site->compiled.end()) return &cached->second;
+  auto account = users_.find(user);
+  if (account == users_.end()) {
+    return Status::NotFound("no subscriber '" + std::string(user) + "'");
+  }
+  P3PDB_ASSIGN_OR_RETURN(CompiledPreference compiled,
+                         site->server->CompilePreference(account->second));
+  auto [it, inserted] =
+      site->compiled.emplace(std::string(user), std::move(compiled));
+  (void)inserted;
+  return &it->second;
+}
+
+Result<MatchResult> ProxyService::HandleRequest(std::string_view user,
+                                                std::string_view host,
+                                                std::string_view path) {
+  auto site_it = sites_.find(host);
+  if (site_it == sites_.end()) {
+    return Status::NotFound("no site '" + std::string(host) + "'");
+  }
+  P3PDB_ASSIGN_OR_RETURN(const CompiledPreference* pref,
+                         CompiledFor(user, &site_it->second));
+  return site_it->second.server->MatchUri(*pref, path);
+}
+
+Result<MatchResult> ProxyService::HandleCookie(std::string_view user,
+                                               std::string_view host,
+                                               std::string_view cookie_path) {
+  auto site_it = sites_.find(host);
+  if (site_it == sites_.end()) {
+    return Status::NotFound("no site '" + std::string(host) + "'");
+  }
+  P3PDB_ASSIGN_OR_RETURN(const CompiledPreference* pref,
+                         CompiledFor(user, &site_it->second));
+  return site_it->second.server->MatchCookie(*pref, cookie_path);
+}
+
+}  // namespace p3pdb::server

@@ -1,0 +1,82 @@
+// A centralized P3P checking proxy, modeled on the JRC P3P Proxy the paper
+// describes in §3.3: "a centralized proxy service that conducts P3P privacy
+// policy checking on behalf of subscribed users. A user can specify her
+// APPEL preference for her account ... her further browsing requests are
+// redirected to the proxy service," which matches policy against preference
+// and acts for the user.
+//
+// Here the proxy is built on the server-centric machinery: it hosts one
+// PolicyServer per site, keeps each subscriber's APPEL preference, compiles
+// it lazily per site (the compiled form is engine-specific), and answers
+// HandleRequest(user, host, path) with the user's decision for that page.
+
+#ifndef P3PDB_SERVER_PROXY_SERVICE_H_
+#define P3PDB_SERVER_PROXY_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "appel/model.h"
+#include "server/policy_server.h"
+
+namespace p3pdb::server {
+
+class ProxyService {
+ public:
+  /// `site_options` configures every hosted site's engine (the proxy is a
+  /// single deployment; all sites share the engine choice).
+  ProxyService() : ProxyService(PolicyServer::Options{}) {}
+  explicit ProxyService(PolicyServer::Options site_options)
+      : site_options_(site_options) {}
+
+  ProxyService(const ProxyService&) = delete;
+  ProxyService& operator=(const ProxyService&) = delete;
+
+  /// Registers a site and returns its PolicyServer so the caller can
+  /// install policies and the reference file. Fails if the host exists.
+  Result<PolicyServer*> AddSite(std::string host);
+
+  /// The site's server, or nullptr.
+  PolicyServer* GetSite(std::string_view host);
+
+  /// Creates or replaces a user's account preference. Replacing drops the
+  /// user's cached compiled forms (the preference changed).
+  Status Subscribe(std::string user, const appel::AppelRuleset& preference);
+
+  Status Unsubscribe(std::string_view user);
+
+  /// Full proxy pipeline for one browsing request: find the site, compile
+  /// the user's preference for it (cached), locate the applicable policy
+  /// for the path, evaluate. NotFound for unknown host or user.
+  Result<MatchResult> HandleRequest(std::string_view user,
+                                    std::string_view host,
+                                    std::string_view path);
+
+  /// Cookie variant of HandleRequest.
+  Result<MatchResult> HandleCookie(std::string_view user,
+                                   std::string_view host,
+                                   std::string_view cookie_path);
+
+  size_t site_count() const { return sites_.size(); }
+  size_t user_count() const { return users_.size(); }
+
+ private:
+  struct Site {
+    std::unique_ptr<PolicyServer> server;
+    // user -> preference compiled for this site's engine
+    std::map<std::string, CompiledPreference, std::less<>> compiled;
+  };
+
+  Result<const CompiledPreference*> CompiledFor(std::string_view user,
+                                                Site* site);
+
+  PolicyServer::Options site_options_;
+  std::map<std::string, Site, std::less<>> sites_;
+  std::map<std::string, appel::AppelRuleset, std::less<>> users_;
+};
+
+}  // namespace p3pdb::server
+
+#endif  // P3PDB_SERVER_PROXY_SERVICE_H_

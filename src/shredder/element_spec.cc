@@ -1,0 +1,122 @@
+#include "shredder/element_spec.h"
+
+#include "p3p/vocab.h"
+
+namespace p3pdb::shredder {
+
+std::string ElementToTableName(std::string_view element_name) {
+  std::string out;
+  bool upper_next = true;
+  for (char c : element_name) {
+    if (c == '-') {
+      upper_next = true;
+      continue;
+    }
+    if (upper_next) {
+      out.push_back(c >= 'a' && c <= 'z' ? static_cast<char>(c - 'a' + 'A')
+                                         : c);
+      upper_next = false;
+    } else {
+      out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a')
+                                         : c);
+    }
+  }
+  return out;
+}
+
+std::string ElementToIdColumn(std::string_view element_name) {
+  std::string out;
+  for (char c : element_name) {
+    if (c == '-') continue;
+    out.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c);
+  }
+  out += "_id";
+  return out;
+}
+
+ElementSpec::ElementSpec(std::string element_name,
+                         std::vector<AttributeSpec> attributes,
+                         bool capture_text, std::string table_override)
+    : element_name_(std::move(element_name)),
+      table_name_(table_override.empty() ? ElementToTableName(element_name_)
+                                         : std::move(table_override)),
+      id_column_(ElementToIdColumn(table_name_)),
+      attributes_(std::move(attributes)),
+      capture_text_(capture_text) {}
+
+ElementSpec* ElementSpec::AddChild(std::string element_name,
+                                   std::vector<AttributeSpec> attributes,
+                                   bool capture_text,
+                                   std::string table_override) {
+  children_.push_back(std::make_unique<ElementSpec>(
+      std::move(element_name), std::move(attributes), capture_text,
+      std::move(table_override)));
+  return children_.back().get();
+}
+
+const ElementSpec* ElementSpec::FindChild(
+    std::string_view element_name) const {
+  for (const auto& child : children_) {
+    if (child->element_name() == element_name) return child.get();
+  }
+  return nullptr;
+}
+
+size_t ElementSpec::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& child : children_) n += child->SubtreeSize();
+  return n;
+}
+
+const ElementSpec& PolicyElementSpec() {
+  static const ElementSpec* spec = [] {
+    auto* policy = new ElementSpec(
+        "POLICY",
+        {AttributeSpec{"name", "name", ""},
+         AttributeSpec{"discuri", "discuri", ""},
+         AttributeSpec{"opturi", "opturi", ""}},
+        /*capture_text=*/false);
+
+    ElementSpec* access = policy->AddChild("ACCESS");
+    for (std::string_view v : p3p::AccessValues()) {
+      access->AddChild(std::string(v), {}, false,
+                       "Access" + ElementToTableName(v));
+    }
+
+    ElementSpec* statement = policy->AddChild("STATEMENT");
+    statement->AddChild("CONSEQUENCE", {}, /*capture_text=*/true);
+
+    ElementSpec* purpose = statement->AddChild("PURPOSE");
+    for (std::string_view v : p3p::Purposes()) {
+      purpose->AddChild(std::string(v),
+                        {AttributeSpec{"required", "required", "always"}});
+    }
+    purpose->AddChild("extension", {}, false, "PurposeExtension");
+
+    ElementSpec* recipient = statement->AddChild("RECIPIENT");
+    for (std::string_view v : p3p::Recipients()) {
+      recipient->AddChild(std::string(v),
+                          {AttributeSpec{"required", "required", "always"}});
+    }
+    recipient->AddChild("extension", {}, false, "RecipientExtension");
+
+    ElementSpec* retention = statement->AddChild("RETENTION");
+    for (std::string_view v : p3p::Retentions()) {
+      retention->AddChild(std::string(v));
+    }
+
+    ElementSpec* data_group = statement->AddChild(
+        "DATA-GROUP", {AttributeSpec{"base", "base", ""}});
+    ElementSpec* data = data_group->AddChild(
+        "DATA", {AttributeSpec{"ref", "ref", "", /*is_data_ref=*/true},
+                 AttributeSpec{"optional", "optional", "no"}});
+    ElementSpec* categories = data->AddChild("CATEGORIES");
+    for (std::string_view v : p3p::Categories()) {
+      categories->AddChild(std::string(v));
+    }
+    return policy;
+  }();
+  return *spec;
+}
+
+}  // namespace p3pdb::shredder

@@ -1,0 +1,88 @@
+// Declarative description of the P3P policy element hierarchy.
+//
+// The schema-decomposition algorithm of the paper's Figure 8 is generic: it
+// walks "each element e defined in the P3P policy [schema]" and emits one
+// table per element. This file supplies that schema walk: an ElementSpec
+// tree covering the matching-relevant part of a P3P policy — POLICY,
+// STATEMENT, CONSEQUENCE, PURPOSE and its 12 value elements, RECIPIENT and
+// its 6, RETENTION and its 5, DATA-GROUP, DATA, CATEGORIES and the category
+// value elements (49 tables in total).
+//
+// Attribute defaults are recorded so the shredder stores *effective* values
+// (an absent required attribute is stored as "always"), mirroring how the
+// paper's system resolves defaults at shred time rather than query time.
+
+#ifndef P3PDB_SHREDDER_ELEMENT_SPEC_H_
+#define P3PDB_SHREDDER_ELEMENT_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p3pdb::shredder {
+
+/// An attribute captured as a column.
+struct AttributeSpec {
+  std::string name;           // XML attribute name
+  std::string column;         // column name (hyphens become underscores)
+  std::string default_value;  // effective default; empty = nullable, no default
+  /// Data-reference attributes are stored normalized ("#user.name" ->
+  /// "user.name"), another piece of the shred-time expansion that lets the
+  /// generated queries compare stored values directly.
+  bool is_data_ref = false;
+};
+
+/// One element of the P3P schema tree.
+class ElementSpec {
+ public:
+  /// `table_override` names the table explicitly when the default mapping
+  /// would collide (EXTENSION appears under both PURPOSE and RECIPIENT).
+  ElementSpec(std::string element_name, std::vector<AttributeSpec> attributes,
+              bool capture_text, std::string table_override = "");
+
+  const std::string& element_name() const { return element_name_; }
+  /// SQL table name per Figure 8(a): derived from the element name
+  /// ("DATA-GROUP" -> "DataGroup", "individual-decision" ->
+  /// "IndividualDecision").
+  const std::string& table_name() const { return table_name_; }
+  /// Id column per Figure 8(b)(i): element name + "_id" ("datagroup_id").
+  const std::string& id_column() const { return id_column_; }
+
+  const std::vector<AttributeSpec>& attributes() const { return attributes_; }
+  bool capture_text() const { return capture_text_; }
+
+  const std::vector<std::unique_ptr<ElementSpec>>& children() const {
+    return children_;
+  }
+  ElementSpec* AddChild(std::string element_name,
+                        std::vector<AttributeSpec> attributes = {},
+                        bool capture_text = false,
+                        std::string table_override = "");
+
+  const ElementSpec* FindChild(std::string_view element_name) const;
+
+  /// Elements in this subtree (== tables Figure 8 creates for it).
+  size_t SubtreeSize() const;
+
+ private:
+  std::string element_name_;
+  std::string table_name_;
+  std::string id_column_;
+  std::vector<AttributeSpec> attributes_;
+  bool capture_text_;
+  std::vector<std::unique_ptr<ElementSpec>> children_;
+};
+
+/// The singleton spec tree rooted at POLICY.
+const ElementSpec& PolicyElementSpec();
+
+/// "DATA-GROUP" -> "DataGroup"; "individual-decision" -> "IndividualDecision".
+std::string ElementToTableName(std::string_view element_name);
+
+/// "DATA-GROUP" -> "datagroup_id".
+std::string ElementToIdColumn(std::string_view element_name);
+
+}  // namespace p3pdb::shredder
+
+#endif  // P3PDB_SHREDDER_ELEMENT_SPEC_H_

@@ -1,0 +1,138 @@
+#include "shredder/optimized_schema.h"
+
+#include "p3p/vocab.h"
+
+namespace p3pdb::shredder {
+
+namespace {
+
+using sqldb::Value;
+
+constexpr const char* kOptimizedDdl = R"sql(
+CREATE TABLE Policy (
+  policy_id INTEGER NOT NULL,
+  name VARCHAR(255),
+  discuri VARCHAR(255),
+  opturi VARCHAR(255),
+  access VARCHAR(32),
+  PRIMARY KEY (policy_id)
+);
+CREATE TABLE Statement (
+  policy_id INTEGER NOT NULL,
+  statement_id INTEGER NOT NULL,
+  consequence VARCHAR(1024),
+  retention VARCHAR(32),
+  non_identifiable INTEGER NOT NULL,
+  PRIMARY KEY (policy_id, statement_id),
+  FOREIGN KEY (policy_id) REFERENCES Policy (policy_id)
+);
+CREATE TABLE Purpose (
+  policy_id INTEGER NOT NULL,
+  statement_id INTEGER NOT NULL,
+  purpose VARCHAR(32) NOT NULL,
+  required VARCHAR(16) NOT NULL,
+  PRIMARY KEY (policy_id, statement_id, purpose),
+  FOREIGN KEY (policy_id, statement_id)
+    REFERENCES Statement (policy_id, statement_id)
+);
+CREATE TABLE Recipient (
+  policy_id INTEGER NOT NULL,
+  statement_id INTEGER NOT NULL,
+  recipient VARCHAR(32) NOT NULL,
+  required VARCHAR(16) NOT NULL,
+  PRIMARY KEY (policy_id, statement_id, recipient),
+  FOREIGN KEY (policy_id, statement_id)
+    REFERENCES Statement (policy_id, statement_id)
+);
+CREATE TABLE Data (
+  policy_id INTEGER NOT NULL,
+  statement_id INTEGER NOT NULL,
+  data_id INTEGER NOT NULL,
+  ref VARCHAR(255) NOT NULL,
+  optional VARCHAR(8) NOT NULL,
+  base VARCHAR(255),
+  PRIMARY KEY (policy_id, statement_id, data_id),
+  FOREIGN KEY (policy_id, statement_id)
+    REFERENCES Statement (policy_id, statement_id)
+);
+CREATE TABLE Categories (
+  policy_id INTEGER NOT NULL,
+  statement_id INTEGER NOT NULL,
+  data_id INTEGER NOT NULL,
+  category VARCHAR(32) NOT NULL,
+  PRIMARY KEY (policy_id, statement_id, data_id, category),
+  FOREIGN KEY (policy_id, statement_id, data_id)
+    REFERENCES Data (policy_id, statement_id, data_id)
+);
+CREATE INDEX idx_statement_policy ON Statement (policy_id);
+CREATE INDEX idx_purpose_stmt ON Purpose (policy_id, statement_id);
+CREATE INDEX idx_recipient_stmt ON Recipient (policy_id, statement_id);
+CREATE INDEX idx_data_stmt ON Data (policy_id, statement_id);
+CREATE INDEX idx_categories_data ON Categories (policy_id, statement_id, data_id);
+)sql";
+
+}  // namespace
+
+Status InstallOptimizedSchema(sqldb::Database* db) {
+  return db->ExecuteScript(kOptimizedDdl);
+}
+
+Result<int64_t> OptimizedShredder::ShredPolicy(const p3p::Policy& policy) {
+  const int64_t policy_id = next_policy_id_++;
+
+  P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+      "Policy",
+      {Value::Integer(policy_id),
+       policy.name.empty() ? Value::Null() : Value::Text(policy.name),
+       policy.discuri.empty() ? Value::Null() : Value::Text(policy.discuri),
+       policy.opturi.empty() ? Value::Null() : Value::Text(policy.opturi),
+       policy.access.empty() ? Value::Null() : Value::Text(policy.access)}));
+
+  int64_t statement_id = 0;
+  for (const p3p::PolicyStatement& stmt : policy.statements) {
+    ++statement_id;
+    P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+        "Statement",
+        {Value::Integer(policy_id), Value::Integer(statement_id),
+         stmt.consequence.empty() ? Value::Null()
+                                  : Value::Text(stmt.consequence),
+         stmt.retention.empty() ? Value::Null() : Value::Text(stmt.retention),
+         Value::Integer(stmt.non_identifiable ? 1 : 0)}));
+
+    for (const p3p::PurposeItem& p : stmt.purposes) {
+      P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+          "Purpose",
+          {Value::Integer(policy_id), Value::Integer(statement_id),
+           Value::Text(p.value),
+           Value::Text(std::string(p3p::RequiredToString(p.required)))}));
+    }
+    for (const p3p::RecipientItem& r : stmt.recipients) {
+      P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+          "Recipient",
+          {Value::Integer(policy_id), Value::Integer(statement_id),
+           Value::Text(r.value),
+           Value::Text(std::string(p3p::RequiredToString(r.required)))}));
+    }
+    int64_t data_id = 0;
+    for (const p3p::DataGroup& group : stmt.data_groups) {
+      for (const p3p::DataItem& item : group.items) {
+        ++data_id;
+        P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+            "Data", {Value::Integer(policy_id), Value::Integer(statement_id),
+                     Value::Integer(data_id), Value::Text(item.ref),
+                     Value::Text(item.optional ? "yes" : "no"),
+                     group.base.empty() ? Value::Null()
+                                        : Value::Text(group.base)}));
+        for (const std::string& category : item.categories) {
+          P3PDB_RETURN_IF_ERROR(db_->InsertRow(
+              "Categories",
+              {Value::Integer(policy_id), Value::Integer(statement_id),
+               Value::Integer(data_id), Value::Text(category)}));
+        }
+      }
+    }
+  }
+  return policy_id;
+}
+
+}  // namespace p3pdb::shredder

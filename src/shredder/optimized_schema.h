@@ -1,0 +1,48 @@
+// The optimized relational schema of the paper's Figure 14, and its
+// populator.
+//
+// Optimizations over the Figure 8 schema (paper §5.4):
+//  - Vocabulary subelements of PURPOSE / RECIPIENT / CATEGORIES are folded
+//    into their parent table as value columns ("purpose", "recipient",
+//    "category"), together with their `required` attribute.
+//  - PURPOSE and RECIPIENT lose their id column (at most one per STATEMENT),
+//    so (policy_id, statement_id, value) is the key.
+//  - RETENTION's single value is stored with the grand-parent STATEMENT.
+//  - CONSEQUENCE becomes a nullable `consequence` column of Statement.
+//  - DATA-GROUP is folded into Data (its `base` attribute travels along).
+//
+// Six tables: Policy, Statement, Purpose, Recipient, Data, Categories.
+
+#ifndef P3PDB_SHREDDER_OPTIMIZED_SCHEMA_H_
+#define P3PDB_SHREDDER_OPTIMIZED_SCHEMA_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "p3p/policy.h"
+#include "sqldb/database.h"
+
+namespace p3pdb::shredder {
+
+/// Creates the six optimized tables plus FK indexes in `db`.
+Status InstallOptimizedSchema(sqldb::Database* db);
+
+/// Populates the optimized tables from validated Policy models.
+class OptimizedShredder {
+ public:
+  explicit OptimizedShredder(sqldb::Database* db) : db_(db) {}
+
+  /// Shreds one policy; returns its assigned policy id. The caller chooses
+  /// whether to run category augmentation first (the server-centric install
+  /// path does — that is the shred-time expansion the paper credits for the
+  /// SQL path's match-time advantage).
+  Result<int64_t> ShredPolicy(const p3p::Policy& policy);
+
+ private:
+  sqldb::Database* db_;
+  int64_t next_policy_id_ = 1;
+};
+
+}  // namespace p3pdb::shredder
+
+#endif  // P3PDB_SHREDDER_OPTIMIZED_SCHEMA_H_

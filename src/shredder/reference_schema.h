@@ -1,0 +1,52 @@
+// Tables for the P3P reference file (paper §5.5, Figure 16) and their
+// populator.
+//
+// META is the top-level element; Policyref rows map a policy (`about` URI,
+// resolved to the installed policy's id) to the URI space described by
+// Include/Exclude rows; cookie policies use CookieInclude/CookieExclude.
+// URI patterns are converted from P3P '*' wildcards to SQL LIKE patterns at
+// shred time, so the applicablePolicy() subquery (translator module) can
+// evaluate coverage with plain LIKE predicates.
+
+#ifndef P3PDB_SHREDDER_REFERENCE_SCHEMA_H_
+#define P3PDB_SHREDDER_REFERENCE_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "p3p/reference_file.h"
+#include "sqldb/database.h"
+
+namespace p3pdb::shredder {
+
+/// Creates Meta, Policyref, Include, Exclude, CookieInclude, CookieExclude.
+/// Requires the Policy table (either schema) to exist already — Policyref
+/// carries a foreign key to it.
+Status InstallReferenceSchema(sqldb::Database* db);
+
+/// Converts a P3P URI pattern ('*' wildcard) into a SQL LIKE pattern,
+/// escaping literal '%', '_' and '\' with '\'.
+std::string UriPatternToLike(std::string_view pattern);
+
+/// Populates the reference tables from a parsed reference file.
+/// `policy_ids` resolves POLICY-REF `about` URIs to installed policy ids;
+/// unresolved refs are stored with a NULL policy_id.
+class ReferenceShredder {
+ public:
+  explicit ReferenceShredder(sqldb::Database* db) : db_(db) {}
+
+  Result<int64_t> ShredReferenceFile(
+      const p3p::ReferenceFile& rf,
+      const std::map<std::string, int64_t>& policy_ids);
+
+ private:
+  sqldb::Database* db_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace p3pdb::shredder
+
+#endif  // P3PDB_SHREDDER_REFERENCE_SCHEMA_H_

@@ -1,0 +1,139 @@
+#include "shredder/simple_schema.h"
+
+#include "p3p/data_schema.h"
+
+namespace p3pdb::shredder {
+
+namespace {
+
+using sqldb::ColumnDef;
+using sqldb::ColumnType;
+using sqldb::ForeignKeyDef;
+using sqldb::TableSchema;
+using sqldb::Value;
+
+/// Figure 8, applied to one element: id column, parent-PK foreign key,
+/// attribute columns; PK = id + FK. `parent_pk` lists the parent's primary
+/// key columns (own id first), empty for the root.
+void GenerateFor(const ElementSpec& spec, const std::string& parent_table,
+                 const std::vector<std::string>& parent_pk,
+                 GeneratedSchema* out) {
+  std::vector<ColumnDef> columns;
+  columns.push_back(
+      ColumnDef{spec.id_column(), ColumnType::kInteger, /*nullable=*/false});
+  for (const std::string& col : parent_pk) {
+    columns.push_back(ColumnDef{col, ColumnType::kInteger, false});
+  }
+  for (const AttributeSpec& attr : spec.attributes()) {
+    columns.push_back(ColumnDef{attr.column, ColumnType::kText, true});
+  }
+  if (spec.capture_text()) {
+    columns.push_back(ColumnDef{"content", ColumnType::kText, true});
+  }
+
+  TableSchema table(spec.table_name(), std::move(columns));
+  std::vector<std::string> pk;
+  pk.push_back(spec.id_column());
+  pk.insert(pk.end(), parent_pk.begin(), parent_pk.end());
+  table.set_primary_key(pk);
+  if (!parent_pk.empty()) {
+    ForeignKeyDef fk;
+    fk.columns = parent_pk;
+    fk.referenced_table = parent_table;
+    fk.referenced_columns = parent_pk;
+    table.AddForeignKey(std::move(fk));
+    // Index the FK so parent->child navigation in the generated queries is
+    // a point lookup rather than a scan.
+    out->indexes.push_back(
+        IndexSpec{"idx_" + spec.table_name() + "_parent", spec.table_name(),
+                  parent_pk});
+  }
+  out->tables.push_back(std::move(table));
+
+  for (const auto& child : spec.children()) {
+    GenerateFor(*child, spec.table_name(), pk, out);
+  }
+}
+
+}  // namespace
+
+GeneratedSchema GenerateSimpleSchema() {
+  GeneratedSchema out;
+  GenerateFor(PolicyElementSpec(), "", {}, &out);
+  return out;
+}
+
+Status InstallSimpleSchema(sqldb::Database* db) {
+  GeneratedSchema schema = GenerateSimpleSchema();
+  for (TableSchema& table : schema.tables) {
+    P3PDB_RETURN_IF_ERROR(db->CreateTable(std::move(table)));
+  }
+  for (const IndexSpec& index : schema.indexes) {
+    sqldb::Table* table = db->GetMutableTable(index.table);
+    if (table == nullptr) {
+      return Status::Internal("generated table '" + index.table +
+                              "' missing");
+    }
+    P3PDB_RETURN_IF_ERROR(
+        table->CreateIndex(index.name, index.columns, /*unique=*/false));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> SimpleShredder::ShredPolicy(const xml::Element& policy_root) {
+  if (policy_root.LocalName() != "POLICY") {
+    return Status::InvalidArgument("expected POLICY element, got '" +
+                                   policy_root.name() + "'");
+  }
+  int64_t policy_id = next_id_;
+  P3PDB_RETURN_IF_ERROR(Add(PolicyElementSpec(), policy_root, {}));
+  return policy_id;
+}
+
+Status SimpleShredder::Add(
+    const ElementSpec& spec, const xml::Element& elem,
+    const std::vector<std::pair<std::string, int64_t>>& foreign_key) {
+  const int64_t id = next_id_++;
+
+  // Build the row in schema column order: id, FK columns, attributes,
+  // optional content.
+  sqldb::Row row;
+  row.push_back(Value::Integer(id));
+  for (const auto& [column, value] : foreign_key) {
+    (void)column;
+    row.push_back(Value::Integer(value));
+  }
+  for (const AttributeSpec& attr : spec.attributes()) {
+    std::optional<std::string_view> v = elem.Attr(attr.name);
+    if (v.has_value()) {
+      std::string_view value =
+          attr.is_data_ref ? p3p::NormalizeDataRef(*v) : *v;
+      row.push_back(Value::Text(std::string(value)));
+    } else if (!attr.default_value.empty()) {
+      // Effective default resolved at shred time (e.g. required="always").
+      row.push_back(Value::Text(attr.default_value));
+    } else {
+      row.push_back(Value::Null());
+    }
+  }
+  if (spec.capture_text()) {
+    row.push_back(elem.text().empty() ? Value::Null()
+                                      : Value::Text(elem.text()));
+  }
+  P3PDB_RETURN_IF_ERROR(db_->InsertRow(spec.table_name(), std::move(row)));
+
+  std::vector<std::pair<std::string, int64_t>> child_fk;
+  child_fk.reserve(foreign_key.size() + 1);
+  child_fk.emplace_back(spec.id_column(), id);
+  child_fk.insert(child_fk.end(), foreign_key.begin(), foreign_key.end());
+
+  for (const auto& child : elem.children()) {
+    const ElementSpec* child_spec = spec.FindChild(
+        std::string(child->LocalName()));
+    if (child_spec == nullptr) continue;  // EXTENSION, ENTITY, etc.
+    P3PDB_RETURN_IF_ERROR(Add(*child_spec, *child, child_fk));
+  }
+  return Status::OK();
+}
+
+}  // namespace p3pdb::shredder

@@ -1,0 +1,71 @@
+// The pedagogical relational schema of the paper's Figure 8 and the data
+// population algorithm of Figure 10.
+//
+// One table per P3P element (49 tables for the policy tree): an id column,
+// a foreign key consisting of the parent table's primary key, and one
+// column per attribute. The primary key is the id column concatenated with
+// the foreign key. Text-bearing elements (CONSEQUENCE) additionally carry a
+// `content` column.
+//
+// Population mirrors Figure 10's add(Element, ForeignKey): a recursive walk
+// of the policy DOM assigning fresh ids and inserting one row per element.
+// The shredder stores *effective* attribute values (defaults resolved, e.g.
+// required="always"), so the generated queries can compare against stored
+// values directly — the paper's shred-time normalization.
+
+#ifndef P3PDB_SHREDDER_SIMPLE_SCHEMA_H_
+#define P3PDB_SHREDDER_SIMPLE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "shredder/element_spec.h"
+#include "sqldb/database.h"
+#include "xml/node.h"
+
+namespace p3pdb::shredder {
+
+/// A secondary index created alongside the tables (on each table's
+/// foreign-key columns, so the parent-child joins of the generated queries
+/// are point lookups).
+struct IndexSpec {
+  std::string name;
+  std::string table;
+  std::vector<std::string> columns;
+};
+
+/// The DDL produced by the Figure 8 algorithm.
+struct GeneratedSchema {
+  std::vector<sqldb::TableSchema> tables;   // parents before children
+  std::vector<IndexSpec> indexes;
+};
+
+/// Runs the Figure 8 decomposition over the P3P element spec tree.
+GeneratedSchema GenerateSimpleSchema();
+
+/// Creates all simple-schema tables and indexes in `db`.
+Status InstallSimpleSchema(sqldb::Database* db);
+
+/// Figure 10: populates the simple-schema tables from policy DOMs.
+class SimpleShredder {
+ public:
+  explicit SimpleShredder(sqldb::Database* db) : db_(db) {}
+
+  /// Shreds one POLICY element tree; returns the id assigned to its Policy
+  /// row. The caller decides whether the DOM was category-augmented first
+  /// (the server does this once at install time).
+  Result<int64_t> ShredPolicy(const xml::Element& policy_root);
+
+ private:
+  Status Add(const ElementSpec& spec, const xml::Element& elem,
+             const std::vector<std::pair<std::string, int64_t>>& foreign_key);
+
+  sqldb::Database* db_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace p3pdb::shredder
+
+#endif  // P3PDB_SHREDDER_SIMPLE_SCHEMA_H_

@@ -1,0 +1,111 @@
+#include "sqldb/ast.h"
+
+namespace p3pdb::sqldb {
+
+const char* CompareOpSql(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+const char* AggFuncSql(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kSum:
+      return "SUM";
+  }
+  return "?";
+}
+
+std::string LogicalExpr::ToSql() const {
+  std::string out = "(";
+  for (size_t i = 0; i < operands.size(); ++i) {
+    if (i > 0) out += is_and ? " AND " : " OR ";
+    out += operands[i]->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+ExistsExpr::ExistsExpr(bool neg, std::unique_ptr<SelectStmt> sub)
+    : Expr(ExprKind::kExists), negated(neg), subquery(std::move(sub)) {}
+
+ExistsExpr::~ExistsExpr() = default;
+
+std::string ExistsExpr::ToSql() const {
+  return std::string(negated ? "NOT EXISTS (" : "EXISTS (") +
+         subquery->ToSql() + ")";
+}
+
+std::string InListExpr::ToSql() const {
+  std::string out = operand->ToSql();
+  out += negated ? " NOT IN (" : " IN (";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i]->ToSql();
+  }
+  out += ")";
+  return out;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  if (distinct) out += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].is_star) {
+      out += "*";
+    } else {
+      out += items[i].expr->ToSql();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  if (!from.empty()) {
+    out += " FROM ";
+    for (size_t i = 0; i < from.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += from[i].table_name;
+      if (!from[i].alias.empty() && from[i].alias != from[i].table_name) {
+        out += " " + from[i].alias;
+      }
+    }
+  }
+  if (where != nullptr) out += " WHERE " + where->ToSql();
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToSql();
+    }
+  }
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].expr->ToSql();
+      if (!order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (limit.has_value()) out += " LIMIT " + std::to_string(*limit);
+  return out;
+}
+
+}  // namespace p3pdb::sqldb

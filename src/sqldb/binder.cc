@@ -1,0 +1,265 @@
+#include "sqldb/binder.h"
+
+#include <vector>
+
+#include "common/string_util.h"
+#include "sqldb/table.h"
+
+namespace p3pdb::sqldb {
+
+bool ContainsAggregate(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kAggregate:
+      return true;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(expr);
+      return ContainsAggregate(*c.left) || ContainsAggregate(*c.right);
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(expr);
+      for (const auto& op : l.operands) {
+        if (ContainsAggregate(*op)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kNot:
+      return ContainsAggregate(*static_cast<const NotExpr&>(expr).operand);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      if (ContainsAggregate(*in.operand)) return true;
+      for (const auto& item : in.items) {
+        if (ContainsAggregate(*item)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return ContainsAggregate(
+          *static_cast<const IsNullExpr&>(expr).operand);
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(expr);
+      return ContainsAggregate(*lk.operand) || ContainsAggregate(*lk.pattern);
+    }
+    case ExprKind::kExists:  // subquery boundary
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return false;
+  }
+  return false;
+}
+
+Status Binder::BindSelect(SelectStmt* stmt) {
+  std::vector<SelectStmt*> stack;
+  return BindSelectImpl(stmt, &stack);
+}
+
+Status Binder::BindSelectImpl(SelectStmt* stmt,
+                              std::vector<SelectStmt*>* stack) {
+  if (static_cast<int>(stack->size()) + 1 > max_subquery_depth_) {
+    return Status::LimitExceeded(
+        "query nesting depth exceeds the configured limit of " +
+        std::to_string(max_subquery_depth_));
+  }
+  // Resolve FROM tables first so column refs can land on them.
+  for (TableRef& ref : stmt->from) {
+    ref.table = catalog_.LookupTable(ref.table_name);
+    if (ref.table == nullptr) {
+      return Status::NotFound("table '" + ref.table_name + "' does not exist");
+    }
+    if (ref.alias.empty()) ref.alias = ref.table_name;
+    // Duplicate alias check within this FROM list.
+    for (const TableRef& other : stmt->from) {
+      if (&other != &ref && EqualsIgnoreCase(other.alias, ref.alias) &&
+          &other < &ref) {
+        return Status::InvalidArgument("duplicate table alias '" + ref.alias +
+                                       "'");
+      }
+    }
+  }
+
+  stack->push_back(stmt);
+
+  const bool has_group_by = !stmt->group_by.empty();
+  bool has_aggregate_item = false;
+  for (const SelectItem& item : stmt->items) {
+    if (!item.is_star && ContainsAggregate(*item.expr)) {
+      has_aggregate_item = true;
+    }
+  }
+  const bool aggregate_mode = has_group_by || has_aggregate_item;
+
+  for (SelectItem& item : stmt->items) {
+    if (item.is_star) {
+      if (aggregate_mode) {
+        stack->pop_back();
+        return Status::InvalidArgument("'*' not allowed with GROUP BY");
+      }
+      if (stmt->from.empty()) {
+        stack->pop_back();
+        return Status::InvalidArgument("'*' requires a FROM clause");
+      }
+      continue;
+    }
+    Status st = BindExpr(item.expr.get(), stack, /*allow_aggregates=*/true);
+    if (!st.ok()) {
+      stack->pop_back();
+      return st;
+    }
+  }
+  if (stmt->where != nullptr) {
+    Status st =
+        BindExpr(stmt->where.get(), stack, /*allow_aggregates=*/false);
+    if (!st.ok()) {
+      stack->pop_back();
+      return st;
+    }
+    if (ContainsAggregate(*stmt->where)) {
+      stack->pop_back();
+      return Status::InvalidArgument("aggregates not allowed in WHERE");
+    }
+  }
+  for (ExprPtr& g : stmt->group_by) {
+    Status st = BindExpr(g.get(), stack, /*allow_aggregates=*/false);
+    if (!st.ok()) {
+      stack->pop_back();
+      return st;
+    }
+  }
+  // In aggregate mode, every non-aggregate select item must match a GROUP BY
+  // expression (matched on SQL text, which is canonical after parsing).
+  if (aggregate_mode) {
+    for (const SelectItem& item : stmt->items) {
+      if (ContainsAggregate(*item.expr)) continue;
+      bool matched = false;
+      for (const ExprPtr& g : stmt->group_by) {
+        if (g->ToSql() == item.expr->ToSql()) {
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        stack->pop_back();
+        return Status::InvalidArgument(
+            "select item '" + item.expr->ToSql() +
+            "' must appear in GROUP BY or be an aggregate");
+      }
+    }
+  }
+  for (OrderByItem& item : stmt->order_by) {
+    // Integer literals are result ordinals, validated at execution.
+    if (item.expr->kind == ExprKind::kLiteral) continue;
+    // References to a select item's alias (or its exact text) resolve to
+    // the output column at execution time; they need no binding here.
+    const std::string text = item.expr->ToSql();
+    bool matches_item = false;
+    for (const SelectItem& si : stmt->items) {
+      if (!si.is_star && (si.alias == text || si.expr->ToSql() == text)) {
+        matches_item = true;
+        break;
+      }
+    }
+    if (matches_item) continue;
+    Status st =
+        BindExpr(item.expr.get(), stack, /*allow_aggregates=*/aggregate_mode);
+    if (!st.ok()) {
+      stack->pop_back();
+      return st;
+    }
+  }
+
+  stack->pop_back();
+  return Status::OK();
+}
+
+Status Binder::BindExpr(Expr* expr, std::vector<SelectStmt*>* stack,
+                        bool allow_aggregates) {
+  switch (expr->kind) {
+    case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kColumnRef:
+      return BindColumnRef(static_cast<ColumnRefExpr*>(expr), *stack);
+    case ExprKind::kComparison: {
+      auto* c = static_cast<ComparisonExpr*>(expr);
+      P3PDB_RETURN_IF_ERROR(BindExpr(c->left.get(), stack, false));
+      return BindExpr(c->right.get(), stack, false);
+    }
+    case ExprKind::kLogical: {
+      auto* l = static_cast<LogicalExpr*>(expr);
+      for (ExprPtr& op : l->operands) {
+        P3PDB_RETURN_IF_ERROR(BindExpr(op.get(), stack, false));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kNot:
+      return BindExpr(static_cast<NotExpr*>(expr)->operand.get(), stack,
+                      false);
+    case ExprKind::kExists: {
+      auto* e = static_cast<ExistsExpr*>(expr);
+      return BindSelectImpl(e->subquery.get(), stack);
+    }
+    case ExprKind::kInList: {
+      auto* in = static_cast<InListExpr*>(expr);
+      P3PDB_RETURN_IF_ERROR(BindExpr(in->operand.get(), stack, false));
+      for (ExprPtr& item : in->items) {
+        P3PDB_RETURN_IF_ERROR(BindExpr(item.get(), stack, false));
+      }
+      return Status::OK();
+    }
+    case ExprKind::kIsNull:
+      return BindExpr(static_cast<IsNullExpr*>(expr)->operand.get(), stack,
+                      false);
+    case ExprKind::kLike: {
+      auto* lk = static_cast<LikeExpr*>(expr);
+      P3PDB_RETURN_IF_ERROR(BindExpr(lk->operand.get(), stack, false));
+      return BindExpr(lk->pattern.get(), stack, false);
+    }
+    case ExprKind::kAggregate: {
+      if (!allow_aggregates) {
+        return Status::InvalidArgument("aggregate not allowed here");
+      }
+      auto* agg = static_cast<AggregateExpr*>(expr);
+      if (agg->arg != nullptr) {
+        P3PDB_RETURN_IF_ERROR(BindExpr(agg->arg.get(), stack, false));
+        if (ContainsAggregate(*agg->arg)) {
+          return Status::InvalidArgument("nested aggregates not allowed");
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled expression kind in binder");
+}
+
+Status Binder::BindColumnRef(ColumnRefExpr* ref,
+                             const std::vector<SelectStmt*>& stack) {
+  // Search scopes innermost-out. level = distance from the innermost scope.
+  for (size_t up = 0; up < stack.size(); ++up) {
+    const SelectStmt* scope = stack[stack.size() - 1 - up];
+    int found_slot = -1;
+    size_t found_ordinal = 0;
+    for (size_t slot = 0; slot < scope->from.size(); ++slot) {
+      const TableRef& tr = scope->from[slot];
+      if (!ref->table_name.empty() &&
+          !EqualsIgnoreCase(tr.alias, ref->table_name)) {
+        continue;
+      }
+      std::optional<size_t> ord =
+          tr.table->schema().ColumnIndex(ref->column_name);
+      if (!ord.has_value()) continue;
+      if (found_slot >= 0) {
+        return Status::InvalidArgument("ambiguous column '" + ref->ToSql() +
+                                       "'");
+      }
+      found_slot = static_cast<int>(slot);
+      found_ordinal = *ord;
+    }
+    if (found_slot >= 0) {
+      ref->level = static_cast<int>(up);
+      ref->table_slot = static_cast<size_t>(found_slot);
+      ref->column_ordinal = found_ordinal;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound("column '" + ref->ToSql() + "' not found");
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,465 @@
+#include "sqldb/database.h"
+
+#include "common/string_util.h"
+#include "sqldb/executor.h"
+#include "sqldb/explain.h"
+#include "sqldb/parser.h"
+
+namespace p3pdb::sqldb {
+
+Result<QueryResult> Database::Execute(std::string_view sql) {
+  P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                         ParseStatement(sql));
+  return ExecuteParsed(stmt.get());
+}
+
+Result<PreparedStatement> Database::Prepare(std::string_view sql) {
+  P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                         ParseStatement(sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::Unsupported("only SELECT statements can be prepared");
+  }
+  Binder binder(*this, options_.max_subquery_depth);
+  P3PDB_RETURN_IF_ERROR(
+      binder.BindSelect(static_cast<SelectStmt*>(stmt.get())));
+  PreparedStatement prepared;
+  prepared.db_ = this;
+  prepared.stmt_ = std::shared_ptr<Statement>(std::move(stmt));
+  prepared.sql_ = std::string(sql);
+  prepared.catalog_generation_ = catalog_generation_;
+  return prepared;
+}
+
+Result<QueryResult> PreparedStatement::Execute() const {
+  if (stmt_ == nullptr) {
+    return Status::InvalidArgument("executing an empty prepared statement");
+  }
+  if (catalog_generation_ != db_->catalog_generation_) {
+    return Status::InvalidArgument(
+        "prepared statement is stale: the catalog changed since Prepare()");
+  }
+  Executor executor(&db_->stats_);
+  return executor.RunSelect(*static_cast<const SelectStmt*>(stmt_.get()));
+}
+
+Status Database::ExecuteScript(std::string_view sql) {
+  P3PDB_ASSIGN_OR_RETURN(std::vector<std::unique_ptr<Statement>> stmts,
+                         ParseScript(sql));
+  for (auto& stmt : stmts) {
+    auto result = ExecuteParsed(stmt.get());
+    if (!result.ok()) return result.status();
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecuteParsed(Statement* stmt) {
+  switch (stmt->kind) {
+    case StatementKind::kSelect: {
+      auto* select = static_cast<SelectStmt*>(stmt);
+      Binder binder(*this, options_.max_subquery_depth);
+      P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+      Executor executor(&stats_);
+      return executor.RunSelect(*select);
+    }
+    case StatementKind::kInsert:
+      return ExecuteInsert(static_cast<InsertStmt*>(stmt));
+    case StatementKind::kUpdate:
+      return ExecuteUpdate(static_cast<UpdateStmt*>(stmt));
+    case StatementKind::kDelete:
+      return ExecuteDelete(static_cast<DeleteStmt*>(stmt));
+    case StatementKind::kCreateTable: {
+      auto* ct = static_cast<CreateTableStmt*>(stmt);
+      if (ct->if_not_exists &&
+          LookupTable(ct->schema.name()) != nullptr) {
+        return QueryResult{};
+      }
+      // CreateTable consumes the schema; copy so re-execution stays valid.
+      TableSchema schema = ct->schema;
+      P3PDB_RETURN_IF_ERROR(CreateTable(std::move(schema)));
+      ++stats_.statements_executed;
+      return QueryResult{};
+    }
+    case StatementKind::kCreateIndex: {
+      auto* ci = static_cast<CreateIndexStmt*>(stmt);
+      Table* table = GetMutableTable(ci->table_name);
+      if (table == nullptr) {
+        return Status::NotFound("table '" + ci->table_name +
+                                "' does not exist");
+      }
+      P3PDB_RETURN_IF_ERROR(
+          table->CreateIndex(ci->index_name, ci->columns, ci->unique));
+      ++stats_.statements_executed;
+      return QueryResult{};
+    }
+    case StatementKind::kDropTable: {
+      auto* dt = static_cast<DropTableStmt*>(stmt);
+      P3PDB_RETURN_IF_ERROR(DropTable(dt->table_name, dt->if_exists));
+      ++stats_.statements_executed;
+      return QueryResult{};
+    }
+    case StatementKind::kExplain: {
+      auto* explain = static_cast<ExplainStmt*>(stmt);
+      Binder binder(*this, options_.max_subquery_depth);
+      P3PDB_RETURN_IF_ERROR(binder.BindSelect(explain->select.get()));
+      QueryResult result;
+      result.columns.push_back("plan");
+      std::string plan = ExplainPlan(*explain->select);
+      for (const std::string& line : Split(plan, '\n')) {
+        if (!line.empty()) result.rows.push_back({Value::Text(line)});
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::CreateTable(TableSchema schema) {
+  std::string key = ToLower(schema.name());
+  if (tables_.count(key) != 0) {
+    return Status::AlreadyExists("table '" + schema.name() +
+                                 "' already exists");
+  }
+  // Validate the primary key columns exist.
+  for (const std::string& col : schema.primary_key()) {
+    if (!schema.ColumnIndex(col).has_value()) {
+      return Status::InvalidArgument("primary key column '" + col +
+                                     "' not in table '" + schema.name() + "'");
+    }
+  }
+  // Validate foreign keys against existing tables.
+  for (const ForeignKeyDef& fk : schema.foreign_keys()) {
+    if (fk.columns.size() != fk.referenced_columns.size()) {
+      return Status::InvalidArgument(
+          "foreign key column count mismatch in table '" + schema.name() +
+          "'");
+    }
+    for (const std::string& col : fk.columns) {
+      if (!schema.ColumnIndex(col).has_value()) {
+        return Status::InvalidArgument("foreign key column '" + col +
+                                       "' not in table '" + schema.name() +
+                                       "'");
+      }
+    }
+    const Table* ref = LookupTable(fk.referenced_table);
+    if (ref == nullptr) {
+      return Status::NotFound("referenced table '" + fk.referenced_table +
+                              "' does not exist");
+    }
+    for (const std::string& col : fk.referenced_columns) {
+      if (!ref->schema().ColumnIndex(col).has_value()) {
+        return Status::InvalidArgument(
+            "referenced column '" + col + "' not in table '" +
+            fk.referenced_table + "'");
+      }
+    }
+  }
+  tables_.emplace(std::move(key), std::make_unique<Table>(std::move(schema)));
+  ++catalog_generation_;
+  return Status::OK();
+}
+
+Status Database::DropTable(std::string_view name, bool if_exists) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    if (if_exists) return Status::OK();
+    return Status::NotFound("table '" + std::string(name) +
+                            "' does not exist");
+  }
+  tables_.erase(it);
+  ++catalog_generation_;
+  return Status::OK();
+}
+
+Status Database::InsertRow(std::string_view table_name, Row row) {
+  Table* table = GetMutableTable(table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + std::string(table_name) +
+                            "' does not exist");
+  }
+  if (options_.enforce_foreign_keys) {
+    P3PDB_RETURN_IF_ERROR(CheckForeignKeys(*table, row));
+  }
+  return table->Insert(std::move(row));
+}
+
+const Table* Database::LookupTable(std::string_view name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Table* Database::GetMutableTable(std::string_view name) {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    names.push_back(table->schema().name());
+  }
+  return names;
+}
+
+Status Database::CheckForeignKeys(const Table& table, const Row& row) const {
+  for (const ForeignKeyDef& fk : table.schema().foreign_keys()) {
+    const Table* ref = LookupTable(fk.referenced_table);
+    if (ref == nullptr) {
+      return Status::Internal("referenced table '" + fk.referenced_table +
+                              "' vanished");
+    }
+    // Build the referencing key; NULL components skip the check (SQL MATCH
+    // SIMPLE semantics).
+    std::vector<Value> key_values;
+    bool has_null = false;
+    for (const std::string& col : fk.columns) {
+      size_t ord = *table.schema().ColumnIndex(col);
+      if (row[ord].is_null()) {
+        has_null = true;
+        break;
+      }
+      key_values.push_back(row[ord]);
+    }
+    if (has_null) continue;
+
+    std::vector<size_t> ref_ordinals;
+    for (const std::string& col : fk.referenced_columns) {
+      ref_ordinals.push_back(*ref->schema().ColumnIndex(col));
+    }
+    const Index* index = ref->FindIndexCovering(ref_ordinals);
+    bool found = false;
+    if (index != nullptr &&
+        index->column_ordinals().size() == ref_ordinals.size()) {
+      // Reorder key values to the index's column order.
+      IndexKey key;
+      for (size_t ord : index->column_ordinals()) {
+        for (size_t i = 0; i < ref_ordinals.size(); ++i) {
+          if (ref_ordinals[i] == ord) {
+            key.values.push_back(key_values[i]);
+            break;
+          }
+        }
+      }
+      found = index->Lookup(key) != nullptr;
+    } else {
+      for (size_t row_id = 0; row_id < ref->SlotCount() && !found; ++row_id) {
+        if (!ref->IsLive(row_id)) continue;
+        const Row& candidate = ref->RowAt(row_id);
+        bool all_equal = true;
+        for (size_t i = 0; i < ref_ordinals.size(); ++i) {
+          if (Value::OrderCompare(candidate[ref_ordinals[i]],
+                                  key_values[i]) != 0) {
+            all_equal = false;
+            break;
+          }
+        }
+        found = all_equal;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "foreign key violation: no matching row in '" + fk.referenced_table +
+          "' for insert into '" + table.schema().name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
+  Table* table = GetMutableTable(stmt->table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt->table_name +
+                            "' does not exist");
+  }
+  const TableSchema& schema = table->schema();
+
+  // Map the column list (or positional order) to ordinals.
+  std::vector<size_t> ordinals;
+  if (stmt->columns.empty()) {
+    for (size_t i = 0; i < schema.ColumnCount(); ++i) ordinals.push_back(i);
+  } else {
+    for (const std::string& col : stmt->columns) {
+      std::optional<size_t> ord = schema.ColumnIndex(col);
+      if (!ord.has_value()) {
+        return Status::NotFound("column '" + col + "' not in table '" +
+                                stmt->table_name + "'");
+      }
+      ordinals.push_back(*ord);
+    }
+  }
+
+  Executor executor(&stats_);
+  int64_t inserted = 0;
+  for (const std::vector<ExprPtr>& value_exprs : stmt->rows) {
+    if (value_exprs.size() != ordinals.size()) {
+      return Status::InvalidArgument(
+          "INSERT has " + std::to_string(value_exprs.size()) +
+          " values for " + std::to_string(ordinals.size()) + " columns");
+    }
+    Row row(schema.ColumnCount(), Value::Null());
+    for (size_t i = 0; i < value_exprs.size(); ++i) {
+      P3PDB_ASSIGN_OR_RETURN(Value v, executor.EvalConstant(*value_exprs[i]));
+      row[ordinals[i]] = std::move(v);
+    }
+    if (options_.enforce_foreign_keys) {
+      P3PDB_RETURN_IF_ERROR(CheckForeignKeys(*table, row));
+    }
+    P3PDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    ++inserted;
+  }
+  ++stats_.statements_executed;
+  QueryResult result;
+  result.rows_affected = inserted;
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
+  Table* table = GetMutableTable(stmt->table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt->table_name +
+                            "' does not exist");
+  }
+  const TableSchema& schema = table->schema();
+
+  std::vector<size_t> ordinals;
+  for (const UpdateStmt::Assignment& a : stmt->assignments) {
+    std::optional<size_t> ord = schema.ColumnIndex(a.column);
+    if (!ord.has_value()) {
+      return Status::NotFound("column '" + a.column + "' not in table '" +
+                              stmt->table_name + "'");
+    }
+    ordinals.push_back(*ord);
+  }
+
+  // Bind WHERE and the assignment expressions through a probe SELECT whose
+  // select list carries the assignment values.
+  SelectStmt probe;
+  TableRef ref;
+  ref.table_name = stmt->table_name;
+  ref.alias = stmt->table_name;
+  probe.from.push_back(std::move(ref));
+  for (UpdateStmt::Assignment& a : stmt->assignments) {
+    SelectItem item;
+    item.expr = std::move(a.value);
+    probe.items.push_back(std::move(item));
+  }
+  probe.where = std::move(stmt->where);
+
+  // Whatever happens, restore the statement for potential re-execution.
+  auto restore = [&]() {
+    for (size_t i = 0; i < stmt->assignments.size(); ++i) {
+      stmt->assignments[i].value = std::move(probe.items[i].expr);
+    }
+    stmt->where = std::move(probe.where);
+  };
+
+  Binder binder(*this, options_.max_subquery_depth);
+  if (Status st = binder.BindSelect(&probe); !st.ok()) {
+    restore();
+    return st;
+  }
+
+  // Snapshot pass: compute every victim's new row from its old values
+  // before mutating anything.
+  Executor executor(&stats_);
+  std::vector<std::pair<size_t, Row>> updates;
+  for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
+    if (!table->IsLive(row_id)) continue;
+    const Row& old_row = table->RowAt(row_id);
+    auto pass = executor.EvalRowPredicate(probe, old_row);
+    if (!pass.ok()) {
+      restore();
+      return pass.status();
+    }
+    if (!pass.value()) continue;
+    Row new_row = old_row;
+    for (size_t i = 0; i < ordinals.size(); ++i) {
+      auto value =
+          executor.EvalRowExpression(probe, old_row, *probe.items[i].expr);
+      if (!value.ok()) {
+        restore();
+        return value.status();
+      }
+      new_row[ordinals[i]] = std::move(value).value();
+    }
+    updates.emplace_back(row_id, std::move(new_row));
+  }
+  restore();
+
+  // Apply. Not transactional: a constraint violation mid-way leaves earlier
+  // updates in place (as in many engines without ROLLBACK).
+  for (auto& [row_id, new_row] : updates) {
+    if (options_.enforce_foreign_keys) {
+      P3PDB_RETURN_IF_ERROR(CheckForeignKeys(*table, new_row));
+    }
+    Row old_row = table->RowAt(row_id);
+    table->Delete(row_id);
+    Status st = table->Insert(std::move(new_row));
+    if (!st.ok()) {
+      // Try to put the old row back so a unique violation does not lose it.
+      (void)table->Insert(std::move(old_row));
+      return st;
+    }
+  }
+  ++stats_.statements_executed;
+  QueryResult result;
+  result.rows_affected = static_cast<int64_t>(updates.size());
+  return result;
+}
+
+Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
+  Table* table = GetMutableTable(stmt->table_name);
+  if (table == nullptr) {
+    return Status::NotFound("table '" + stmt->table_name +
+                            "' does not exist");
+  }
+
+  // Reuse the SELECT machinery: wrap the WHERE in a single-table SELECT to
+  // bind it, then evaluate per row.
+  std::vector<size_t> victims;
+  if (stmt->where == nullptr) {
+    for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
+      if (table->IsLive(row_id)) victims.push_back(row_id);
+    }
+  } else {
+    SelectStmt probe;
+    TableRef ref;
+    ref.table_name = stmt->table_name;
+    ref.alias = stmt->table_name;
+    probe.from.push_back(std::move(ref));
+    SelectItem star;
+    star.is_star = true;
+    probe.items.push_back(std::move(star));
+    probe.where = std::move(stmt->where);
+
+    Binder binder(*this, options_.max_subquery_depth);
+    Status bind_status = binder.BindSelect(&probe);
+    if (!bind_status.ok()) {
+      stmt->where = std::move(probe.where);
+      return bind_status;
+    }
+
+    // Enumerate matching rows by id (a bespoke loop rather than RunSelect so
+    // the victim row ids are known).
+    Executor executor(&stats_);
+    for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
+      if (!table->IsLive(row_id)) continue;
+      auto pass = executor.EvalRowPredicate(probe, table->RowAt(row_id));
+      if (!pass.ok()) {
+        stmt->where = std::move(probe.where);
+        return pass.status();
+      }
+      if (pass.value()) victims.push_back(row_id);
+    }
+    stmt->where = std::move(probe.where);  // restore for re-execution
+  }
+
+  for (size_t row_id : victims) table->Delete(row_id);
+  ++stats_.statements_executed;
+  QueryResult result;
+  result.rows_affected = static_cast<int64_t>(victims.size());
+  return result;
+}
+
+}  // namespace p3pdb::sqldb

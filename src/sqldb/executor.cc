@@ -1,0 +1,778 @@
+#include "sqldb/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include "sqldb/binder.h"
+
+namespace p3pdb::sqldb {
+
+namespace {
+
+/// Flattens nested ANDs into a conjunct list.
+void FlattenAnd(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kLogical) {
+    const auto* l = static_cast<const LogicalExpr*>(e);
+    if (l->is_and) {
+      for (const ExprPtr& op : l->operands) FlattenAnd(op.get(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+/// True when every column reference in `e` is available before `slot` is
+/// assigned: either an outer-scope reference (level > 0) or an earlier slot
+/// of the current FROM list. Subqueries are conservatively unavailable.
+bool RefsAvailableForSlot(const Expr& e, size_t slot) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return true;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      return ref.level > 0 || ref.table_slot < slot;
+    }
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      return RefsAvailableForSlot(*c.left, slot) &&
+             RefsAvailableForSlot(*c.right, slot);
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(e);
+      for (const auto& op : l.operands) {
+        if (!RefsAvailableForSlot(*op, slot)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kNot:
+      return RefsAvailableForSlot(*static_cast<const NotExpr&>(e).operand,
+                                  slot);
+    case ExprKind::kIsNull:
+      return RefsAvailableForSlot(*static_cast<const IsNullExpr&>(e).operand,
+                                  slot);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::vector<IndexableEquality> CollectIndexableEqualities(const Expr* where,
+                                                          size_t slot) {
+  std::vector<IndexableEquality> out;
+  if (where == nullptr) return out;
+  std::vector<const Expr*> conjuncts;
+  FlattenAnd(where, &conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind != ExprKind::kComparison) continue;
+    const auto* cmp = static_cast<const ComparisonExpr*>(c);
+    if (cmp->op != CompareOp::kEq) continue;
+    const Expr* sides[2] = {cmp->left.get(), cmp->right.get()};
+    for (int i = 0; i < 2; ++i) {
+      const Expr* col_side = sides[i];
+      const Expr* val_side = sides[1 - i];
+      if (col_side->kind != ExprKind::kColumnRef) continue;
+      const auto* ref = static_cast<const ColumnRefExpr*>(col_side);
+      if (ref->level != 0 || ref->table_slot != slot) continue;
+      if (!RefsAvailableForSlot(*val_side, slot)) continue;
+      out.push_back(IndexableEquality{ref->column_ordinal, val_side});
+      break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<Value> ThreeValuedNot(const Value& v) {
+  if (v.is_null()) return Value::Null();
+  if (v.type() != ValueType::kBoolean) {
+    return Status::InvalidArgument("NOT applied to non-boolean");
+  }
+  return Value::Boolean(!v.AsBoolean());
+}
+
+}  // namespace
+
+bool SqlLikeMatch(std::string_view text, std::string_view pattern,
+                  char escape_char) {
+  // Compile the pattern into tokens so escapes become plain literals, then
+  // run the classic two-pointer wildcard match with backtracking on '%'.
+  enum class TokKind { kLiteral, kAnyRun, kAnyOne };
+  struct Tok {
+    TokKind kind;
+    char c;
+  };
+  std::vector<Tok> toks;
+  toks.reserve(pattern.size());
+  for (size_t i = 0; i < pattern.size(); ++i) {
+    char c = pattern[i];
+    if (escape_char != '\0' && c == escape_char && i + 1 < pattern.size()) {
+      toks.push_back({TokKind::kLiteral, pattern[++i]});
+    } else if (c == '%') {
+      toks.push_back({TokKind::kAnyRun, c});
+    } else if (c == '_') {
+      toks.push_back({TokKind::kAnyOne, c});
+    } else {
+      toks.push_back({TokKind::kLiteral, c});
+    }
+  }
+
+  size_t ti = 0, pi = 0;
+  size_t star_pi = std::string_view::npos, star_ti = 0;
+  while (ti < text.size()) {
+    if (pi < toks.size() && (toks[pi].kind == TokKind::kAnyOne ||
+                             (toks[pi].kind == TokKind::kLiteral &&
+                              toks[pi].c == text[ti]))) {
+      ++ti;
+      ++pi;
+    } else if (pi < toks.size() && toks[pi].kind == TokKind::kAnyRun) {
+      star_pi = pi++;
+      star_ti = ti;
+    } else if (star_pi != std::string_view::npos) {
+      pi = star_pi + 1;
+      ti = ++star_ti;
+    } else {
+      return false;
+    }
+  }
+  while (pi < toks.size() && toks[pi].kind == TokKind::kAnyRun) ++pi;
+  return pi == toks.size();
+}
+
+Result<Value> Executor::EvalConstant(const Expr& expr) {
+  ScopeStack empty;
+  return Eval(expr, empty);
+}
+
+Result<bool> Executor::EvalRowPredicate(const SelectStmt& stmt,
+                                        const Row& row) {
+  if (stmt.where == nullptr) return true;
+  Scope scope;
+  scope.stmt = &stmt;
+  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.rows[0] = &row;
+  ScopeStack stack;
+  stack.push_back(&scope);
+  return EvalFilter(*stmt.where, stack);
+}
+
+Result<Value> Executor::EvalRowExpression(const SelectStmt& stmt,
+                                          const Row& row, const Expr& expr) {
+  Scope scope;
+  scope.stmt = &stmt;
+  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.rows[0] = &row;
+  ScopeStack stack;
+  stack.push_back(&scope);
+  return Eval(expr, stack);
+}
+
+Result<Value> Executor::Eval(const Expr& expr, ScopeStack& stack) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (ref.level < 0 ||
+          static_cast<size_t>(ref.level) >= stack.size()) {
+        return Status::Internal("unbound column reference '" + ref.ToSql() +
+                                "'");
+      }
+      const Scope* scope = stack[stack.size() - 1 - ref.level];
+      const Row* row = scope->rows[ref.table_slot];
+      if (row == nullptr) {
+        return Status::Internal("column '" + ref.ToSql() +
+                                "' read before its table was positioned");
+      }
+      return (*row)[ref.column_ordinal];
+    }
+    case ExprKind::kComparison: {
+      const auto& cmp = static_cast<const ComparisonExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(Value left, Eval(*cmp.left, stack));
+      P3PDB_ASSIGN_OR_RETURN(Value right, Eval(*cmp.right, stack));
+      ++stats_->comparisons;
+      switch (cmp.op) {
+        case CompareOp::kEq:
+          return Value::CompareEq(left, right);
+        case CompareOp::kNe: {
+          P3PDB_ASSIGN_OR_RETURN(Value eq, Value::CompareEq(left, right));
+          return ThreeValuedNot(eq);
+        }
+        case CompareOp::kLt:
+          return Value::CompareLt(left, right);
+        case CompareOp::kGt:
+          return Value::CompareLt(right, left);
+        case CompareOp::kLe: {
+          P3PDB_ASSIGN_OR_RETURN(Value gt, Value::CompareLt(right, left));
+          return ThreeValuedNot(gt);
+        }
+        case CompareOp::kGe: {
+          P3PDB_ASSIGN_OR_RETURN(Value lt, Value::CompareLt(left, right));
+          return ThreeValuedNot(lt);
+        }
+      }
+      return Status::Internal("bad comparison op");
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(expr);
+      bool saw_null = false;
+      for (const ExprPtr& op : l.operands) {
+        P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*op, stack));
+        if (v.is_null()) {
+          saw_null = true;
+          continue;
+        }
+        if (v.type() != ValueType::kBoolean) {
+          return Status::InvalidArgument(
+              "logical operand is not a boolean: " + op->ToSql());
+        }
+        if (l.is_and && !v.AsBoolean()) return Value::Boolean(false);
+        if (!l.is_and && v.AsBoolean()) return Value::Boolean(true);
+      }
+      if (saw_null) return Value::Null();
+      return Value::Boolean(l.is_and);
+    }
+    case ExprKind::kNot: {
+      const auto& n = static_cast<const NotExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*n.operand, stack));
+      return ThreeValuedNot(v);
+    }
+    case ExprKind::kExists: {
+      const auto& e = static_cast<const ExistsExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(bool found, ExistsAnyRow(*e.subquery, stack));
+      return Value::Boolean(e.negated ? !found : found);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*in.operand, stack));
+      bool saw_null = false;
+      bool found = false;
+      for (const ExprPtr& item : in.items) {
+        P3PDB_ASSIGN_OR_RETURN(Value iv, Eval(*item, stack));
+        P3PDB_ASSIGN_OR_RETURN(Value eq, Value::CompareEq(v, iv));
+        ++stats_->comparisons;
+        if (eq.is_null()) {
+          saw_null = true;
+        } else if (eq.AsBoolean()) {
+          found = true;
+          break;
+        }
+      }
+      Value result = found           ? Value::Boolean(true)
+                     : saw_null      ? Value::Null()
+                                     : Value::Boolean(false);
+      if (in.negated) return ThreeValuedNot(result);
+      return result;
+    }
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*isn.operand, stack));
+      bool is_null = v.is_null();
+      return Value::Boolean(isn.negated ? !is_null : is_null);
+    }
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(expr);
+      P3PDB_ASSIGN_OR_RETURN(Value text, Eval(*lk.operand, stack));
+      P3PDB_ASSIGN_OR_RETURN(Value pattern, Eval(*lk.pattern, stack));
+      if (text.is_null() || pattern.is_null()) return Value::Null();
+      if (text.type() != ValueType::kText ||
+          pattern.type() != ValueType::kText) {
+        return Status::InvalidArgument("LIKE requires text operands");
+      }
+      ++stats_->comparisons;
+      bool matched =
+          SqlLikeMatch(text.AsText(), pattern.AsText(), lk.escape_char);
+      return Value::Boolean(lk.negated ? !matched : matched);
+    }
+    case ExprKind::kAggregate:
+      return Status::Internal(
+          "aggregate evaluated outside aggregation context");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<bool> Executor::EvalFilter(const Expr& expr, ScopeStack& stack) {
+  P3PDB_ASSIGN_OR_RETURN(Value v, Eval(expr, stack));
+  if (v.is_null()) return false;
+  if (v.type() != ValueType::kBoolean) {
+    return Status::InvalidArgument("WHERE clause is not a boolean");
+  }
+  return v.AsBoolean();
+}
+
+Result<bool> Executor::ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack) {
+  ++stats_->subquery_evals;
+  Scope scope;
+  scope.stmt = &sub;
+  scope.rows.assign(sub.from.size(), nullptr);
+  stack.push_back(&scope);
+  bool found = false;
+  bool stopped = false;
+  Status st = EnumerateRows(
+      sub, stack, scope, 0,
+      [&]() -> Result<bool> {
+        found = true;
+        return true;  // stop at first row
+      },
+      &stopped);
+  stack.pop_back();
+  if (!st.ok()) return st;
+  return found;
+}
+
+Status Executor::EnumerateRows(
+    const SelectStmt& stmt, ScopeStack& stack, Scope& scope, size_t slot,
+    const std::function<Result<bool>()>& on_row, bool* stopped) {
+  if (*stopped) return Status::OK();
+  if (slot == stmt.from.size()) {
+    if (stmt.where != nullptr) {
+      P3PDB_ASSIGN_OR_RETURN(bool pass, EvalFilter(*stmt.where, stack));
+      if (!pass) return Status::OK();
+    }
+    P3PDB_ASSIGN_OR_RETURN(bool stop, on_row());
+    if (stop) *stopped = true;
+    return Status::OK();
+  }
+
+  const Table* table = stmt.from[slot].table;
+
+  // Try an index lookup driven by available equality conjuncts.
+  std::vector<IndexableEquality> equalities =
+      CollectIndexableEqualities(stmt.where.get(), slot);
+  const Index* index = nullptr;
+  if (!equalities.empty()) {
+    std::vector<size_t> available_ordinals;
+    available_ordinals.reserve(equalities.size());
+    for (const IndexableEquality& eq : equalities) {
+      available_ordinals.push_back(eq.column_ordinal);
+    }
+    index = table->FindIndexCovering(available_ordinals);
+  }
+
+  if (index != nullptr) {
+    ++stats_->index_lookups;
+    IndexKey key;
+    key.values.reserve(index->column_ordinals().size());
+    for (size_t ord : index->column_ordinals()) {
+      const Expr* key_expr = nullptr;
+      for (const IndexableEquality& eq : equalities) {
+        if (eq.column_ordinal == ord) {
+          key_expr = eq.key_expr;
+          break;
+        }
+      }
+      P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*key_expr, stack));
+      key.values.push_back(std::move(v));
+    }
+    const std::vector<size_t>* row_ids = index->Lookup(key);
+    if (row_ids == nullptr) return Status::OK();
+    // Copy: callbacks must not be invalidated by concurrent structure churn
+    // (none today, but cheap insurance for tiny id lists).
+    std::vector<size_t> ids = *row_ids;
+    for (size_t row_id : ids) {
+      if (!table->IsLive(row_id)) continue;
+      ++stats_->rows_scanned;
+      scope.rows[slot] = &table->RowAt(row_id);
+      P3PDB_RETURN_IF_ERROR(
+          EnumerateRows(stmt, stack, scope, slot + 1, on_row, stopped));
+      if (*stopped) break;
+    }
+    scope.rows[slot] = nullptr;
+    return Status::OK();
+  }
+
+  ++stats_->full_scans;
+  for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
+    if (!table->IsLive(row_id)) continue;
+    ++stats_->rows_scanned;
+    scope.rows[slot] = &table->RowAt(row_id);
+    P3PDB_RETURN_IF_ERROR(
+        EnumerateRows(stmt, stack, scope, slot + 1, on_row, stopped));
+    if (*stopped) break;
+  }
+  scope.rows[slot] = nullptr;
+  return Status::OK();
+}
+
+Result<QueryResult> Executor::RunSelect(const SelectStmt& stmt) {
+  ScopeStack stack;
+  bool aggregate_mode = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (!item.is_star && ContainsAggregate(*item.expr)) aggregate_mode = true;
+  }
+  if (aggregate_mode) return RunAggregateSelect(stmt, stack);
+  return RunPlainSelect(stmt, stack);
+}
+
+namespace {
+
+/// Column header for a select item.
+std::string ItemColumnName(const SelectItem& item) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == ExprKind::kColumnRef) {
+    return static_cast<const ColumnRefExpr*>(item.expr.get())->column_name;
+  }
+  return item.expr->ToSql();
+}
+
+std::string RowKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    key += v.ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+struct SortEntry {
+  Row output;
+  Row keys;
+};
+
+}  // namespace
+
+Status Executor::ApplyDistinctOrderLimit(const SelectStmt& stmt,
+                                         ScopeStack& stack,
+                                         QueryResult* result,
+                                         const std::vector<Row>& order_keys) {
+  (void)stack;
+  if (stmt.distinct) {
+    std::set<std::string> seen;
+    std::vector<Row> rows;
+    std::vector<Row> keys;
+    for (size_t i = 0; i < result->rows.size(); ++i) {
+      std::string key = RowKey(result->rows[i]);
+      if (seen.insert(std::move(key)).second) {
+        rows.push_back(std::move(result->rows[i]));
+        if (!order_keys.empty()) keys.push_back(order_keys[i]);
+      }
+    }
+    result->rows = std::move(rows);
+    if (!stmt.order_by.empty()) {
+      return SortAndLimit(stmt, result, keys);
+    }
+  } else if (!stmt.order_by.empty()) {
+    return SortAndLimit(stmt, result, order_keys);
+  }
+  if (stmt.limit.has_value() &&
+      result->rows.size() > static_cast<size_t>(*stmt.limit)) {
+    result->rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+  return Status::OK();
+}
+
+Result<QueryResult> Executor::RunPlainSelect(const SelectStmt& stmt,
+                                             ScopeStack& stack) {
+  ++stats_->statements_executed;
+  QueryResult result;
+
+  // Column headers.
+  for (const SelectItem& item : stmt.items) {
+    if (item.is_star) {
+      for (const TableRef& tr : stmt.from) {
+        for (const ColumnDef& col : tr.table->schema().columns()) {
+          result.columns.push_back(col.name);
+        }
+      }
+    } else {
+      result.columns.push_back(ItemColumnName(item));
+    }
+  }
+
+  Scope scope;
+  scope.stmt = &stmt;
+  scope.rows.assign(stmt.from.size(), nullptr);
+  stack.push_back(&scope);
+
+  std::vector<Row> order_keys;
+  bool stopped = false;
+  Status st = EnumerateRows(
+      stmt, stack, scope, 0,
+      [&]() -> Result<bool> {
+        Row out;
+        for (const SelectItem& item : stmt.items) {
+          if (item.is_star) {
+            for (size_t slot = 0; slot < stmt.from.size(); ++slot) {
+              const Row* row = scope.rows[slot];
+              out.insert(out.end(), row->begin(), row->end());
+            }
+          } else {
+            P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*item.expr, stack));
+            out.push_back(std::move(v));
+          }
+        }
+        if (!stmt.order_by.empty()) {
+          Row keys;
+          for (const OrderByItem& ob : stmt.order_by) {
+            if (ob.expr->kind == ExprKind::kLiteral) {
+              const Value& lit =
+                  static_cast<const LiteralExpr*>(ob.expr.get())->value;
+              if (lit.type() == ValueType::kInteger) {
+                int64_t ordinal = lit.AsInteger();
+                if (ordinal < 1 ||
+                    ordinal > static_cast<int64_t>(out.size())) {
+                  return Status::InvalidArgument(
+                      "ORDER BY ordinal out of range");
+                }
+                keys.push_back(out[static_cast<size_t>(ordinal - 1)]);
+                continue;
+              }
+            }
+            // A select-item alias (or exact text) sorts by that output
+            // column; anything else evaluates in row context.
+            std::string text = ob.expr->ToSql();
+            size_t star_width = 0;
+            for (const TableRef& tr : stmt.from) {
+              star_width += tr.table->schema().ColumnCount();
+            }
+            bool matched = false;
+            size_t column = 0;
+            for (const SelectItem& item : stmt.items) {
+              if (item.is_star) {
+                column += star_width;
+                continue;
+              }
+              if (item.alias == text || item.expr->ToSql() == text) {
+                matched = true;
+                break;
+              }
+              ++column;
+            }
+            if (matched && column < out.size()) {
+              keys.push_back(out[column]);
+              continue;
+            }
+            P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*ob.expr, stack));
+            keys.push_back(std::move(v));
+          }
+          order_keys.push_back(std::move(keys));
+        }
+        result.rows.push_back(std::move(out));
+        return false;
+      },
+      &stopped);
+  stack.pop_back();
+  P3PDB_RETURN_IF_ERROR(st);
+
+  P3PDB_RETURN_IF_ERROR(
+      ApplyDistinctOrderLimit(stmt, stack, &result, order_keys));
+  return result;
+}
+
+namespace {
+
+struct AggState {
+  int64_t count = 0;
+  int64_t sum = 0;
+  bool sum_valid = false;
+  Value min = Value::Null();
+  Value max = Value::Null();
+};
+
+}  // namespace
+
+Result<QueryResult> Executor::RunAggregateSelect(const SelectStmt& stmt,
+                                                 ScopeStack& stack) {
+  ++stats_->statements_executed;
+  QueryResult result;
+  for (const SelectItem& item : stmt.items) {
+    result.columns.push_back(ItemColumnName(item));
+  }
+
+  // Classify select items: each must be either exactly an aggregate call or
+  // aggregate-free (the binder verified the latter match GROUP BY).
+  std::vector<const AggregateExpr*> agg_exprs;
+  for (const SelectItem& item : stmt.items) {
+    if (item.expr->kind == ExprKind::kAggregate) {
+      agg_exprs.push_back(static_cast<const AggregateExpr*>(item.expr.get()));
+    } else if (ContainsAggregate(*item.expr)) {
+      return Status::Unsupported(
+          "select items must be plain aggregates or grouping columns");
+    } else {
+      agg_exprs.push_back(nullptr);
+    }
+  }
+
+  Scope scope;
+  scope.stmt = &stmt;
+  scope.rows.assign(stmt.from.size(), nullptr);
+  stack.push_back(&scope);
+
+  struct Group {
+    Row group_values;          // values of GROUP BY expressions
+    Row item_values;           // grouping-item values aligned with items
+    std::vector<AggState> aggs;  // one per select item (unused for grouping)
+  };
+  std::map<std::string, Group> groups;
+
+  bool stopped = false;
+  Status st = EnumerateRows(
+      stmt, stack, scope, 0,
+      [&]() -> Result<bool> {
+        Row group_values;
+        for (const ExprPtr& g : stmt.group_by) {
+          P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*g, stack));
+          group_values.push_back(std::move(v));
+        }
+        std::string key = RowKey(group_values);
+        auto [it, inserted] = groups.try_emplace(std::move(key));
+        Group& group = it->second;
+        if (inserted) {
+          group.group_values = std::move(group_values);
+          group.aggs.resize(stmt.items.size());
+          group.item_values.resize(stmt.items.size());
+          for (size_t i = 0; i < stmt.items.size(); ++i) {
+            if (agg_exprs[i] == nullptr) {
+              P3PDB_ASSIGN_OR_RETURN(Value v,
+                                     Eval(*stmt.items[i].expr, stack));
+              group.item_values[i] = std::move(v);
+            }
+          }
+        }
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          const AggregateExpr* agg = agg_exprs[i];
+          if (agg == nullptr) continue;
+          AggState& state = group.aggs[i];
+          if (agg->func == AggFunc::kCountStar) {
+            ++state.count;
+            continue;
+          }
+          P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*agg->arg, stack));
+          if (v.is_null()) continue;
+          ++state.count;
+          switch (agg->func) {
+            case AggFunc::kSum:
+              if (v.type() != ValueType::kInteger) {
+                return Status::InvalidArgument("SUM requires integers");
+              }
+              state.sum += v.AsInteger();
+              state.sum_valid = true;
+              break;
+            case AggFunc::kMin:
+              if (state.min.is_null() ||
+                  Value::OrderCompare(v, state.min) < 0) {
+                state.min = v;
+              }
+              break;
+            case AggFunc::kMax:
+              if (state.max.is_null() ||
+                  Value::OrderCompare(v, state.max) > 0) {
+                state.max = v;
+              }
+              break;
+            default:
+              break;
+          }
+        }
+        return false;
+      },
+      &stopped);
+  stack.pop_back();
+  P3PDB_RETURN_IF_ERROR(st);
+
+  // With no GROUP BY, aggregates over an empty input still produce one row.
+  if (groups.empty() && stmt.group_by.empty()) {
+    Group empty_group;
+    empty_group.aggs.resize(stmt.items.size());
+    empty_group.item_values.resize(stmt.items.size());
+    groups.emplace("", std::move(empty_group));
+  }
+
+  std::vector<Row> order_keys;
+  for (auto& [key, group] : groups) {
+    Row out;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      const AggregateExpr* agg = agg_exprs[i];
+      if (agg == nullptr) {
+        out.push_back(group.item_values[i]);
+        continue;
+      }
+      switch (agg->func) {
+        case AggFunc::kCountStar:
+        case AggFunc::kCount:
+          out.push_back(Value::Integer(group.aggs[i].count));
+          break;
+        case AggFunc::kSum:
+          out.push_back(group.aggs[i].sum_valid
+                            ? Value::Integer(group.aggs[i].sum)
+                            : Value::Null());
+          break;
+        case AggFunc::kMin:
+          out.push_back(group.aggs[i].min);
+          break;
+        case AggFunc::kMax:
+          out.push_back(group.aggs[i].max);
+          break;
+      }
+    }
+    // Order keys: ordinals or select-item text matches only (row context is
+    // gone by aggregation time).
+    if (!stmt.order_by.empty()) {
+      Row keys;
+      for (const OrderByItem& ob : stmt.order_by) {
+        if (ob.expr->kind == ExprKind::kLiteral) {
+          const Value& lit =
+              static_cast<const LiteralExpr*>(ob.expr.get())->value;
+          if (lit.type() == ValueType::kInteger) {
+            int64_t ordinal = lit.AsInteger();
+            if (ordinal < 1 || ordinal > static_cast<int64_t>(out.size())) {
+              return Status::InvalidArgument("ORDER BY ordinal out of range");
+            }
+            keys.push_back(out[static_cast<size_t>(ordinal - 1)]);
+            continue;
+          }
+        }
+        std::string text = ob.expr->ToSql();
+        bool matched = false;
+        for (size_t i = 0; i < stmt.items.size(); ++i) {
+          if (!stmt.items[i].is_star &&
+              (stmt.items[i].expr->ToSql() == text ||
+               stmt.items[i].alias == text)) {
+            keys.push_back(out[i]);
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) {
+          return Status::InvalidArgument(
+              "ORDER BY in an aggregate query must reference a select item");
+        }
+      }
+      order_keys.push_back(std::move(keys));
+    }
+    result.rows.push_back(std::move(out));
+  }
+
+  P3PDB_RETURN_IF_ERROR(
+      ApplyDistinctOrderLimit(stmt, stack, &result, order_keys));
+  return result;
+}
+
+Status Executor::SortAndLimit(const SelectStmt& stmt, QueryResult* result,
+                              const std::vector<Row>& order_keys) {
+  std::vector<size_t> order(result->rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    const Row& ka = order_keys[a];
+    const Row& kb = order_keys[b];
+    for (size_t i = 0; i < stmt.order_by.size(); ++i) {
+      int c = Value::OrderCompare(ka[i], kb[i]);
+      if (c != 0) return stmt.order_by[i].ascending ? c < 0 : c > 0;
+    }
+    return false;
+  });
+  std::vector<Row> sorted;
+  sorted.reserve(result->rows.size());
+  for (size_t i : order) sorted.push_back(std::move(result->rows[i]));
+  result->rows = std::move(sorted);
+  if (stmt.limit.has_value() &&
+      result->rows.size() > static_cast<size_t>(*stmt.limit)) {
+    result->rows.resize(static_cast<size_t>(*stmt.limit));
+  }
+  return Status::OK();
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,102 @@
+// Query executor.
+//
+// Evaluation is tuple-at-a-time over nested loops. For each table in a FROM
+// list the executor picks an access path: when the WHERE clause contains
+// equality conjuncts binding indexed columns of that table to values already
+// available (outer-scope tables of a correlated subquery, or earlier tables
+// in the same FROM list), it performs a hash-index point lookup; otherwise
+// it scans. Correlated EXISTS subqueries are re-evaluated per outer row with
+// early-out on the first matching row — the execution shape DB2 would pick
+// for the highly selective key joins of the generated APPEL queries.
+
+#ifndef P3PDB_SQLDB_EXECUTOR_H_
+#define P3PDB_SQLDB_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "sqldb/ast.h"
+#include "sqldb/query_result.h"
+#include "sqldb/table.h"
+
+namespace p3pdb::sqldb {
+
+/// Executes bound SELECT statements. Stateless apart from the stats sink;
+/// one instance can run many queries.
+class Executor {
+ public:
+  explicit Executor(ExecStats* stats) : stats_(stats) {}
+
+  /// Runs a bound SELECT and materializes the full result.
+  Result<QueryResult> RunSelect(const SelectStmt& stmt);
+
+  /// Evaluates an expression with no row context (INSERT VALUES lists).
+  /// Column references fail.
+  Result<Value> EvalConstant(const Expr& expr);
+
+  /// Evaluates the WHERE clause of a bound single-table SELECT against one
+  /// candidate row (DELETE uses this to collect victims by row id). A null
+  /// WHERE accepts every row.
+  Result<bool> EvalRowPredicate(const SelectStmt& stmt, const Row& row);
+
+  /// Evaluates an arbitrary expression bound within `stmt`'s scope against
+  /// one row of its single FROM table (UPDATE assignment values).
+  Result<Value> EvalRowExpression(const SelectStmt& stmt, const Row& row,
+                                  const Expr& expr);
+
+ private:
+  struct Scope {
+    const SelectStmt* stmt = nullptr;
+    std::vector<const Row*> rows;  // one slot per FROM entry
+  };
+  using ScopeStack = std::vector<Scope*>;
+
+  Result<Value> Eval(const Expr& expr, ScopeStack& stack);
+  /// Evaluates a predicate; the row passes only when the result is TRUE
+  /// (NULL and FALSE both reject — SQL three-valued filter semantics).
+  Result<bool> EvalFilter(const Expr& expr, ScopeStack& stack);
+  Result<bool> ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack);
+
+  /// Depth-first enumeration of FROM-row combinations that satisfy WHERE.
+  /// `on_row` returns true to stop early (EXISTS).
+  Status EnumerateRows(const SelectStmt& stmt, ScopeStack& stack, Scope& scope,
+                       size_t slot, const std::function<Result<bool>()>& on_row,
+                       bool* stopped);
+
+  Result<QueryResult> RunPlainSelect(const SelectStmt& stmt,
+                                     ScopeStack& stack);
+  Result<QueryResult> RunAggregateSelect(const SelectStmt& stmt,
+                                         ScopeStack& stack);
+
+  Status ApplyDistinctOrderLimit(const SelectStmt& stmt, ScopeStack& stack,
+                                 QueryResult* result,
+                                 const std::vector<Row>& order_keys);
+  Status SortAndLimit(const SelectStmt& stmt, QueryResult* result,
+                      const std::vector<Row>& order_keys);
+
+  ExecStats* stats_;
+};
+
+/// SQL LIKE with % (any run) and _ (any single char). `escape_char` ('\0'
+/// for none) makes the following pattern character literal. NULL operands
+/// yield NULL at the caller; this is the non-null core.
+bool SqlLikeMatch(std::string_view text, std::string_view pattern,
+                  char escape_char = '\0');
+
+/// An equality conjunct usable for an index lookup when positioning FROM
+/// slot `slot`: a column of that slot equated with an expression whose
+/// inputs are already available. Shared between the executor's access-path
+/// choice and EXPLAIN.
+struct IndexableEquality {
+  size_t column_ordinal;
+  const Expr* key_expr;
+};
+
+/// Extracts the indexable equalities for `slot` from a bound WHERE clause.
+std::vector<IndexableEquality> CollectIndexableEqualities(const Expr* where,
+                                                          size_t slot);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_EXECUTOR_H_

@@ -1,0 +1,103 @@
+#include "sqldb/explain.h"
+
+#include "common/string_util.h"
+#include "sqldb/executor.h"
+#include "sqldb/table.h"
+
+namespace p3pdb::sqldb {
+
+namespace {
+
+void Indent(int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out);
+
+/// Walks an expression for EXISTS subqueries and explains each.
+void ExplainSubqueries(const Expr& expr, int depth, std::string* out) {
+  switch (expr.kind) {
+    case ExprKind::kExists: {
+      const auto& e = static_cast<const ExistsExpr&>(expr);
+      Indent(depth, out);
+      out->append(e.negated ? "not-exists-subquery\n" : "exists-subquery\n");
+      ExplainSelect(*e.subquery, depth + 1, out);
+      return;
+    }
+    case ExprKind::kLogical:
+      for (const ExprPtr& op :
+           static_cast<const LogicalExpr&>(expr).operands) {
+        ExplainSubqueries(*op, depth, out);
+      }
+      return;
+    case ExprKind::kNot:
+      ExplainSubqueries(*static_cast<const NotExpr&>(expr).operand, depth,
+                        out);
+      return;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(expr);
+      ExplainSubqueries(*c.left, depth, out);
+      ExplainSubqueries(*c.right, depth, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out) {
+  Indent(depth, out);
+  out->append("select");
+  if (stmt.distinct) out->append(" distinct");
+  if (!stmt.group_by.empty()) out->append(" (hash aggregate)");
+  if (!stmt.order_by.empty()) out->append(" (sort)");
+  if (stmt.limit.has_value()) {
+    out->append(" (limit " + std::to_string(*stmt.limit) + ")");
+  }
+  out->push_back('\n');
+
+  for (size_t slot = 0; slot < stmt.from.size(); ++slot) {
+    const TableRef& ref = stmt.from[slot];
+    Indent(depth + 1, out);
+    out->append("scan " + ref.alias);
+    if (ref.table == nullptr) {
+      out->append(" (unbound)\n");
+      continue;
+    }
+    std::vector<IndexableEquality> equalities =
+        CollectIndexableEqualities(stmt.where.get(), slot);
+    const Index* index = nullptr;
+    if (!equalities.empty()) {
+      std::vector<size_t> ordinals;
+      ordinals.reserve(equalities.size());
+      for (const IndexableEquality& eq : equalities) {
+        ordinals.push_back(eq.column_ordinal);
+      }
+      index = ref.table->FindIndexCovering(ordinals);
+    }
+    if (index != nullptr) {
+      std::vector<std::string> cols;
+      for (size_t ord : index->column_ordinals()) {
+        cols.push_back(ref.table->schema().columns()[ord].name);
+      }
+      out->append(" (index " + index->name() + " on " + Join(cols, ", ") +
+                  ")");
+    } else {
+      out->append(" (seq scan)");
+    }
+    out->push_back('\n');
+  }
+  if (stmt.where != nullptr) {
+    ExplainSubqueries(*stmt.where, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const SelectStmt& stmt) {
+  std::string out;
+  ExplainSelect(stmt, 0, &out);
+  return out;
+}
+
+}  // namespace p3pdb::sqldb

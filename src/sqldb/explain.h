@@ -1,0 +1,28 @@
+// EXPLAIN: renders the access-path decisions the executor will make for a
+// bound SELECT — which tables are probed through which hash index and which
+// fall back to sequential scans, with subqueries indented. This is how the
+// schema-ablation experiments show *why* the Figure 15 queries beat the
+// Figure 13 ones.
+
+#ifndef P3PDB_SQLDB_EXPLAIN_H_
+#define P3PDB_SQLDB_EXPLAIN_H_
+
+#include <string>
+
+#include "sqldb/ast.h"
+
+namespace p3pdb::sqldb {
+
+/// Produces the plan text for a *bound* SELECT (Database::Execute binds
+/// before calling this for EXPLAIN statements). One line per plan node:
+///
+///   select
+///     scan ApplicablePolicy (seq scan)
+///     exists-subquery
+///       scan Policy (index pk_Policy on policy_id)
+///       ...
+std::string ExplainPlan(const SelectStmt& stmt);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_EXPLAIN_H_

@@ -1,0 +1,151 @@
+#include "sqldb/lexer.h"
+
+#include "common/string_util.h"
+
+namespace p3pdb::sqldb {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  return type == TokenType::kIdentifier && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+
+  auto push = [&](TokenType type, std::string text, size_t offset) {
+    Token t;
+    t.type = type;
+    t.text = std::move(text);
+    t.offset = offset;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = sql[i];
+    if (IsAsciiSpace(c)) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsAsciiAlpha(c) || c == '_') {
+      while (i < n && (IsAsciiAlpha(sql[i]) || IsAsciiDigit(sql[i]) ||
+                       sql[i] == '_')) {
+        ++i;
+      }
+      push(TokenType::kIdentifier, std::string(sql.substr(start, i - start)),
+           start);
+      continue;
+    }
+    if (IsAsciiDigit(c)) {
+      int64_t value = 0;
+      while (i < n && IsAsciiDigit(sql[i])) {
+        value = value * 10 + (sql[i] - '0');
+        ++i;
+      }
+      Token t;
+      t.type = TokenType::kInteger;
+      t.text = std::string(sql.substr(start, i - start));
+      t.int_value = value;
+      t.offset = start;
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text.push_back(sql[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      push(TokenType::kString, std::move(text), start);
+      continue;
+    }
+    switch (c) {
+      case '(':
+        push(TokenType::kLeftParen, "(", start);
+        ++i;
+        continue;
+      case ')':
+        push(TokenType::kRightParen, ")", start);
+        ++i;
+        continue;
+      case ',':
+        push(TokenType::kComma, ",", start);
+        ++i;
+        continue;
+      case '.':
+        push(TokenType::kDot, ".", start);
+        ++i;
+        continue;
+      case '*':
+        push(TokenType::kStar, "*", start);
+        ++i;
+        continue;
+      case ';':
+        push(TokenType::kSemicolon, ";", start);
+        ++i;
+        continue;
+      case '=':
+        push(TokenType::kOperator, "=", start);
+        ++i;
+        continue;
+      case '<':
+        if (i + 1 < n && sql[i + 1] == '>') {
+          push(TokenType::kOperator, "<>", start);
+          i += 2;
+        } else if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kOperator, "<=", start);
+          i += 2;
+        } else {
+          push(TokenType::kOperator, "<", start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kOperator, ">=", start);
+          i += 2;
+        } else {
+          push(TokenType::kOperator, ">", start);
+          ++i;
+        }
+        continue;
+      case '!':
+        if (i + 1 < n && sql[i + 1] == '=') {
+          push(TokenType::kOperator, "<>", start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at offset " +
+                                  std::to_string(start));
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+    }
+  }
+  push(TokenType::kEnd, "", n);
+  return tokens;
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,45 @@
+// SQL tokenizer.
+
+#ifndef P3PDB_SQLDB_LEXER_H_
+#define P3PDB_SQLDB_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace p3pdb::sqldb {
+
+enum class TokenType {
+  kIdentifier,  // unquoted word that is not punctuation (keywords included)
+  kString,      // 'text' with '' escaping
+  kInteger,     // [0-9]+
+  kOperator,    // = <> != < <= > >=
+  kLeftParen,
+  kRightParen,
+  kComma,
+  kDot,
+  kStar,
+  kSemicolon,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // identifier spelling / operator / decoded string
+  int64_t int_value = 0;
+  size_t offset = 0;    // byte offset in the input, for error messages
+
+  /// Case-insensitive keyword check, valid for identifier tokens.
+  bool IsKeyword(std::string_view kw) const;
+};
+
+/// Tokenizes `sql`. Comments (`-- ...` to end of line) are skipped. The
+/// returned vector always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_LEXER_H_

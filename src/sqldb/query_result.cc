@@ -1,0 +1,61 @@
+#include "sqldb/query_result.h"
+
+#include <algorithm>
+
+namespace p3pdb::sqldb {
+
+std::string QueryResult::ToString() const {
+  if (columns.empty()) {
+    std::string out = "(";
+    out += std::to_string(rows_affected);
+    out += " rows affected)\n";
+    return out;
+  }
+  // Column widths.
+  std::vector<size_t> widths(columns.size());
+  for (size_t i = 0; i < columns.size(); ++i) widths[i] = columns[i].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows.size());
+  for (const Row& row : rows) {
+    std::vector<std::string> line;
+    line.reserve(row.size());
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToDisplayString());
+      if (i < widths.size()) widths[i] = std::max(widths[i], line[i].size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& line) {
+    out += "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      out += " ";
+      const std::string& cell = i < line.size() ? line[i] : std::string();
+      out += cell;
+      out.append(widths[i] - cell.size(), ' ');
+      out += " |";
+    }
+    out += "\n";
+  };
+  auto separator = [&] {
+    out += "+";
+    for (size_t w : widths) {
+      out.append(w + 2, '-');
+      out += "+";
+    }
+    out += "\n";
+  };
+
+  separator();
+  append_row(columns);
+  separator();
+  for (const auto& line : cells) append_row(line);
+  separator();
+  out += "(";
+  out += std::to_string(rows.size());
+  out += " rows)\n";
+  return out;
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,40 @@
+// The result of executing a SQL statement.
+
+#ifndef P3PDB_SQLDB_QUERY_RESULT_H_
+#define P3PDB_SQLDB_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sqldb/schema.h"
+
+namespace p3pdb::sqldb {
+
+/// Rows and column names for queries; rows_affected for DML/DDL.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+  int64_t rows_affected = 0;
+
+  bool empty() const { return rows.empty(); }
+
+  /// Renders an ASCII table (for examples and debugging).
+  std::string ToString() const;
+};
+
+/// Counters accumulated by the executor; reset via Database::ResetStats().
+/// The ablation benchmarks report these to explain *why* one plan shape is
+/// faster than another (index lookups vs. full scans).
+struct ExecStats {
+  uint64_t statements_executed = 0;
+  uint64_t rows_scanned = 0;      // rows visited by any access path
+  uint64_t index_lookups = 0;     // point lookups served by a hash index
+  uint64_t full_scans = 0;        // table scans (no usable index)
+  uint64_t subquery_evals = 0;    // EXISTS subquery evaluations
+  uint64_t comparisons = 0;       // predicate comparisons evaluated
+};
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_QUERY_RESULT_H_

@@ -1,0 +1,122 @@
+#include "sqldb/value.h"
+
+#include <functional>
+
+#include "common/string_util.h"
+
+namespace p3pdb::sqldb {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInteger:
+      return "INTEGER";
+    case ValueType::kText:
+      return "TEXT";
+    case ValueType::kBoolean:
+      return "BOOLEAN";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInteger:
+      return std::to_string(AsInteger());
+    case ValueType::kText:
+      return SqlQuote(AsText());
+    case ValueType::kBoolean:
+      return AsBoolean() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+std::string Value::ToDisplayString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInteger:
+      return std::to_string(AsInteger());
+    case ValueType::kText:
+      return AsText();
+    case ValueType::kBoolean:
+      return AsBoolean() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+namespace {
+
+Status IncompatibleTypes(const Value& a, const Value& b) {
+  return Status::InvalidArgument(
+      std::string("cannot compare ") + ValueTypeName(a.type()) + " with " +
+      ValueTypeName(b.type()));
+}
+
+}  // namespace
+
+Result<Value> Value::CompareEq(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.type() != b.type()) return IncompatibleTypes(a, b);
+  switch (a.type()) {
+    case ValueType::kInteger:
+      return Value::Boolean(a.AsInteger() == b.AsInteger());
+    case ValueType::kText:
+      return Value::Boolean(a.AsText() == b.AsText());
+    case ValueType::kBoolean:
+      return Value::Boolean(a.AsBoolean() == b.AsBoolean());
+    default:
+      return IncompatibleTypes(a, b);
+  }
+}
+
+Result<Value> Value::CompareLt(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (a.type() != b.type()) return IncompatibleTypes(a, b);
+  switch (a.type()) {
+    case ValueType::kInteger:
+      return Value::Boolean(a.AsInteger() < b.AsInteger());
+    case ValueType::kText:
+      return Value::Boolean(a.AsText() < b.AsText());
+    default:
+      return IncompatibleTypes(a, b);
+  }
+}
+
+int Value::OrderCompare(const Value& a, const Value& b) {
+  int ta = static_cast<int>(a.type());
+  int tb = static_cast<int>(b.type());
+  if (ta != tb) return ta < tb ? -1 : 1;
+  switch (a.type()) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kInteger: {
+      int64_t x = a.AsInteger(), y = b.AsInteger();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kText:
+      return a.AsText().compare(b.AsText());
+    case ValueType::kBoolean:
+      return static_cast<int>(a.AsBoolean()) - static_cast<int>(b.AsBoolean());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9E3779B9;
+    case ValueType::kInteger:
+      return std::hash<int64_t>()(AsInteger());
+    case ValueType::kText:
+      return std::hash<std::string>()(AsText());
+    case ValueType::kBoolean:
+      return AsBoolean() ? 1u : 2u;
+  }
+  return 0;
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,42 @@
+#include "translator/applicable_policy.h"
+
+#include "common/string_util.h"
+
+namespace p3pdb::translator {
+
+std::string ApplicablePolicyQuery(std::string_view local_path,
+                                  bool for_cookie) {
+  const char* include_table = for_cookie ? "CookieInclude" : "Include";
+  const char* include_id = for_cookie ? "cookieinclude_id" : "include_id";
+  const char* exclude_table = for_cookie ? "CookieExclude" : "Exclude";
+  const char* exclude_id = for_cookie ? "cookieexclude_id" : "exclude_id";
+  (void)include_id;
+  (void)exclude_id;
+  std::string path_literal = SqlQuote(local_path);
+  std::string sql = "SELECT Policyref.policy_id FROM Policyref WHERE ";
+  sql += "Policyref.policy_id IS NOT NULL AND EXISTS (SELECT * FROM ";
+  sql += include_table;
+  sql += " WHERE ";
+  sql += include_table;
+  sql += ".policyref_id = Policyref.policyref_id AND ";
+  sql += path_literal;
+  sql += " LIKE ";
+  sql += include_table;
+  sql += ".pattern ESCAPE '\\') AND NOT EXISTS (SELECT * FROM ";
+  sql += exclude_table;
+  sql += " WHERE ";
+  sql += exclude_table;
+  sql += ".policyref_id = Policyref.policyref_id AND ";
+  sql += path_literal;
+  sql += " LIKE ";
+  sql += exclude_table;
+  sql += ".pattern ESCAPE '\\') ORDER BY Policyref.policyref_id LIMIT 1";
+  return sql;
+}
+
+std::string ApplicablePolicyDdl() {
+  return std::string("CREATE TABLE ") + kApplicablePolicyTable +
+         " (policy_id INTEGER NOT NULL)";
+}
+
+}  // namespace p3pdb::translator

@@ -1,0 +1,31 @@
+// The applicablePolicy() function of the paper's Figure 11: a query over
+// the reference-file tables (Figure 16) returning the id of the policy
+// governing a requested URI.
+//
+// The paper materializes its result as the one-row temporary table
+// "ApplicablePolicy" that the generated rule queries select FROM; the
+// server module does the same (translator/…; server/policy_server.cc).
+
+#ifndef P3PDB_TRANSLATOR_APPLICABLE_POLICY_H_
+#define P3PDB_TRANSLATOR_APPLICABLE_POLICY_H_
+
+#include <string>
+#include <string_view>
+
+namespace p3pdb::translator {
+
+/// Name of the materialized one-row table the rule queries reference.
+inline constexpr const char* kApplicablePolicyTable = "ApplicablePolicy";
+
+/// Builds the SQL locating the applicable policy for `local_path` per spec
+/// §2.4.1: the first POLICY-REF (document order) with a matching INCLUDE
+/// and no matching EXCLUDE. Patterns were converted to LIKE at shred time.
+std::string ApplicablePolicyQuery(std::string_view local_path,
+                                  bool for_cookie = false);
+
+/// DDL for the materialized table.
+std::string ApplicablePolicyDdl();
+
+}  // namespace p3pdb::translator
+
+#endif  // P3PDB_TRANSLATOR_APPLICABLE_POLICY_H_

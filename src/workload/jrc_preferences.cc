@@ -1,0 +1,300 @@
+#include "workload/jrc_preferences.h"
+
+namespace p3pdb::workload {
+
+using appel::AppelAttribute;
+using appel::AppelExpr;
+using appel::AppelRule;
+using appel::AppelRuleset;
+using appel::Connective;
+
+namespace {
+
+AppelExpr Value(std::string name) {
+  AppelExpr expr;
+  expr.name = std::move(name);
+  return expr;
+}
+
+AppelExpr ValueRequired(std::string name, std::string required) {
+  AppelExpr expr = Value(std::move(name));
+  expr.attributes.push_back(AppelAttribute{"required", std::move(required)});
+  return expr;
+}
+
+AppelExpr OrGroup(std::string name, std::vector<AppelExpr> children) {
+  AppelExpr expr;
+  expr.name = std::move(name);
+  expr.connective = Connective::kOr;
+  expr.children = std::move(children);
+  return expr;
+}
+
+/// POLICY > STATEMENT > inner.
+AppelExpr InStatement(AppelExpr inner) {
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.children.push_back(std::move(inner));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  return policy;
+}
+
+/// POLICY > inner (for ACCESS patterns).
+AppelExpr InPolicy(AppelExpr inner) {
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(inner));
+  return policy;
+}
+
+AppelRule BlockRule(AppelExpr pattern, std::string description) {
+  AppelRule rule;
+  rule.behavior = "block";
+  rule.description = std::move(description);
+  rule.expressions.push_back(std::move(pattern));
+  return rule;
+}
+
+AppelRule RequestCatchAll() {
+  AppelRule rule;
+  rule.behavior = "request";
+  rule.description = "accept everything the earlier rules did not block";
+  return rule;
+}
+
+// ---- The block rules the levels are assembled from ------------------------
+
+AppelRule BlockTelemarketing() {
+  return BlockRule(InStatement(OrGroup("PURPOSE", [] {
+                     std::vector<AppelExpr> v;
+                     v.push_back(Value("telemarketing"));
+                     return v;
+                   }())),
+                   "no telemarketing with my data");
+}
+
+AppelRule BlockMandatoryContact() {
+  return BlockRule(InStatement(OrGroup("PURPOSE", [] {
+                     std::vector<AppelExpr> v;
+                     v.push_back(ValueRequired("contact", "always"));
+                     return v;
+                   }())),
+                   "contact for marketing must be opt-in or opt-out");
+}
+
+AppelRule BlockAnyContact() {
+  return BlockRule(InStatement(OrGroup("PURPOSE", [] {
+                     std::vector<AppelExpr> v;
+                     v.push_back(Value("contact"));
+                     return v;
+                   }())),
+                   "no marketing contact at all");
+}
+
+AppelRule BlockNonEssentialPurposes() {
+  std::vector<AppelExpr> purposes;
+  for (const char* v : {"admin", "develop", "tailoring", "pseudo-analysis",
+                        "pseudo-decision", "individual-analysis"}) {
+    purposes.push_back(Value(v));
+  }
+  purposes.push_back(ValueRequired("individual-decision", "always"));
+  purposes.push_back(ValueRequired("contact", "always"));
+  for (const char* v :
+       {"historical", "telemarketing", "other-purpose", "extension"}) {
+    purposes.push_back(Value(v));
+  }
+  return BlockRule(InStatement(OrGroup("PURPOSE", std::move(purposes))),
+                   "only the purpose I came for");
+}
+
+AppelRule BlockProfiling() {
+  std::vector<AppelExpr> purposes;
+  purposes.push_back(Value("pseudo-analysis"));
+  purposes.push_back(Value("pseudo-decision"));
+  return BlockRule(InStatement(OrGroup("PURPOSE", std::move(purposes))),
+                   "no pseudonymous profiling");
+}
+
+AppelRule BlockHistoricalAndOther() {
+  std::vector<AppelExpr> purposes;
+  purposes.push_back(Value("historical"));
+  purposes.push_back(Value("other-purpose"));
+  return BlockRule(InStatement(OrGroup("PURPOSE", std::move(purposes))),
+                   "no archival or unnamed purposes");
+}
+
+AppelRule BlockOptOutOnlyConsent() {
+  std::vector<AppelExpr> purposes;
+  purposes.push_back(ValueRequired("individual-analysis", "opt-out"));
+  purposes.push_back(ValueRequired("individual-decision", "opt-out"));
+  purposes.push_back(ValueRequired("contact", "opt-out"));
+  return BlockRule(InStatement(OrGroup("PURPOSE", std::move(purposes))),
+                   "consent must be opt-in, not opt-out");
+}
+
+AppelRule BlockBroadRecipients() {
+  std::vector<AppelExpr> recipients;
+  for (const char* v :
+       {"delivery", "other-recipient", "unrelated", "public", "extension"}) {
+    recipients.push_back(Value(v));
+  }
+  return BlockRule(InStatement(OrGroup("RECIPIENT", std::move(recipients))),
+                   "data stays with the site and its agents");
+}
+
+AppelRule BlockAllThirdParties() {
+  std::vector<AppelExpr> recipients;
+  for (const char* v : {"same", "delivery", "other-recipient", "unrelated",
+                        "public", "extension"}) {
+    recipients.push_back(Value(v));
+  }
+  return BlockRule(InStatement(OrGroup("RECIPIENT", std::move(recipients))),
+                   "data stays with the site alone");
+}
+
+AppelRule BlockIndefiniteRetention() {
+  std::vector<AppelExpr> retentions;
+  retentions.push_back(Value("indefinitely"));
+  return BlockRule(InStatement(OrGroup("RETENTION", std::move(retentions))),
+                   "no indefinite retention");
+}
+
+AppelRule BlockLongRetention() {
+  std::vector<AppelExpr> retentions;
+  retentions.push_back(Value("legal-requirement"));
+  retentions.push_back(Value("business-practices"));
+  retentions.push_back(Value("indefinitely"));
+  return BlockRule(InStatement(OrGroup("RETENTION", std::move(retentions))),
+                   "data discarded at the earliest time possible");
+}
+
+AppelRule BlockNoAccess() {
+  std::vector<AppelExpr> access;
+  access.push_back(Value("none"));
+  return BlockRule(InPolicy(OrGroup("ACCESS", std::move(access))),
+                   "I must be able to review my data");
+}
+
+/// The deep pattern: sensitive data categories used for individualized
+/// analysis. STATEMENT > {PURPOSE, DATA-GROUP > DATA > CATEGORIES} — the
+/// rule whose XTABLE translation exceeds a bounded complexity budget.
+AppelRule BlockSensitiveProfiling() {
+  AppelExpr purpose = OrGroup("PURPOSE", [] {
+    std::vector<AppelExpr> v;
+    v.push_back(Value("individual-analysis"));
+    v.push_back(Value("individual-decision"));
+    return v;
+  }());
+
+  AppelExpr categories = OrGroup("CATEGORIES", [] {
+    std::vector<AppelExpr> v;
+    v.push_back(Value("health"));
+    v.push_back(Value("financial"));
+    return v;
+  }());
+  AppelExpr data;
+  data.name = "DATA";
+  data.children.push_back(std::move(categories));
+  AppelExpr group;
+  group.name = "DATA-GROUP";
+  group.children.push_back(std::move(data));
+
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.connective = Connective::kAnd;
+  statement.children.push_back(std::move(purpose));
+  statement.children.push_back(std::move(group));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  return BlockRule(std::move(policy),
+                   "no profiling on my health or financial data");
+}
+
+}  // namespace
+
+std::span<const PreferenceLevel> AllPreferenceLevels() {
+  static constexpr PreferenceLevel kLevels[] = {
+      PreferenceLevel::kVeryHigh, PreferenceLevel::kHigh,
+      PreferenceLevel::kMedium, PreferenceLevel::kLow,
+      PreferenceLevel::kVeryLow};
+  return kLevels;
+}
+
+const char* PreferenceLevelName(PreferenceLevel level) {
+  switch (level) {
+    case PreferenceLevel::kVeryHigh:
+      return "Very High";
+    case PreferenceLevel::kHigh:
+      return "High";
+    case PreferenceLevel::kMedium:
+      return "Medium";
+    case PreferenceLevel::kLow:
+      return "Low";
+    case PreferenceLevel::kVeryLow:
+      return "Very Low";
+  }
+  return "?";
+}
+
+size_t ExpectedRuleCount(PreferenceLevel level) {
+  switch (level) {
+    case PreferenceLevel::kVeryHigh:
+      return 10;
+    case PreferenceLevel::kHigh:
+      return 7;
+    case PreferenceLevel::kMedium:
+      return 4;
+    case PreferenceLevel::kLow:
+      return 2;
+    case PreferenceLevel::kVeryLow:
+      return 1;
+  }
+  return 0;
+}
+
+appel::AppelRuleset JrcPreference(PreferenceLevel level) {
+  AppelRuleset ruleset;
+  switch (level) {
+    case PreferenceLevel::kVeryLow:
+      // 1 rule: accept everything.
+      break;
+    case PreferenceLevel::kLow:
+      ruleset.rules.push_back(BlockTelemarketing());
+      break;
+    case PreferenceLevel::kMedium:
+      ruleset.rules.push_back(BlockTelemarketing());
+      ruleset.rules.push_back(BlockMandatoryContact());
+      ruleset.rules.push_back(BlockSensitiveProfiling());
+      break;
+    case PreferenceLevel::kHigh:
+      ruleset.rules.push_back(BlockNonEssentialPurposes());
+      ruleset.rules.push_back(BlockTelemarketing());
+      ruleset.rules.push_back(BlockMandatoryContact());
+      ruleset.rules.push_back(BlockBroadRecipients());
+      ruleset.rules.push_back(BlockIndefiniteRetention());
+      ruleset.rules.push_back(BlockNoAccess());
+      break;
+    case PreferenceLevel::kVeryHigh:
+      ruleset.rules.push_back(BlockNonEssentialPurposes());
+      ruleset.rules.push_back(BlockTelemarketing());
+      ruleset.rules.push_back(BlockAnyContact());
+      ruleset.rules.push_back(BlockProfiling());
+      ruleset.rules.push_back(BlockHistoricalAndOther());
+      ruleset.rules.push_back(BlockOptOutOnlyConsent());
+      ruleset.rules.push_back(BlockAllThirdParties());
+      ruleset.rules.push_back(BlockLongRetention());
+      ruleset.rules.push_back(BlockNoAccess());
+      break;
+  }
+  ruleset.rules.push_back(RequestCatchAll());
+  return ruleset;
+}
+
+double PreferenceSizeKb(const appel::AppelRuleset& ruleset) {
+  return static_cast<double>(appel::RulesetToText(ruleset).size()) / 1024.0;
+}
+
+}  // namespace p3pdb::workload

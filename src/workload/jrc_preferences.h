@@ -1,0 +1,45 @@
+// The JRC test-suite preferences (paper §6.2, Figure 19).
+//
+// The Joint Research Centre shipped five APPEL preferences at increasing
+// privacy sensitivity — Very High (10 rules, 3.1 KB) down to Very Low
+// (1 rule, 0.3 KB). The originals are long gone with p3p.jrc.it, so these
+// are reconstructions that match Figure 19's rule counts exactly and the
+// reported sizes approximately, with semantics in the spirit of the
+// era's user agents (Privacy Bird's high/medium/low settings):
+// higher sensitivity adds rules that block more purposes, recipients,
+// retentions, and sensitive data categories.
+//
+// The Medium preference deliberately carries the deepest pattern
+// (STATEMENT > DATA-GROUP > DATA > CATEGORIES): its XTABLE translation
+// exceeds a bounded statement complexity budget, reproducing the missing
+// Medium cell of Figure 21.
+
+#ifndef P3PDB_WORKLOAD_JRC_PREFERENCES_H_
+#define P3PDB_WORKLOAD_JRC_PREFERENCES_H_
+
+#include <span>
+#include <string>
+
+#include "appel/model.h"
+
+namespace p3pdb::workload {
+
+enum class PreferenceLevel { kVeryHigh, kHigh, kMedium, kLow, kVeryLow };
+
+/// The five levels, most sensitive first (Figure 19's row order).
+std::span<const PreferenceLevel> AllPreferenceLevels();
+
+const char* PreferenceLevelName(PreferenceLevel level);
+
+/// Figure 19's rule count for the level (10/7/4/2/1).
+size_t ExpectedRuleCount(PreferenceLevel level);
+
+/// The reconstructed preference for the level.
+appel::AppelRuleset JrcPreference(PreferenceLevel level);
+
+/// Size of a preference, measured like the paper: KB of APPEL XML text.
+double PreferenceSizeKb(const appel::AppelRuleset& ruleset);
+
+}  // namespace p3pdb::workload
+
+#endif  // P3PDB_WORKLOAD_JRC_PREFERENCES_H_

@@ -1,0 +1,45 @@
+// The running examples of the paper's §2: Volga the bookseller's privacy
+// policy (Figure 1) and Jane's APPEL preference (Figure 2).
+//
+// Per the paper's walk-through, Volga's policy *conforms* to Jane's
+// preference: her first rule does not fire (the only overlapping purposes,
+// individual-decision and contact, carry required="opt-in" in the policy
+// while her rule demands "always"), her second rule does not fire (none of
+// the blocked recipients appear), and the final catch-all requests the
+// page. Tests pin this outcome on every engine.
+
+#ifndef P3PDB_WORKLOAD_PAPER_EXAMPLES_H_
+#define P3PDB_WORKLOAD_PAPER_EXAMPLES_H_
+
+#include <string>
+
+#include "appel/model.h"
+#include "p3p/policy.h"
+#include "p3p/reference_file.h"
+
+namespace p3pdb::workload {
+
+/// Volga's policy (Figure 1), as a model.
+p3p::Policy VolgaPolicy();
+
+/// Volga's policy as P3P XML text.
+std::string VolgaPolicyXml();
+
+/// Jane's preference (Figure 2): two block rules plus a request catch-all.
+appel::AppelRuleset JanePreference();
+
+/// Jane's preference as APPEL XML text.
+std::string JanePreferenceXml();
+
+/// The simplified first rule of Jane's preference used in the paper's
+/// translation examples (Figure 12): block if PURPOSE contains admin, or
+/// contact with required="always".
+appel::AppelRule JaneSimplifiedFirstRule();
+
+/// A small reference file for volga.example.com: the whole site is covered
+/// by the policy, except the /about area.
+p3p::ReferenceFile VolgaReferenceFile();
+
+}  // namespace p3pdb::workload
+
+#endif  // P3PDB_WORKLOAD_PAPER_EXAMPLES_H_

@@ -1,0 +1,169 @@
+#include "workload/random_preferences.h"
+
+#include <span>
+
+#include "p3p/vocab.h"
+
+namespace p3pdb::workload {
+
+using appel::AppelAttribute;
+using appel::AppelExpr;
+using appel::AppelRule;
+using appel::AppelRuleset;
+using appel::Connective;
+
+namespace {
+
+Connective RandomConnective(Random* rng, bool allow_exact) {
+  static constexpr Connective kBasic[] = {
+      Connective::kAnd, Connective::kOr, Connective::kNonAnd,
+      Connective::kNonOr};
+  static constexpr Connective kAll[] = {
+      Connective::kAnd,     Connective::kOr,      Connective::kNonAnd,
+      Connective::kNonOr,   Connective::kAndExact, Connective::kOrExact};
+  if (allow_exact) return kAll[rng->Uniform(std::size(kAll))];
+  return kBasic[rng->Uniform(std::size(kBasic))];
+}
+
+AppelExpr Value(std::string name) {
+  AppelExpr e;
+  e.name = std::move(name);
+  return e;
+}
+
+/// A vocabulary group expression (PURPOSE/RECIPIENT/CATEGORIES/...) with
+/// 1-4 distinct values, a random connective, and occasional required
+/// attributes.
+AppelExpr RandomValueGroup(Random* rng, const char* group_name,
+                           std::span<const std::string_view> values,
+                           bool allow_required, bool allow_exact) {
+  AppelExpr group;
+  group.name = group_name;
+  group.connective = RandomConnective(rng, allow_exact);
+  int count = rng->UniformInt(1, 4);
+  std::vector<size_t> picks;
+  while (static_cast<int>(picks.size()) < count) {
+    size_t idx = rng->Uniform(values.size());
+    bool duplicate = false;
+    for (size_t p : picks) duplicate |= p == idx;
+    if (!duplicate) picks.push_back(idx);
+  }
+  for (size_t idx : picks) {
+    AppelExpr value = Value(std::string(values[idx]));
+    if (allow_required && rng->Bernoulli(0.3)) {
+      static constexpr const char* kRequired[] = {"always", "opt-in",
+                                                  "opt-out"};
+      value.attributes.push_back(
+          AppelAttribute{"required", kRequired[rng->Uniform(3)]});
+    }
+    group.children.push_back(std::move(value));
+  }
+  return group;
+}
+
+AppelExpr RandomDataGroupPattern(Random* rng, bool allow_exact,
+                                 bool allow_categories) {
+  static constexpr std::string_view kRefs[] = {
+      "#user.name",
+      "#user.home-info.postal",
+      "#user.home-info.online.email",
+      "#user.bdate",
+      "#dynamic.clickstream",
+      "#dynamic.miscdata",
+      "#user.login.id",
+  };
+  AppelExpr group;
+  group.name = "DATA-GROUP";
+  group.connective = RandomConnective(rng, allow_exact);
+  int count = rng->UniformInt(1, 2);
+  for (int i = 0; i < count; ++i) {
+    AppelExpr data;
+    data.name = "DATA";
+    if (rng->Bernoulli(0.7)) {
+      data.attributes.push_back(AppelAttribute{
+          "ref", std::string(kRefs[rng->Uniform(std::size(kRefs))])});
+    }
+    if (allow_categories && rng->Bernoulli(0.5)) {
+      data.children.push_back(RandomValueGroup(
+          rng, "CATEGORIES", p3p::Categories(), false, allow_exact));
+    }
+    group.children.push_back(std::move(data));
+  }
+  return group;
+}
+
+AppelExpr RandomStatementPattern(Random* rng,
+                                 const RandomPreferenceOptions& options) {
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.connective = rng->Bernoulli(0.8) ? Connective::kAnd
+                                             : Connective::kOr;
+  int parts = rng->UniformInt(1, 3);
+  for (int i = 0; i < parts; ++i) {
+    switch (rng->Uniform(4)) {
+      case 0:
+        statement.children.push_back(
+            RandomValueGroup(rng, "PURPOSE", p3p::Purposes(), true,
+                             options.allow_exact_connectives));
+        break;
+      case 1:
+        statement.children.push_back(
+            RandomValueGroup(rng, "RECIPIENT", p3p::Recipients(), true,
+                             options.allow_exact_connectives));
+        break;
+      case 2: {
+        // RETENTION is single-valued; exact connectives over it are only
+        // supported by the optimized translator, so keep basic ones.
+        AppelExpr retention = RandomValueGroup(
+            rng, "RETENTION", p3p::Retentions(), false, false);
+        statement.children.push_back(std::move(retention));
+        break;
+      }
+      default:
+        statement.children.push_back(RandomDataGroupPattern(
+            rng, options.allow_exact_connectives,
+            options.allow_category_patterns));
+        break;
+    }
+  }
+  return statement;
+}
+
+}  // namespace
+
+AppelRuleset RandomPreference(Random* rng,
+                              const RandomPreferenceOptions& options) {
+  AppelRuleset ruleset;
+  int block_rules = rng->UniformInt(1, options.max_rules - 1);
+  for (int i = 0; i < block_rules; ++i) {
+    AppelRule rule;
+    rule.behavior = rng->Bernoulli(0.8) ? "block" : "limited";
+    auto make_policy_expr = [&] {
+      AppelExpr policy;
+      policy.name = "POLICY";
+      if (rng->Bernoulli(0.15)) {
+        // An ACCESS pattern directly under POLICY.
+        policy.children.push_back(RandomValueGroup(
+            rng, "ACCESS", p3p::AccessValues(), false, false));
+      } else {
+        policy.children.push_back(RandomStatementPattern(rng, options));
+      }
+      return policy;
+    };
+    rule.expressions.push_back(make_policy_expr());
+    // Occasionally a rule with two POLICY expressions joined by a
+    // rule-level connective (exact connectives are undefined at rule
+    // level).
+    if (rng->Bernoulli(0.25)) {
+      rule.expressions.push_back(make_policy_expr());
+      rule.connective = RandomConnective(rng, /*allow_exact=*/false);
+    }
+    ruleset.rules.push_back(std::move(rule));
+  }
+  AppelRule catch_all;
+  catch_all.behavior = "request";
+  ruleset.rules.push_back(std::move(catch_all));
+  return ruleset;
+}
+
+}  // namespace p3pdb::workload

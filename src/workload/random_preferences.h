@@ -1,0 +1,35 @@
+// Random APPEL preference generator for property-based testing.
+//
+// Draws rulesets from the full pattern grammar the engines support —
+// PURPOSE/RECIPIENT/RETENTION/ACCESS/DATA-GROUP/DATA/CATEGORIES patterns
+// with all six connectives and required-attribute tests — so differential
+// tests can check that every engine computes identical outcomes on inputs
+// no one hand-picked.
+
+#ifndef P3PDB_WORKLOAD_RANDOM_PREFERENCES_H_
+#define P3PDB_WORKLOAD_RANDOM_PREFERENCES_H_
+
+#include "appel/model.h"
+#include "common/random.h"
+
+namespace p3pdb::workload {
+
+struct RandomPreferenceOptions {
+  int max_rules = 5;
+  /// Include and-exact / or-exact connectives. The simple-schema SQL and
+  /// XQuery translators reject these by design, so cross-engine tests that
+  /// include those engines must generate without them.
+  bool allow_exact_connectives = false;
+  /// Include CATEGORIES patterns (requires augmented evidence to be
+  /// meaningful; all server configurations in tests augment at install).
+  bool allow_category_patterns = true;
+};
+
+/// Generates a valid ruleset: 1..max_rules-1 block/limited rules followed
+/// by a request catch-all.
+appel::AppelRuleset RandomPreference(Random* rng,
+                                     const RandomPreferenceOptions& options);
+
+}  // namespace p3pdb::workload
+
+#endif  // P3PDB_WORKLOAD_RANDOM_PREFERENCES_H_

@@ -1,0 +1,96 @@
+#include "xml/node.h"
+
+namespace p3pdb::xml {
+
+std::string_view Element::LocalName() const {
+  size_t colon = name_.find(':');
+  if (colon == std::string::npos) return name_;
+  return std::string_view(name_).substr(colon + 1);
+}
+
+std::string_view Element::Prefix() const {
+  size_t colon = name_.find(':');
+  if (colon == std::string::npos) return {};
+  return std::string_view(name_).substr(0, colon);
+}
+
+std::optional<std::string_view> Element::Attr(std::string_view name) const {
+  for (const Attribute& a : attributes_) {
+    if (a.name == name) return std::string_view(a.value);
+  }
+  return std::nullopt;
+}
+
+std::string_view Element::AttrOr(std::string_view name,
+                                 std::string_view fallback) const {
+  std::optional<std::string_view> v = Attr(name);
+  return v.has_value() ? *v : fallback;
+}
+
+void Element::SetAttr(std::string_view name, std::string_view value) {
+  for (Attribute& a : attributes_) {
+    if (a.name == name) {
+      a.value = std::string(value);
+      return;
+    }
+  }
+  attributes_.push_back(Attribute{std::string(name), std::string(value)});
+}
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+Element* Element::AddChild(std::unique_ptr<Element> child) {
+  children_.push_back(std::move(child));
+  return children_.back().get();
+}
+
+namespace {
+bool LocalNameMatches(const Element& e, std::string_view local_name) {
+  return e.LocalName() == local_name;
+}
+}  // namespace
+
+const Element* Element::FindChild(std::string_view local_name) const {
+  for (const auto& c : children_) {
+    if (LocalNameMatches(*c, local_name)) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::FindChild(std::string_view local_name) {
+  for (auto& c : children_) {
+    if (LocalNameMatches(*c, local_name)) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindChildren(
+    std::string_view local_name) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (LocalNameMatches(*c, local_name)) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::unique_ptr<Element> Element::Clone() const {
+  auto copy = std::make_unique<Element>(name_);
+  copy->text_ = text_;
+  copy->attributes_ = attributes_;
+  copy->children_.reserve(children_.size());
+  for (const auto& c : children_) {
+    copy->children_.push_back(c->Clone());
+  }
+  return copy;
+}
+
+size_t Element::SubtreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->SubtreeSize();
+  return n;
+}
+
+}  // namespace p3pdb::xml

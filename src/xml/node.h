@@ -1,0 +1,108 @@
+// A small XML document object model.
+//
+// P3P policies, APPEL preferences, and reference files are all XML, and no
+// external XML library is available, so p3pdb carries its own DOM. The model
+// is element-centric: each element stores its qualified name, its attributes
+// in document order, its child elements in document order, and the
+// concatenation of its directly-contained text. This is sufficient for the
+// P3P family of documents, where mixed content only appears in
+// human-readable elements such as CONSEQUENCE.
+//
+// Namespaces are handled at the prefix level: "appel:RULE" has prefix
+// "appel" and local name "RULE". The P3P/APPEL documents use fixed,
+// well-known prefixes, so full URI resolution is not required; xmlns
+// declarations are retained as ordinary attributes.
+
+#ifndef P3PDB_XML_NODE_H_
+#define P3PDB_XML_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p3pdb::xml {
+
+/// A name="value" pair on an element, in document order.
+struct Attribute {
+  std::string name;   // qualified, e.g. "appel:connective"
+  std::string value;  // entity-decoded
+};
+
+/// An XML element. Owns its children.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  Element(const Element&) = delete;
+  Element& operator=(const Element&) = delete;
+
+  /// Qualified name as written, e.g. "appel:RULE".
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Local part of the name ("RULE" for "appel:RULE").
+  std::string_view LocalName() const;
+  /// Namespace prefix ("appel" for "appel:RULE"), empty if none.
+  std::string_view Prefix() const;
+
+  /// Directly-contained character data, entity-decoded and concatenated.
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+  void AppendText(std::string_view more) { text_.append(more); }
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Value of the attribute with the given qualified name, if present.
+  std::optional<std::string_view> Attr(std::string_view name) const;
+
+  /// Value of the attribute, or `fallback` when absent.
+  std::string_view AttrOr(std::string_view name,
+                          std::string_view fallback) const;
+
+  bool HasAttr(std::string_view name) const { return Attr(name).has_value(); }
+
+  /// Sets (or overwrites) an attribute.
+  void SetAttr(std::string_view name, std::string_view value);
+
+  const std::vector<std::unique_ptr<Element>>& children() const {
+    return children_;
+  }
+
+  /// Appends a child element and returns a pointer to it.
+  Element* AddChild(std::string name);
+  Element* AddChild(std::unique_ptr<Element> child);
+
+  /// First child whose local name matches, or nullptr.
+  const Element* FindChild(std::string_view local_name) const;
+  Element* FindChild(std::string_view local_name);
+
+  /// All children whose local name matches, in document order.
+  std::vector<const Element*> FindChildren(std::string_view local_name) const;
+
+  /// Number of child elements.
+  size_t ChildCount() const { return children_.size(); }
+
+  /// Deep copy of this element and its subtree.
+  std::unique_ptr<Element> Clone() const;
+
+  /// Total number of elements in this subtree (including this one).
+  /// Used by workload statistics.
+  size_t SubtreeSize() const;
+
+ private:
+  std::string name_;
+  std::string text_;
+  std::vector<Attribute> attributes_;
+  std::vector<std::unique_ptr<Element>> children_;
+};
+
+/// A parsed XML document: the root element plus any prolog the parser kept.
+struct Document {
+  std::unique_ptr<Element> root;
+};
+
+}  // namespace p3pdb::xml
+
+#endif  // P3PDB_XML_NODE_H_

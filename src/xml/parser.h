@@ -1,0 +1,36 @@
+// Recursive-descent XML parser producing the p3pdb DOM (see node.h).
+//
+// Supported: prolog (<?xml ...?>), processing instructions, comments,
+// CDATA sections, DOCTYPE (skipped, internal subsets not expanded),
+// single- and double-quoted attributes, self-closing tags, and the five
+// predefined entities plus decimal/hex character references.
+//
+// Not supported (returns Status::Unsupported): external entity expansion.
+// P3P documents do not use it, and skipping it avoids the XXE class of
+// vulnerabilities by construction.
+
+#ifndef P3PDB_XML_PARSER_H_
+#define P3PDB_XML_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "xml/node.h"
+
+namespace p3pdb::xml {
+
+/// Parses a complete XML document. Errors carry a line:column location.
+Result<Document> Parse(std::string_view input);
+
+/// Decodes XML entities (&amp; etc. and numeric references) in `s`.
+/// Unknown entities fail with ParseError.
+Result<std::string> DecodeEntities(std::string_view s);
+
+/// Encodes the five special characters for use in text content or
+/// double-quoted attribute values.
+std::string EncodeEntities(std::string_view s);
+
+}  // namespace p3pdb::xml
+
+#endif  // P3PDB_XML_PARSER_H_

@@ -1,0 +1,73 @@
+#include "xml/writer.h"
+
+#include "common/string_util.h"
+#include "xml/parser.h"
+
+namespace p3pdb::xml {
+
+namespace {
+
+void WriteElement(const Element& e, const WriteOptions& options, int depth,
+                  std::string* out) {
+  auto indent = [&](int d) {
+    if (options.indent) {
+      for (int i = 0; i < d * 2; ++i) out->push_back(' ');
+    }
+  };
+  auto newline = [&] {
+    if (options.indent) out->push_back('\n');
+  };
+
+  indent(depth);
+  out->push_back('<');
+  out->append(e.name());
+  for (const Attribute& a : e.attributes()) {
+    out->push_back(' ');
+    out->append(a.name);
+    out->append("=\"");
+    out->append(EncodeEntities(a.value));
+    out->push_back('"');
+  }
+
+  const bool has_text = !Trim(e.text()).empty();
+  if (e.children().empty() && !has_text) {
+    out->append("/>");
+    newline();
+    return;
+  }
+
+  out->push_back('>');
+  if (has_text && e.children().empty()) {
+    // Text-only element stays on one line.
+    out->append(EncodeEntities(Trim(e.text())));
+  } else {
+    newline();
+    if (has_text) {
+      indent(depth + 1);
+      out->append(EncodeEntities(Trim(e.text())));
+      newline();
+    }
+    for (const auto& child : e.children()) {
+      WriteElement(*child, options, depth + 1, out);
+    }
+    indent(depth);
+  }
+  out->append("</");
+  out->append(e.name());
+  out->push_back('>');
+  newline();
+}
+
+}  // namespace
+
+std::string Write(const Element& root, const WriteOptions& options) {
+  std::string out;
+  if (options.prolog) {
+    out.append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+    if (options.indent) out.push_back('\n');
+  }
+  WriteElement(root, options, 0, &out);
+  return out;
+}
+
+}  // namespace p3pdb::xml

@@ -1,0 +1,29 @@
+// XML serializer: turns a DOM subtree back into text.
+//
+// Used by the policy/preference writers, the workload generator (to measure
+// document sizes as the paper reports them, in KB of XML text), and golden
+// round-trip tests.
+
+#ifndef P3PDB_XML_WRITER_H_
+#define P3PDB_XML_WRITER_H_
+
+#include <string>
+
+#include "xml/node.h"
+
+namespace p3pdb::xml {
+
+struct WriteOptions {
+  /// Pretty-print with two-space indentation. When false, emits a compact
+  /// single-line form.
+  bool indent = true;
+  /// Emit the <?xml version="1.0"?> prolog before the root element.
+  bool prolog = true;
+};
+
+/// Serializes `root` (and its subtree) to XML text.
+std::string Write(const Element& root, const WriteOptions& options = {});
+
+}  // namespace p3pdb::xml
+
+#endif  // P3PDB_XML_WRITER_H_

@@ -1,0 +1,52 @@
+#include "xquery/ast.h"
+
+namespace p3pdb::xquery {
+
+std::string Cond::ToString() const {
+  switch (kind) {
+    case CondKind::kOr:
+    case CondKind::kAnd: {
+      std::string out = "(";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += kind == CondKind::kOr ? " or " : " and ";
+        out += children[i].ToString();
+      }
+      out += ")";
+      return out;
+    }
+    case CondKind::kNot:
+      return "not(" + children[0].ToString() + ")";
+    case CondKind::kAttrEquals:
+      return "@" + attr_name + " = \"" + attr_value + "\"";
+    case CondKind::kPathExists:
+      return step->ToString();
+  }
+  return "?";
+}
+
+std::string Step::ToString() const {
+  std::string out = name;
+  for (const Cond& pred : predicates) {
+    out += "[";
+    out += pred.ToString();
+    out += "]";
+  }
+  return out;
+}
+
+std::string Query::ToString() const {
+  std::string out = "if (document(\"";
+  out += document_arg;
+  out += "\")";
+  for (const Cond& cond : conditions) {
+    out += "[";
+    out += cond.ToString();
+    out += "]";
+  }
+  out += ") then <";
+  out += behavior;
+  out += "/> else ()";
+  return out;
+}
+
+}  // namespace p3pdb::xquery

@@ -1,0 +1,63 @@
+// AST for the XQuery subset the APPEL translator of the paper's Figure 17
+// emits: `if (document("applicable-policy")[COND...]) then <behavior/>`.
+//
+// Conditions are XPath-style predicates: child-path existence tests with
+// nested predicates, attribute equality tests, and or/and/not combinations
+// (Figure 18 shows the shape).
+
+#ifndef P3PDB_XQUERY_AST_H_
+#define P3PDB_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace p3pdb::xquery {
+
+enum class CondKind {
+  kOr,          // children
+  kAnd,         // children
+  kNot,         // children[0]
+  kAttrEquals,  // attr_name = attr_value
+  kPathExists,  // step (a child element with predicates)
+};
+
+struct Step;
+
+struct Cond {
+  CondKind kind = CondKind::kAnd;
+  std::vector<Cond> children;         // kOr / kAnd / kNot
+  std::string attr_name;              // kAttrEquals
+  std::string attr_value;             // kAttrEquals
+  std::unique_ptr<Step> step;         // kPathExists
+
+  Cond() = default;
+  Cond(Cond&&) = default;
+  Cond& operator=(Cond&&) = default;
+  Cond(const Cond&) = delete;
+  Cond& operator=(const Cond&) = delete;
+
+  /// Renders back to XQuery text (parenthesized).
+  std::string ToString() const;
+};
+
+/// One location step: an element name with zero or more [predicates].
+struct Step {
+  std::string name;
+  std::vector<Cond> predicates;
+
+  std::string ToString() const;
+};
+
+/// The full `if (document(...)[conds]) then <behavior/> else ()` query.
+struct Query {
+  std::string document_arg;     // e.g. "applicable-policy"
+  std::vector<Cond> conditions; // predicates applied to the document node
+  std::string behavior;         // element name in the then-branch
+
+  std::string ToString() const;
+};
+
+}  // namespace p3pdb::xquery
+
+#endif  // P3PDB_XQUERY_AST_H_

@@ -1,0 +1,99 @@
+#include "xquery/eval.h"
+
+#include "p3p/data_schema.h"
+
+namespace p3pdb::xquery {
+
+namespace {
+
+bool StepMatches(const Step& step, const xml::Element& elem) {
+  if (elem.LocalName() != step.name) return false;
+  for (const Cond& pred : step.predicates) {
+    if (!EvalCond(pred, elem)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool EvalCond(const Cond& cond, const xml::Element& context) {
+  switch (cond.kind) {
+    case CondKind::kOr:
+      for (const Cond& child : cond.children) {
+        if (EvalCond(child, context)) return true;
+      }
+      return false;
+    case CondKind::kAnd:
+      for (const Cond& child : cond.children) {
+        if (!EvalCond(child, context)) return false;
+      }
+      return true;
+    case CondKind::kNot:
+      return !EvalCond(cond.children[0], context);
+    case CondKind::kAttrEquals: {
+      std::optional<std::string_view> v = context.Attr(cond.attr_name);
+      // Vocabulary defaults mirror the APPEL engine's treatment: an absent
+      // required/optional attribute matches its default value.
+      if (!v.has_value()) {
+        if (cond.attr_name == "required") return cond.attr_value == "always";
+        if (cond.attr_name == "optional") return cond.attr_value == "no";
+        return false;
+      }
+      if (cond.attr_name == "ref") {
+        return p3p::NormalizeDataRef(*v) ==
+               p3p::NormalizeDataRef(cond.attr_value);
+      }
+      return *v == cond.attr_value;
+    }
+    case CondKind::kPathExists:
+      for (const auto& child : context.children()) {
+        if (StepMatches(*cond.step, *child)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+namespace {
+
+/// Evaluates a condition with the *document node* as context: its only
+/// child is the root element and it carries no attributes, so a
+/// kPathExists condition on the document tests the root element itself.
+struct DocumentEval {
+  const xml::Element& root;
+
+  bool Eval(const Cond& c) const {
+    switch (c.kind) {
+      case CondKind::kOr:
+        for (const Cond& ch : c.children) {
+          if (Eval(ch)) return true;
+        }
+        return false;
+      case CondKind::kAnd:
+        for (const Cond& ch : c.children) {
+          if (!Eval(ch)) return false;
+        }
+        return true;
+      case CondKind::kNot:
+        return !Eval(c.children[0]);
+      case CondKind::kAttrEquals:
+        return false;  // the document node has no attributes
+      case CondKind::kPathExists:
+        return c.step->name == root.LocalName() &&
+               StepMatches(*c.step, root);
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+Result<bool> EvalQuery(const Query& query, const xml::Element& document_root) {
+  DocumentEval doc{document_root};
+  for (const Cond& cond : query.conditions) {
+    if (!doc.Eval(cond)) return false;
+  }
+  return true;
+}
+
+}  // namespace p3pdb::xquery

@@ -1,0 +1,25 @@
+// Direct evaluation of the XQuery subset over the XML DOM — the "native
+// XML store" variation of the paper's §4 (variation 3): the policy lives as
+// an XML document and the XQuery runs against it without a relational
+// detour.
+
+#ifndef P3PDB_XQUERY_EVAL_H_
+#define P3PDB_XQUERY_EVAL_H_
+
+#include "common/result.h"
+#include "xml/node.h"
+#include "xquery/ast.h"
+
+namespace p3pdb::xquery {
+
+/// Evaluates the query's condition with `document_root` bound to
+/// document("..."). Returns whether the then-branch (the behavior element)
+/// would be produced.
+Result<bool> EvalQuery(const Query& query, const xml::Element& document_root);
+
+/// Evaluates one condition with `context` as the context element.
+bool EvalCond(const Cond& cond, const xml::Element& context);
+
+}  // namespace p3pdb::xquery
+
+#endif  // P3PDB_XQUERY_EVAL_H_

@@ -1,0 +1,18 @@
+// Parser for the XQuery subset of Figure 17/18 (see ast.h).
+
+#ifndef P3PDB_XQUERY_PARSER_H_
+#define P3PDB_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace p3pdb::xquery {
+
+/// Parses `if (document("...")[cond]...) then <name/> [else ()]`.
+Result<Query> ParseQuery(std::string_view text);
+
+}  // namespace p3pdb::xquery
+
+#endif  // P3PDB_XQUERY_PARSER_H_

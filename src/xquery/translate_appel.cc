@@ -1,0 +1,123 @@
+#include "xquery/translate_appel.h"
+
+#include "p3p/data_schema.h"
+
+namespace p3pdb::xquery {
+
+using appel::AppelExpr;
+using appel::AppelRule;
+using appel::AppelRuleset;
+using appel::Connective;
+
+namespace {
+
+Result<Cond> CombineXq(std::vector<Cond> terms, Connective connective) {
+  auto junction = [&](CondKind kind) {
+    if (terms.size() == 1) return std::move(terms[0]);
+    Cond cond;
+    cond.kind = kind;
+    cond.children = std::move(terms);
+    return cond;
+  };
+  switch (connective) {
+    case Connective::kAnd:
+      return junction(CondKind::kAnd);
+    case Connective::kOr:
+      return junction(CondKind::kOr);
+    case Connective::kNonAnd: {
+      Cond cond;
+      cond.kind = CondKind::kNot;
+      cond.children.push_back(junction(CondKind::kAnd));
+      return cond;
+    }
+    case Connective::kNonOr: {
+      Cond cond;
+      cond.kind = CondKind::kNot;
+      cond.children.push_back(junction(CondKind::kOr));
+      return cond;
+    }
+    case Connective::kAndExact:
+    case Connective::kOrExact:
+      return Status::Unsupported(
+          "exact connectives are not expressible in the XPath subset");
+  }
+  return Status::Internal("unhandled connective");
+}
+
+/// Figure 17's match(): e.name()[ attrs and (subexpressions) ].
+Result<Cond> Match(const AppelExpr& expr) {
+  Cond cond;
+  cond.kind = CondKind::kPathExists;
+  cond.step = std::make_unique<Step>();
+  cond.step->name = expr.name;
+
+  std::vector<Cond> preds;
+  for (const appel::AppelAttribute& attr : expr.attributes) {
+    Cond test;
+    test.kind = CondKind::kAttrEquals;
+    test.attr_name = attr.name;
+    test.attr_value = attr.name == "ref"
+                          ? std::string(p3p::NormalizeDataRef(attr.value))
+                          : attr.value;
+    if (attr.name == "ref") test.attr_value = "#" + test.attr_value;
+    preds.push_back(std::move(test));
+  }
+  if (!expr.children.empty()) {
+    std::vector<Cond> child_terms;
+    for (const AppelExpr& child : expr.children) {
+      P3PDB_ASSIGN_OR_RETURN(Cond sub, Match(child));
+      child_terms.push_back(std::move(sub));
+    }
+    P3PDB_ASSIGN_OR_RETURN(
+        Cond combined, CombineXq(std::move(child_terms), expr.connective));
+    preds.push_back(std::move(combined));
+  }
+  if (preds.size() == 1) {
+    cond.step->predicates.push_back(std::move(preds[0]));
+  } else if (preds.size() > 1) {
+    Cond all;
+    all.kind = CondKind::kAnd;
+    all.children = std::move(preds);
+    cond.step->predicates.push_back(std::move(all));
+  }
+  return cond;
+}
+
+}  // namespace
+
+Result<Query> AppelToXQueryTranslator::TranslateRuleToAst(
+    const AppelRule& rule) const {
+  Query query;
+  query.document_arg = "applicable-policy";
+  query.behavior = rule.behavior;
+  if (rule.IsCatchAll()) return query;
+
+  std::vector<Cond> terms;
+  for (const AppelExpr& expr : rule.expressions) {
+    P3PDB_ASSIGN_OR_RETURN(Cond cond, Match(expr));
+    terms.push_back(std::move(cond));
+  }
+  P3PDB_ASSIGN_OR_RETURN(Cond combined,
+                         CombineXq(std::move(terms), rule.connective));
+  query.conditions.push_back(std::move(combined));
+  return query;
+}
+
+Result<std::string> AppelToXQueryTranslator::TranslateRule(
+    const AppelRule& rule) const {
+  P3PDB_ASSIGN_OR_RETURN(Query query, TranslateRuleToAst(rule));
+  return query.ToString();
+}
+
+Result<XQueryRuleset> AppelToXQueryTranslator::TranslateRuleset(
+    const AppelRuleset& rs) const {
+  XQueryRuleset out;
+  for (const AppelRule& rule : rs.rules) {
+    P3PDB_ASSIGN_OR_RETURN(std::string text, TranslateRule(rule));
+    out.rule_queries.push_back(std::move(text));
+    out.behaviors.push_back(rule.behavior);
+  }
+  return out;
+}
+
+}  // namespace p3pdb::xquery

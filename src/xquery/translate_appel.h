@@ -1,0 +1,42 @@
+// APPEL -> XQuery translation — the algorithm of the paper's Figure 17.
+//
+// Each rule becomes `if (document("applicable-policy")[<pattern>]) then
+// <behavior/> else ()` (Figure 18 shows the translation of Jane's first
+// rule). Connectives map to XPath `or` / `and`; the negated connectives use
+// `not(...)`; the *-exact connectives are not expressible in this XPath
+// subset and report Unsupported — the same boundary the paper's tech report
+// draws for its XQuery path.
+
+#ifndef P3PDB_XQUERY_TRANSLATE_APPEL_H_
+#define P3PDB_XQUERY_TRANSLATE_APPEL_H_
+
+#include <string>
+#include <vector>
+
+#include "appel/model.h"
+#include "common/result.h"
+#include "xquery/ast.h"
+
+namespace p3pdb::xquery {
+
+/// A ruleset compiled to XQuery: one query per rule, evaluated in order;
+/// the first query whose condition holds yields its behavior.
+struct XQueryRuleset {
+  std::vector<std::string> rule_queries;
+  std::vector<std::string> behaviors;
+};
+
+class AppelToXQueryTranslator {
+ public:
+  /// Figure 17's main(): translates one rule to XQuery text.
+  Result<std::string> TranslateRule(const appel::AppelRule& rule) const;
+
+  /// Structured form (the AST the text parses back to).
+  Result<Query> TranslateRuleToAst(const appel::AppelRule& rule) const;
+
+  Result<XQueryRuleset> TranslateRuleset(const appel::AppelRuleset& rs) const;
+};
+
+}  // namespace p3pdb::xquery
+
+#endif  // P3PDB_XQUERY_TRANSLATE_APPEL_H_

@@ -1,0 +1,325 @@
+// Tests for the APPEL model, parser, and native matching engine,
+// including the six connective semantics of §2.2.
+
+#include <gtest/gtest.h>
+
+#include "appel/engine.h"
+#include "appel/model.h"
+#include "p3p/policy_xml.h"
+#include "workload/paper_examples.h"
+#include "xml/parser.h"
+
+namespace p3pdb::appel {
+namespace {
+
+TEST(ConnectiveTest, ParseAll) {
+  for (const char* name :
+       {"and", "or", "non-and", "non-or", "and-exact", "or-exact"}) {
+    auto c = ParseConnective(name);
+    ASSERT_TRUE(c.ok()) << name;
+    EXPECT_EQ(ConnectiveToString(c.value()), name);
+  }
+  EXPECT_FALSE(ParseConnective("xor").ok());
+  EXPECT_FALSE(ParseConnective("").ok());
+}
+
+TEST(ModelTest, JaneShape) {
+  AppelRuleset jane = workload::JanePreference();
+  ASSERT_EQ(jane.RuleCount(), 3u);
+  EXPECT_EQ(jane.rules[0].behavior, "block");
+  EXPECT_EQ(jane.rules[1].behavior, "block");
+  EXPECT_EQ(jane.rules[2].behavior, "request");
+  EXPECT_TRUE(jane.rules[2].IsCatchAll());
+  EXPECT_TRUE(jane.Validate().ok());
+  // Rule 1's PURPOSE expression carries 12 value children (Figure 2).
+  const AppelExpr& policy = jane.rules[0].expressions[0];
+  const AppelExpr& purpose = policy.children[0].children[0];
+  EXPECT_EQ(purpose.name, "PURPOSE");
+  EXPECT_EQ(purpose.connective, Connective::kOr);
+  EXPECT_EQ(purpose.children.size(), 12u);
+}
+
+TEST(ModelTest, ValidateRejectsMidCatchAll) {
+  AppelRuleset rs = workload::JanePreference();
+  std::swap(rs.rules[1], rs.rules[2]);  // catch-all before the last rule
+  EXPECT_FALSE(rs.Validate().ok());
+}
+
+TEST(ModelTest, ValidateRejectsEmptyRuleset) {
+  AppelRuleset rs;
+  EXPECT_FALSE(rs.Validate().ok());
+}
+
+TEST(ModelTest, XmlRoundTrip) {
+  AppelRuleset jane = workload::JanePreference();
+  std::string text = RulesetToText(jane);
+  auto parsed = RulesetFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const AppelRuleset& rs = parsed.value();
+  ASSERT_EQ(rs.RuleCount(), 3u);
+  EXPECT_EQ(rs.ExpressionCount(), jane.ExpressionCount());
+  EXPECT_EQ(RulesetToText(rs), text);  // fixed point
+}
+
+TEST(ModelTest, ParsesPaperFigureTwo) {
+  const char* text = R"(<appel:RULESET
+      xmlns:appel="http://www.w3.org/2002/04/APPELv1">
+    <appel:RULE behavior="block">
+      <POLICY>
+        <STATEMENT>
+          <PURPOSE appel:connective="or">
+            <admin/><develop/><tailoring/>
+            <pseudo-analysis/><pseudo-decision/>
+            <individual-analysis/>
+            <individual-decision required="always"/>
+            <contact required="always"/>
+            <historical/><telemarketing/>
+            <other-purpose/><extension/>
+          </PURPOSE>
+        </STATEMENT>
+      </POLICY>
+    </appel:RULE>
+    <appel:RULE behavior="block">
+      <POLICY>
+        <STATEMENT>
+          <RECIPIENT appel:connective="or">
+            <delivery/><other-recipient/>
+            <unrelated/><public/><extension/>
+          </RECIPIENT>
+        </STATEMENT>
+      </POLICY>
+    </appel:RULE>
+    <appel:RULE behavior="request"/>
+  </appel:RULESET>)";
+  auto parsed = RulesetFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const AppelRuleset& rs = parsed.value();
+  ASSERT_EQ(rs.RuleCount(), 3u);
+  EXPECT_TRUE(rs.rules[2].IsCatchAll());
+  const AppelExpr& purpose =
+      rs.rules[0].expressions[0].children[0].children[0];
+  EXPECT_EQ(purpose.connective, Connective::kOr);
+  ASSERT_EQ(purpose.children.size(), 12u);
+  EXPECT_EQ(purpose.children[6].name, "individual-decision");
+  ASSERT_EQ(purpose.children[6].attributes.size(), 1u);
+  EXPECT_EQ(purpose.children[6].attributes[0].value, "always");
+}
+
+TEST(ModelTest, RuleWithoutBehaviorFails) {
+  EXPECT_FALSE(
+      RulesetFromText("<appel:RULESET><appel:RULE/></appel:RULESET>").ok());
+}
+
+TEST(ModelTest, UnknownConnectiveFails) {
+  EXPECT_FALSE(RulesetFromText("<appel:RULESET><appel:RULE behavior=\"b\">"
+                               "<POLICY appel:connective=\"xor\"/>"
+                               "</appel:RULE></appel:RULESET>")
+                   .ok());
+}
+
+// ---- Connective semantics on hand-built evidence --------------------------
+
+class ConnectiveSemanticsTest : public ::testing::Test {
+ protected:
+  /// Evidence: <PURPOSE><current/><contact required="opt-in"/></PURPOSE>
+  ConnectiveSemanticsTest() : evidence_("PURPOSE") {
+    evidence_.AddChild("current");
+    evidence_.AddChild("contact")->SetAttr("required", "opt-in");
+  }
+
+  static AppelExpr Value(std::string name) {
+    AppelExpr e;
+    e.name = std::move(name);
+    return e;
+  }
+
+  AppelExpr Group(Connective c, std::vector<std::string> names) {
+    AppelExpr e;
+    e.name = "PURPOSE";
+    e.connective = c;
+    for (std::string& n : names) e.children.push_back(Value(std::move(n)));
+    return e;
+  }
+
+  bool Matches(const AppelExpr& expr) {
+    return NativeEngine::ExprMatches(expr, evidence_);
+  }
+
+  xml::Element evidence_;
+};
+
+TEST_F(ConnectiveSemanticsTest, Or) {
+  EXPECT_TRUE(Matches(Group(Connective::kOr, {"current", "telemarketing"})));
+  EXPECT_FALSE(Matches(Group(Connective::kOr, {"admin", "telemarketing"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, And) {
+  EXPECT_TRUE(Matches(Group(Connective::kAnd, {"current", "contact"})));
+  EXPECT_FALSE(Matches(Group(Connective::kAnd, {"current", "admin"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, NonOr) {
+  // Matches only when NONE of the listed values are present.
+  EXPECT_TRUE(Matches(Group(Connective::kNonOr, {"admin", "develop"})));
+  EXPECT_FALSE(Matches(Group(Connective::kNonOr, {"admin", "current"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, NonAnd) {
+  // Matches unless ALL listed values are present.
+  EXPECT_TRUE(Matches(Group(Connective::kNonAnd, {"current", "admin"})));
+  EXPECT_FALSE(Matches(Group(Connective::kNonAnd, {"current", "contact"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, AndExact) {
+  // (a) all listed found and (b) nothing unlisted present.
+  EXPECT_TRUE(Matches(Group(Connective::kAndExact, {"current", "contact"})));
+  EXPECT_FALSE(Matches(Group(Connective::kAndExact, {"current"})));
+  EXPECT_FALSE(Matches(
+      Group(Connective::kAndExact, {"current", "contact", "admin"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, OrExact) {
+  // (a) at least one listed found and (b) nothing unlisted present.
+  EXPECT_TRUE(Matches(
+      Group(Connective::kOrExact, {"current", "contact", "admin"})));
+  EXPECT_FALSE(Matches(Group(Connective::kOrExact, {"current"})));
+  EXPECT_FALSE(Matches(Group(Connective::kOrExact, {"admin", "develop"})));
+}
+
+TEST_F(ConnectiveSemanticsTest, RequiredAttributeDefaults) {
+  // <current/> carries no required attribute: it matches required="always"
+  // (the default) but not required="opt-in".
+  AppelExpr always;
+  always.name = "PURPOSE";
+  AppelExpr v = Value("current");
+  v.attributes.push_back(AppelAttribute{"required", "always"});
+  always.children.push_back(std::move(v));
+  EXPECT_TRUE(Matches(always));
+
+  AppelExpr optin;
+  optin.name = "PURPOSE";
+  AppelExpr v2 = Value("current");
+  v2.attributes.push_back(AppelAttribute{"required", "opt-in"});
+  optin.children.push_back(std::move(v2));
+  EXPECT_FALSE(Matches(optin));
+
+  // And the evidence's explicit opt-in on contact is honored.
+  AppelExpr contact;
+  contact.name = "PURPOSE";
+  AppelExpr v3 = Value("contact");
+  v3.attributes.push_back(AppelAttribute{"required", "opt-in"});
+  contact.children.push_back(std::move(v3));
+  EXPECT_TRUE(Matches(contact));
+}
+
+// ---- Engine-level tests ----------------------------------------------------
+
+TEST(NativeEngineTest, JaneVsVolga) {
+  NativeEngine engine;
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  auto outcome = engine.Evaluate(workload::JanePreference(), *dom);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_EQ(outcome.value().behavior, "request");
+  EXPECT_EQ(outcome.value().fired_rule_index, 2);
+}
+
+TEST(NativeEngineTest, DefaultBlockWhenNoRuleFires) {
+  AppelRuleset rs;
+  AppelRule rule;
+  rule.behavior = "request";
+  AppelExpr policy;
+  policy.name = "POLICY";
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  AppelExpr purpose;
+  purpose.name = "PURPOSE";
+  purpose.children.push_back([] {
+    AppelExpr e;
+    e.name = "telemarketing";
+    return e;
+  }());
+  statement.children.push_back(std::move(purpose));
+  policy.children.push_back(std::move(statement));
+  rule.expressions.push_back(std::move(policy));
+  rs.rules.push_back(std::move(rule));
+
+  NativeEngine engine;
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  auto outcome = engine.Evaluate(rs, *dom);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().fired());
+  EXPECT_EQ(outcome.value().behavior, kDefaultBehavior);
+}
+
+TEST(NativeEngineTest, CategoryMatchingNeedsAugmentation) {
+  // A rule blocking physical data. Volga collects user.name (physical per
+  // the base schema) but writes no CATEGORIES for it; only an augmenting
+  // engine sees the implied category.
+  AppelRuleset rs;
+  AppelRule rule;
+  rule.behavior = "block";
+  AppelExpr categories;
+  categories.name = "CATEGORIES";
+  categories.connective = Connective::kOr;
+  AppelExpr physical;
+  physical.name = "physical";
+  categories.children.push_back(std::move(physical));
+  AppelExpr data;
+  data.name = "DATA";
+  data.children.push_back(std::move(categories));
+  AppelExpr group;
+  group.name = "DATA-GROUP";
+  group.children.push_back(std::move(data));
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.children.push_back(std::move(group));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  rule.expressions.push_back(std::move(policy));
+  rs.rules.push_back(std::move(rule));
+
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+
+  NativeEngine augmenting(NativeEngine::Options{.augment_per_match = true});
+  auto with = augmenting.Evaluate(rs, *dom);
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with.value().behavior, "block");
+
+  NativeEngine raw(NativeEngine::Options{.augment_per_match = false});
+  auto without = raw.Evaluate(rs, *dom);
+  ASSERT_TRUE(without.ok());
+  EXPECT_FALSE(without.value().fired());
+}
+
+TEST(NativeEngineTest, RejectsNonPolicyEvidence) {
+  NativeEngine engine;
+  xml::Element not_policy("RULESET");
+  auto outcome = engine.Evaluate(workload::JanePreference(), not_policy);
+  EXPECT_FALSE(outcome.ok());
+}
+
+TEST(NativeEngineTest, RuleOrderDecides) {
+  // Two rules that both fire: the first wins.
+  AppelRuleset rs;
+  AppelRule first;
+  first.behavior = "limited";
+  rs.rules.push_back(std::move(first));
+  AppelRule second;
+  second.behavior = "request";
+  rs.rules.push_back(std::move(second));
+
+  NativeEngine engine;
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  auto outcome = engine.Evaluate(rs, *dom);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.value().behavior, "limited");
+  EXPECT_EQ(outcome.value().fired_rule_index, 0);
+}
+
+}  // namespace
+}  // namespace p3pdb::appel

@@ -1,0 +1,175 @@
+// Tests for P3P compact policies (§4 of the P3P spec; the IE6 cookie
+// mechanism of the paper's §3.2).
+
+#include <gtest/gtest.h>
+
+#include "p3p/augment.h"
+#include "p3p/compact.h"
+#include "workload/corpus.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::p3p {
+namespace {
+
+TEST(CompactPolicyTest, VolgaEncoding) {
+  Policy volga = workload::VolgaPolicy();
+  AugmentPolicy(&volga);
+  CompactPolicy compact = BuildCompactPolicy(volga);
+  std::string text = CompactPolicyToString(compact);
+
+  // Access, disputes absent, purposes with consent suffixes, recipients,
+  // both retentions, union of categories.
+  EXPECT_NE(text.find("CAO"), std::string::npos);   // contact-and-other
+  EXPECT_NE(text.find("CUR"), std::string::npos);
+  EXPECT_NE(text.find("IVDi"), std::string::npos);  // individual-decision opt-in
+  EXPECT_NE(text.find("CONi"), std::string::npos);  // contact opt-in
+  EXPECT_NE(text.find("OUR"), std::string::npos);
+  EXPECT_NE(text.find("SAM"), std::string::npos);
+  EXPECT_NE(text.find("STP"), std::string::npos);
+  EXPECT_NE(text.find("BUS"), std::string::npos);
+  EXPECT_NE(text.find("PUR"), std::string::npos);   // purchase
+  EXPECT_NE(text.find("PHY"), std::string::npos);   // from user.name
+  EXPECT_NE(text.find("ONL"), std::string::npos);   // from email
+  EXPECT_EQ(text.find("DSP"), std::string::npos);   // Volga has no disputes
+  EXPECT_EQ(text.find("TEL"), std::string::npos);
+}
+
+TEST(CompactPolicyTest, RoundTrip) {
+  Policy volga = workload::VolgaPolicy();
+  AugmentPolicy(&volga);
+  CompactPolicy original = BuildCompactPolicy(volga);
+  auto parsed = ParseCompactPolicy(CompactPolicyToString(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const CompactPolicy& p = parsed.value();
+  EXPECT_EQ(p.access, original.access);
+  EXPECT_EQ(p.purposes, original.purposes);
+  EXPECT_EQ(p.recipients, original.recipients);
+  EXPECT_EQ(p.retentions, original.retentions);
+  EXPECT_EQ(p.categories, original.categories);
+  EXPECT_EQ(p.has_disputes, original.has_disputes);
+}
+
+TEST(CompactPolicyTest, RoundTripOnCorpus) {
+  for (Policy policy : workload::FortuneCorpus()) {
+    AugmentPolicy(&policy);
+    CompactPolicy original = BuildCompactPolicy(policy);
+    auto parsed = ParseCompactPolicy(CompactPolicyToString(original));
+    ASSERT_TRUE(parsed.ok()) << policy.name << ": " << parsed.status();
+    EXPECT_EQ(CompactPolicyToString(parsed.value()),
+              CompactPolicyToString(original))
+        << policy.name;
+  }
+}
+
+TEST(CompactPolicyTest, ParseHandWritten) {
+  auto parsed = ParseCompactPolicy("NOI DSP NID CURa TELo OUR UNR STP PHY");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const CompactPolicy& p = parsed.value();
+  EXPECT_EQ(p.access, "nonident");
+  EXPECT_TRUE(p.has_disputes);
+  EXPECT_TRUE(p.non_identifiable);
+  ASSERT_EQ(p.purposes.size(), 2u);
+  EXPECT_EQ(p.purposes[0].value, "current");
+  EXPECT_EQ(p.purposes[0].required, Required::kAlways);
+  EXPECT_EQ(p.purposes[1].value, "telemarketing");
+  EXPECT_EQ(p.purposes[1].required, Required::kOptOut);
+  EXPECT_TRUE(p.HasRecipient("unrelated"));
+  EXPECT_TRUE(p.HasCategory("physical"));
+}
+
+TEST(CompactPolicyTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseCompactPolicy("XYZ").ok());
+  EXPECT_FALSE(ParseCompactPolicy("CURx").ok());   // bad consent suffix
+  EXPECT_FALSE(ParseCompactPolicy("STPo").ok());   // suffix on retention
+  EXPECT_FALSE(ParseCompactPolicy("NOI NON").ok()); // duplicate access
+  EXPECT_FALSE(ParseCompactPolicy("TOOLONG").ok());
+  EXPECT_TRUE(ParseCompactPolicy("").ok());        // empty CP header
+}
+
+TEST(CompactPolicyTest, DuplicateTokensDeduplicate) {
+  auto parsed = ParseCompactPolicy("CUR CUR OUR OUR");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().purposes.size(), 1u);
+  EXPECT_EQ(parsed.value().recipients.size(), 1u);
+}
+
+// ---- Cookie admission (IE6 model) -----------------------------------------
+
+CompactPolicy FromTokens(const char* tokens) {
+  auto parsed = ParseCompactPolicy(tokens);
+  EXPECT_TRUE(parsed.ok()) << parsed.status();
+  return std::move(parsed).value();
+}
+
+TEST(CookieAdmissionTest, LowAcceptsEverything) {
+  CompactPolicy nasty = FromTokens("TELa UNR PHY ONL IND");
+  EXPECT_EQ(EvaluateCookiePolicy(&nasty, CookiePrivacyLevel::kLow),
+            CookieVerdict::kAccept);
+  EXPECT_EQ(EvaluateCookiePolicy(nullptr, CookiePrivacyLevel::kLow),
+            CookieVerdict::kAccept);
+}
+
+TEST(CookieAdmissionTest, BlockAllBlocksEverything) {
+  CompactPolicy benign = FromTokens("NID CUR OUR STP");
+  EXPECT_EQ(EvaluateCookiePolicy(&benign, CookiePrivacyLevel::kBlockAll),
+            CookieVerdict::kBlock);
+}
+
+TEST(CookieAdmissionTest, MissingPolicyBlockedAtMedium) {
+  EXPECT_EQ(EvaluateCookiePolicy(nullptr, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kBlock);
+}
+
+TEST(CookieAdmissionTest, AnonymousSessionCookieAccepted) {
+  CompactPolicy session = FromTokens("CUR ADM OUR STP NAV COM");
+  EXPECT_EQ(EvaluateCookiePolicy(&session, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kAccept);
+  EXPECT_EQ(EvaluateCookiePolicy(&session, CookiePrivacyLevel::kHigh),
+            CookieVerdict::kAccept);
+}
+
+TEST(CookieAdmissionTest, PiiForPrimaryUseIsLeashed) {
+  CompactPolicy shop = FromTokens("CUR OUR DEL STP PHY ONL");
+  EXPECT_EQ(EvaluateCookiePolicy(&shop, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kLeashed);
+}
+
+TEST(CookieAdmissionTest, PiiMarketingWithoutConsentBlocked) {
+  CompactPolicy tracker = FromTokens("CUR TELa OUR IND PHY ONL");
+  EXPECT_EQ(EvaluateCookiePolicy(&tracker, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kBlock);
+}
+
+TEST(CookieAdmissionTest, OptOutSatisfiesMediumButNotHigh) {
+  CompactPolicy optout = FromTokens("CUR TELo OUR STP PHY");
+  EXPECT_EQ(EvaluateCookiePolicy(&optout, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kLeashed);
+  EXPECT_EQ(EvaluateCookiePolicy(&optout, CookiePrivacyLevel::kHigh),
+            CookieVerdict::kBlock);
+  CompactPolicy optin = FromTokens("CUR TELi OUR STP PHY");
+  EXPECT_EQ(EvaluateCookiePolicy(&optin, CookiePrivacyLevel::kHigh),
+            CookieVerdict::kLeashed);
+}
+
+TEST(CookieAdmissionTest, SharingWithUnrelatedBlocked) {
+  CompactPolicy leaky = FromTokens("CUR OUR UNR STP PHY");
+  EXPECT_EQ(EvaluateCookiePolicy(&leaky, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kBlock);
+}
+
+TEST(CookieAdmissionTest, NonIdentifiableAlwaysAccepted) {
+  CompactPolicy nid = FromTokens("NID CUR TELa UNR PHY");
+  EXPECT_EQ(EvaluateCookiePolicy(&nid, CookiePrivacyLevel::kMedium),
+            CookieVerdict::kAccept);
+  EXPECT_EQ(EvaluateCookiePolicy(&nid, CookiePrivacyLevel::kHigh),
+            CookieVerdict::kAccept);
+}
+
+TEST(CookieAdmissionTest, VerdictNames) {
+  EXPECT_STREQ(CookieVerdictName(CookieVerdict::kAccept), "accept");
+  EXPECT_STREQ(CookieVerdictName(CookieVerdict::kLeashed), "leashed");
+  EXPECT_STREQ(CookieVerdictName(CookieVerdict::kBlock), "block");
+}
+
+}  // namespace
+}  // namespace p3pdb::p3p

@@ -1,0 +1,110 @@
+// Concurrency tests: PolicyServer's public API is documented thread-safe;
+// hammer it from several threads and require correct, crash-free outcomes.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "server/policy_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using workload::JanePreference;
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+
+TEST(ConcurrencyTest, ParallelMatchesAreConsistent) {
+  auto server = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  std::vector<int64_t> ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = server.value()->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  auto pref = server.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(pref.ok());
+
+  // Single-threaded reference outcomes.
+  std::vector<std::string> expected;
+  for (int64_t id : ids) {
+    auto r = server.value()->MatchPolicyId(pref.value(), id);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().behavior);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> errors{0};
+  auto worker = [&](int seed) {
+    for (int i = 0; i < 200; ++i) {
+      size_t pick = static_cast<size_t>(seed * 37 + i) % ids.size();
+      auto r = server.value()->MatchPolicyId(pref.value(), ids[pick]);
+      if (!r.ok()) {
+        ++errors;
+      } else if (r.value().behavior != expected[pick]) {
+        ++mismatches;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) threads.emplace_back(worker, t);
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrencyTest, InstallsRaceWithMatches) {
+  auto server = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  auto first = server.value()->InstallPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(first.ok());
+  auto pref = server.value()->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok());
+
+  std::atomic<int> errors{0};
+  std::thread installer([&] {
+    std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+    for (const p3p::Policy& policy : corpus) {
+      if (!server.value()->InstallPolicy(policy).ok()) ++errors;
+    }
+  });
+  std::thread matcher([&] {
+    for (int i = 0; i < 300; ++i) {
+      auto r = server.value()->MatchPolicyId(pref.value(), first.value());
+      if (!r.ok() || r.value().behavior != "request") ++errors;
+    }
+  });
+  installer.join();
+  matcher.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(server.value()->policy_ids().size(), 30u);
+}
+
+TEST(ConcurrencyTest, ParallelCompiles) {
+  auto server = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        auto level = workload::AllPreferenceLevels()[(t + i) % 5];
+        auto pref = server.value()->CompilePreference(JrcPreference(level));
+        if (!pref.ok()) ++errors;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+}  // namespace
+}  // namespace p3pdb::server

@@ -1,0 +1,252 @@
+// End-to-end integration tests: the paper's §2 walk-through (Volga's
+// policy vs. Jane's preference) on every engine, reference-file routing,
+// and cross-engine differential agreement on the full corpus x preference
+// matrix — the core claim that a database engine computes exactly what the
+// specialized APPEL engine computes.
+
+#include <gtest/gtest.h>
+
+#include "server/policy_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using workload::AllPreferenceLevels;
+using workload::FortuneCorpus;
+using workload::JanePreference;
+using workload::JrcPreference;
+using workload::PreferenceLevelName;
+using workload::VolgaPolicy;
+using workload::VolgaReferenceFile;
+
+constexpr EngineKind kAllEngines[] = {
+    EngineKind::kNativeAppel, EngineKind::kSql, EngineKind::kSqlSimple,
+    EngineKind::kXQueryNative, EngineKind::kXQueryXTable};
+
+std::unique_ptr<PolicyServer> MakeServer(EngineKind engine) {
+  PolicyServer::Options options;
+  options.engine = engine;
+  options.augmentation = engine == EngineKind::kNativeAppel
+                             ? Augmentation::kPerMatch
+                             : Augmentation::kAtInstall;
+  auto server = PolicyServer::Create(options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(server).value();
+}
+
+class AllEnginesTest : public ::testing::TestWithParam<EngineKind> {};
+
+INSTANTIATE_TEST_SUITE_P(Engines, AllEnginesTest,
+                         ::testing::ValuesIn(kAllEngines),
+                         [](const auto& info) {
+                           std::string name = EngineKindName(info.param);
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST_P(AllEnginesTest, VolgaConformsToJane) {
+  auto server = MakeServer(GetParam());
+  auto policy_id = server->InstallPolicy(VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok()) << policy_id.status();
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok()) << pref.status();
+
+  auto result = server->MatchUri(pref.value(), "/catalog/books");
+  ASSERT_TRUE(result.ok()) << result.status();
+  // The paper's §2.2 walk-through: neither block rule fires; the catch-all
+  // requests the page.
+  EXPECT_EQ(result.value().behavior, "request");
+  EXPECT_EQ(result.value().fired_rule_index, 2);
+  EXPECT_EQ(result.value().policy_id, policy_id.value());
+}
+
+TEST_P(AllEnginesTest, MandatoryProfilingIsBlocked) {
+  // The paper's counterfactual: if individual-decision were not opt-in,
+  // the default required="always" would make Jane's first rule fire.
+  p3p::Policy policy = VolgaPolicy();
+  for (auto& stmt : policy.statements) {
+    for (auto& purpose : stmt.purposes) {
+      purpose.required = p3p::Required::kAlways;
+    }
+  }
+  auto server = MakeServer(GetParam());
+  ASSERT_TRUE(server->InstallPolicy(policy).ok());
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok()) << pref.status();
+  auto result = server->MatchUri(pref.value(), "/catalog/books");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().behavior, "block");
+  EXPECT_EQ(result.value().fired_rule_index, 0);
+}
+
+TEST_P(AllEnginesTest, LeakyRecipientsAreBlocked) {
+  p3p::Policy policy = VolgaPolicy();
+  policy.statements[0].recipients.push_back(
+      p3p::RecipientItem{"unrelated", p3p::Required::kAlways});
+  auto server = MakeServer(GetParam());
+  ASSERT_TRUE(server->InstallPolicy(policy).ok());
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok()) << pref.status();
+  auto result = server->MatchUri(pref.value(), "/checkout");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().behavior, "block");
+  EXPECT_EQ(result.value().fired_rule_index, 1);
+}
+
+TEST_P(AllEnginesTest, ExcludedUriHasNoPolicy) {
+  auto server = MakeServer(GetParam());
+  ASSERT_TRUE(server->InstallPolicy(VolgaPolicy()).ok());
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok()) << pref.status();
+  auto result = server->MatchUri(pref.value(), "/about/team.html");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result.value().policy_found);
+  EXPECT_EQ(result.value().behavior, kNoPolicyBehavior);
+}
+
+TEST_P(AllEnginesTest, MatchPolicyIdDirectly) {
+  auto server = MakeServer(GetParam());
+  auto policy_id = server->InstallPolicy(VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok()) << pref.status();
+  auto result = server->MatchPolicyId(pref.value(), policy_id.value());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().behavior, "request");
+
+  auto missing = server->MatchPolicyId(pref.value(), 99999);
+  EXPECT_FALSE(missing.ok());
+}
+
+// The headline correctness claim: every engine computes the same outcome
+// for every (policy, preference) pair of the paper's workload.
+TEST(DifferentialTest, AllEnginesAgreeOnCorpusTimesPreferences) {
+  std::vector<p3p::Policy> corpus = FortuneCorpus();
+  ASSERT_EQ(corpus.size(), 29u);
+
+  struct EngineFixture {
+    EngineKind kind;
+    std::unique_ptr<PolicyServer> server;
+    std::vector<int64_t> policy_ids;
+    std::vector<CompiledPreference> prefs;
+  };
+  std::vector<EngineFixture> fixtures;
+  for (EngineKind kind : kAllEngines) {
+    EngineFixture fx;
+    fx.kind = kind;
+    fx.server = MakeServer(kind);
+    for (const p3p::Policy& policy : corpus) {
+      auto id = fx.server->InstallPolicy(policy);
+      ASSERT_TRUE(id.ok()) << EngineKindName(kind) << ": " << id.status();
+      fx.policy_ids.push_back(id.value());
+    }
+    for (auto level : AllPreferenceLevels()) {
+      auto pref = fx.server->CompilePreference(JrcPreference(level));
+      ASSERT_TRUE(pref.ok()) << EngineKindName(kind) << " "
+                             << PreferenceLevelName(level) << ": "
+                             << pref.status();
+      fx.prefs.push_back(std::move(pref).value());
+    }
+    fixtures.push_back(std::move(fx));
+  }
+
+  size_t disagreements = 0;
+  for (size_t p = 0; p < corpus.size(); ++p) {
+    for (size_t l = 0; l < AllPreferenceLevels().size(); ++l) {
+      std::string reference_behavior;
+      int reference_rule = -2;
+      for (EngineFixture& fx : fixtures) {
+        auto result =
+            fx.server->MatchPolicyId(fx.prefs[l], fx.policy_ids[p]);
+        ASSERT_TRUE(result.ok())
+            << EngineKindName(fx.kind) << " policy " << p << ": "
+            << result.status();
+        if (reference_rule == -2) {
+          reference_behavior = result.value().behavior;
+          reference_rule = result.value().fired_rule_index;
+        } else if (result.value().behavior != reference_behavior ||
+                   result.value().fired_rule_index != reference_rule) {
+          ++disagreements;
+          ADD_FAILURE() << "engine " << EngineKindName(fx.kind)
+                        << " disagrees on policy " << corpus[p].name
+                        << " x preference "
+                        << PreferenceLevelName(AllPreferenceLevels()[l])
+                        << ": got " << result.value().behavior << "/rule "
+                        << result.value().fired_rule_index << ", expected "
+                        << reference_behavior << "/rule " << reference_rule;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(disagreements, 0u);
+}
+
+TEST_P(AllEnginesTest, CorpusReferenceFileRoutesEveryEngine) {
+  // Full URI pipeline over the corpus reference file: every engine routes
+  // /<name>/... to that policy and excludes the public archive.
+  std::vector<p3p::Policy> corpus = FortuneCorpus();
+  auto server = MakeServer(GetParam());
+  std::map<std::string, int64_t> ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = server->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    ids[policy.name] = id.value();
+  }
+  ASSERT_TRUE(
+      server->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+          .ok());
+  auto pref = server->CompilePreference(
+      JrcPreference(workload::PreferenceLevel::kVeryLow));
+  ASSERT_TRUE(pref.ok()) << pref.status();
+
+  for (size_t i = 0; i < corpus.size(); i += 5) {
+    const std::string& name = corpus[i].name;
+    auto hit = server->MatchUri(pref.value(), "/" + name + "/page.html");
+    ASSERT_TRUE(hit.ok()) << hit.status();
+    EXPECT_EQ(hit.value().policy_id, ids[name]) << name;
+    EXPECT_EQ(hit.value().behavior, "request");
+    auto excluded = server->MatchUri(
+        pref.value(), "/" + name + "/public-archive/old.html");
+    ASSERT_TRUE(excluded.ok());
+    EXPECT_FALSE(excluded.value().policy_found) << name;
+  }
+}
+
+TEST(DifferentialTest, CorpusOutcomesAreNotTrivial) {
+  // Guard against a vacuous differential test: across the matrix there must
+  // be both blocks and requests.
+  std::vector<p3p::Policy> corpus = FortuneCorpus();
+  auto server = MakeServer(EngineKind::kSql);
+  std::vector<int64_t> ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = server->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  size_t blocks = 0, requests = 0;
+  for (auto level : AllPreferenceLevels()) {
+    auto pref = server->CompilePreference(JrcPreference(level));
+    ASSERT_TRUE(pref.ok());
+    for (int64_t id : ids) {
+      auto result = server->MatchPolicyId(pref.value(), id);
+      ASSERT_TRUE(result.ok());
+      if (result.value().behavior == "block") ++blocks;
+      if (result.value().behavior == "request") ++requests;
+    }
+  }
+  EXPECT_GT(blocks, 10u);
+  EXPECT_GT(requests, 10u);
+}
+
+}  // namespace
+}  // namespace p3pdb::server

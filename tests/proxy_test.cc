@@ -1,0 +1,150 @@
+// Tests for the JRC-style proxy service (paper §3.3): multi-site hosting,
+// subscriber accounts, compiled-preference caching and invalidation.
+
+#include <gtest/gtest.h>
+
+#include "server/proxy_service.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using workload::JanePreference;
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+using workload::VolgaPolicy;
+using workload::VolgaReferenceFile;
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two sites: Volga the bookseller and a leakier marketing site.
+    auto volga = proxy_.AddSite("volga.example.com");
+    ASSERT_TRUE(volga.ok()) << volga.status();
+    ASSERT_TRUE(volga.value()->InstallPolicy(VolgaPolicy()).ok());
+    ASSERT_TRUE(
+        volga.value()->InstallReferenceFile(VolgaReferenceFile()).ok());
+
+    auto ads = proxy_.AddSite("ads.example.org");
+    ASSERT_TRUE(ads.ok());
+    p3p::Policy tracker = VolgaPolicy();
+    tracker.name = "tracker";
+    tracker.statements[0].purposes.push_back(
+        p3p::PurposeItem{"telemarketing", p3p::Required::kAlways});
+    tracker.statements[0].recipients.push_back(
+        p3p::RecipientItem{"unrelated", p3p::Required::kAlways});
+    ASSERT_TRUE(ads.value()->InstallPolicy(tracker).ok());
+    p3p::ReferenceFile rf;
+    p3p::PolicyRef ref;
+    ref.about = "/P3P/policies.xml#tracker";
+    ref.includes.push_back("/*");
+    rf.refs.push_back(ref);
+    ASSERT_TRUE(ads.value()->InstallReferenceFile(rf).ok());
+
+    ASSERT_TRUE(proxy_.Subscribe("jane", JanePreference()).ok());
+    ASSERT_TRUE(
+        proxy_.Subscribe("carefree",
+                         JrcPreference(PreferenceLevel::kVeryLow))
+            .ok());
+  }
+
+  ProxyService proxy_;
+};
+
+TEST_F(ProxyTest, RoutesPerSiteAndPerUser) {
+  auto jane_volga =
+      proxy_.HandleRequest("jane", "volga.example.com", "/catalog");
+  ASSERT_TRUE(jane_volga.ok()) << jane_volga.status();
+  EXPECT_EQ(jane_volga.value().behavior, "request");
+
+  auto jane_ads = proxy_.HandleRequest("jane", "ads.example.org", "/pixel");
+  ASSERT_TRUE(jane_ads.ok());
+  EXPECT_EQ(jane_ads.value().behavior, "block");
+
+  auto carefree_ads =
+      proxy_.HandleRequest("carefree", "ads.example.org", "/pixel");
+  ASSERT_TRUE(carefree_ads.ok());
+  EXPECT_EQ(carefree_ads.value().behavior, "request");
+}
+
+TEST_F(ProxyTest, UnknownHostAndUser) {
+  EXPECT_EQ(proxy_.HandleRequest("jane", "nowhere.example", "/")
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      proxy_.HandleRequest("stranger", "volga.example.com", "/").status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+TEST_F(ProxyTest, ResubscribeChangesDecisions) {
+  // Jane relaxes to Very Low: the tracker is suddenly fine.
+  ASSERT_TRUE(
+      proxy_.Subscribe("jane", JrcPreference(PreferenceLevel::kVeryLow))
+          .ok());
+  auto relaxed = proxy_.HandleRequest("jane", "ads.example.org", "/pixel");
+  ASSERT_TRUE(relaxed.ok());
+  EXPECT_EQ(relaxed.value().behavior, "request");
+
+  // And back to a strict preference: blocked again (the cached compiled
+  // form must have been invalidated both times).
+  ASSERT_TRUE(proxy_.Subscribe("jane", JanePreference()).ok());
+  auto strict = proxy_.HandleRequest("jane", "ads.example.org", "/pixel");
+  ASSERT_TRUE(strict.ok());
+  EXPECT_EQ(strict.value().behavior, "block");
+}
+
+TEST_F(ProxyTest, UnsubscribeRemovesAccount) {
+  ASSERT_TRUE(proxy_.Unsubscribe("jane").ok());
+  EXPECT_EQ(
+      proxy_.HandleRequest("jane", "volga.example.com", "/").status().code(),
+      StatusCode::kNotFound);
+  EXPECT_FALSE(proxy_.Unsubscribe("jane").ok());
+  EXPECT_EQ(proxy_.user_count(), 1u);
+}
+
+TEST_F(ProxyTest, DuplicateSiteRejected) {
+  EXPECT_EQ(proxy_.AddSite("volga.example.com").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_FALSE(proxy_.AddSite("").ok());
+  EXPECT_EQ(proxy_.site_count(), 2u);
+}
+
+TEST_F(ProxyTest, CookieRequestsUseCookiePatterns) {
+  auto cookie =
+      proxy_.HandleCookie("jane", "volga.example.com", "/session");
+  ASSERT_TRUE(cookie.ok()) << cookie.status();
+  EXPECT_TRUE(cookie.value().policy_found);
+  // ads site registered no COOKIE-INCLUDE: no policy for its cookies.
+  auto ads_cookie =
+      proxy_.HandleCookie("jane", "ads.example.org", "/session");
+  ASSERT_TRUE(ads_cookie.ok());
+  EXPECT_FALSE(ads_cookie.value().policy_found);
+}
+
+TEST_F(ProxyTest, InvalidPreferenceRejectedAtSubscribe) {
+  appel::AppelRuleset empty;
+  EXPECT_FALSE(proxy_.Subscribe("x", empty).ok());
+}
+
+TEST(ProxyEngineTest, WorksOnNativeEngineToo) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kNativeAppel;
+  options.augmentation = Augmentation::kPerMatch;
+  ProxyService proxy(options);
+  auto site = proxy.AddSite("volga.example.com");
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE(site.value()->InstallPolicy(VolgaPolicy()).ok());
+  ASSERT_TRUE(
+      site.value()->InstallReferenceFile(VolgaReferenceFile()).ok());
+  ASSERT_TRUE(proxy.Subscribe("jane", JanePreference()).ok());
+  auto result =
+      proxy.HandleRequest("jane", "volga.example.com", "/catalog");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().behavior, "request");
+}
+
+}  // namespace
+}  // namespace p3pdb::server

@@ -1,0 +1,152 @@
+// Robustness (deterministic fuzz) tests: every parser in the system must
+// reject arbitrary mutations of valid inputs with a Status — never crash,
+// hang, or accept garbage silently as something it is not.
+
+#include <gtest/gtest.h>
+
+#include "appel/model.h"
+#include "common/random.h"
+#include "p3p/compact.h"
+#include "p3p/policy_xml.h"
+#include "p3p/reference_file.h"
+#include "sqldb/parser.h"
+#include "workload/paper_examples.h"
+#include "xml/parser.h"
+#include "xml/writer.h"
+#include "xquery/parser.h"
+
+namespace p3pdb {
+namespace {
+
+/// Applies `count` random byte-level mutations (replace, insert, delete,
+/// truncate) to `input`.
+std::string Mutate(Random* rng, std::string input, int count) {
+  static constexpr char kBytes[] =
+      "<>/=\"'&;%_*[]() abcXYZ012\t\n\\#@!{}";
+  for (int i = 0; i < count && !input.empty(); ++i) {
+    size_t pos = rng->Uniform(input.size());
+    switch (rng->Uniform(4)) {
+      case 0:
+        input[pos] = kBytes[rng->Uniform(sizeof(kBytes) - 1)];
+        break;
+      case 1:
+        input.insert(pos, 1, kBytes[rng->Uniform(sizeof(kBytes) - 1)]);
+        break;
+      case 2:
+        input.erase(pos, 1 + rng->Uniform(3));
+        break;
+      default:
+        input.resize(pos);  // truncate
+        break;
+    }
+  }
+  return input;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(101, 202, 303));
+
+TEST_P(FuzzTest, XmlParserNeverCrashes) {
+  Random rng(GetParam());
+  std::string base = workload::VolgaPolicyXml();
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 8));
+    auto result = xml::Parse(mutated);  // ok or error, never UB
+    if (result.ok()) {
+      // Whatever parsed must serialize and re-parse.
+      std::string again = xml::Write(*result.value().root);
+      EXPECT_TRUE(xml::Parse(again).ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, PolicyParserNeverCrashes) {
+  Random rng(GetParam() + 1);
+  std::string base = workload::VolgaPolicyXml();
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 10));
+    auto result = p3p::PolicyFromText(mutated);
+    if (result.ok()) {
+      // Accepted policies must at least re-serialize.
+      (void)p3p::PolicyToText(result.value());
+    }
+  }
+}
+
+TEST_P(FuzzTest, AppelParserNeverCrashes) {
+  Random rng(GetParam() + 2);
+  std::string base = workload::JanePreferenceXml();
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 10));
+    auto result = appel::RulesetFromText(mutated);
+    if (result.ok()) {
+      (void)appel::RulesetToText(result.value());
+    }
+  }
+}
+
+TEST_P(FuzzTest, SqlParserNeverCrashes) {
+  Random rng(GetParam() + 3);
+  const std::string base =
+      "SELECT 'block' FROM ApplicablePolicy WHERE EXISTS (SELECT * FROM "
+      "Purpose WHERE Purpose.policy_id = ApplicablePolicy.policy_id AND "
+      "(Purpose.purpose = 'admin' OR Purpose.required = 'always')) "
+      "ORDER BY 1 LIMIT 3";
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 8));
+    auto result = sqldb::ParseStatement(mutated);
+    if (result.ok()) {
+      // Parsed statements render back to parseable SQL.
+      if (result.value()->kind == sqldb::StatementKind::kSelect) {
+        auto* select =
+            static_cast<sqldb::SelectStmt*>(result.value().get());
+        EXPECT_TRUE(sqldb::ParseStatement(select->ToSql()).ok())
+            << select->ToSql();
+      }
+    }
+  }
+}
+
+TEST_P(FuzzTest, XQueryParserNeverCrashes) {
+  Random rng(GetParam() + 4);
+  const std::string base =
+      "if (document(\"applicable-policy\")[POLICY[STATEMENT[PURPOSE["
+      "(admin) or (contact[@required = \"always\"])]]]]) then <block/> "
+      "else ()";
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 8));
+    auto result = xquery::ParseQuery(mutated);
+    if (result.ok()) {
+      EXPECT_TRUE(xquery::ParseQuery(result.value().ToString()).ok());
+    }
+  }
+}
+
+TEST_P(FuzzTest, CompactPolicyParserNeverCrashes) {
+  Random rng(GetParam() + 5);
+  const std::string base = "CAO DSP CUR IVDi CONi OUR SAM STP BUS ONL PHY";
+  for (int i = 0; i < 400; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 6));
+    auto result = p3p::ParseCompactPolicy(mutated);
+    if (result.ok()) {
+      (void)p3p::CompactPolicyToString(result.value());
+    }
+  }
+}
+
+TEST_P(FuzzTest, ReferenceFileParserNeverCrashes) {
+  Random rng(GetParam() + 6);
+  std::string base =
+      p3p::ReferenceFileToText(workload::VolgaReferenceFile());
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = Mutate(&rng, base, rng.UniformInt(1, 8));
+    auto result = p3p::ReferenceFileFromText(mutated);
+    if (result.ok()) {
+      (void)result.value().PolicyForPath("/x/y");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace p3pdb

@@ -1,0 +1,201 @@
+// Tests for the PolicyServer facade: engine setup, policy versioning,
+// reference-file replacement, match logging / conflict analytics, and the
+// option validation rules.
+
+#include <gtest/gtest.h>
+
+#include "server/policy_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using workload::JanePreference;
+using workload::VolgaPolicy;
+using workload::VolgaReferenceFile;
+
+std::unique_ptr<PolicyServer> MustCreate(PolicyServer::Options options) {
+  auto server = PolicyServer::Create(options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(server).value();
+}
+
+TEST(PolicyServerTest, CreateRejectsPerMatchAugmentationForSql) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kSql;
+  options.augmentation = Augmentation::kPerMatch;
+  auto server = PolicyServer::Create(options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PolicyServerTest, InstallRejectsInvalidPolicy) {
+  auto server = MustCreate({});
+  p3p::Policy bad;
+  bad.name = "bad";
+  EXPECT_FALSE(server->InstallPolicy(bad).ok());
+}
+
+TEST(PolicyServerTest, VersioningTracksReinstalls) {
+  auto server = MustCreate({});
+  p3p::Policy v1 = VolgaPolicy();
+  auto id1 = server->InstallPolicy(v1);
+  ASSERT_TRUE(id1.ok());
+  EXPECT_EQ(server->PolicyVersion("volga"), 1);
+
+  // The site softens its policy: recommendations become opt-out.
+  p3p::Policy v2 = VolgaPolicy();
+  v2.statements[1].purposes[0].required = p3p::Required::kOptOut;
+  auto id2 = server->InstallPolicy(v2);
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  EXPECT_EQ(server->PolicyVersion("volga"), 2);
+
+  // Both versions remain retrievable from the catalog.
+  auto xml1 = server->PolicyXml("volga", 1);
+  auto xml2 = server->PolicyXml("volga", 2);
+  ASSERT_TRUE(xml1.ok());
+  ASSERT_TRUE(xml2.ok());
+  EXPECT_NE(xml1.value(), xml2.value());
+  EXPECT_NE(xml2.value().find("opt-out"), std::string::npos);
+  EXPECT_FALSE(server->PolicyXml("volga", 3).ok());
+  EXPECT_EQ(server->PolicyVersion("unknown"), 0);
+}
+
+TEST(PolicyServerTest, ReferenceFileResolvesToLatestVersion) {
+  auto server = MustCreate({});
+  ASSERT_TRUE(server->InstallPolicy(VolgaPolicy()).ok());
+  p3p::Policy v2 = VolgaPolicy();
+  v2.statements[0].recipients.push_back(
+      p3p::RecipientItem{"unrelated", p3p::Required::kAlways});
+  auto id2 = server->InstallPolicy(v2);
+  ASSERT_TRUE(id2.ok());
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok());
+  auto result = server->MatchUri(pref.value(), "/catalog");
+  ASSERT_TRUE(result.ok());
+  // The newer, leakier version is in force: Jane blocks it.
+  EXPECT_EQ(result.value().policy_id, id2.value());
+  EXPECT_EQ(result.value().behavior, "block");
+}
+
+TEST(PolicyServerTest, ReferenceFileReplacement) {
+  auto server = MustCreate({});
+  ASSERT_TRUE(server->InstallPolicy(VolgaPolicy()).ok());
+  ASSERT_TRUE(server->InstallReferenceFile(VolgaReferenceFile()).ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok());
+
+  // Replace with a reference file that only covers /shop.
+  p3p::ReferenceFile narrow;
+  p3p::PolicyRef ref;
+  ref.about = "/P3P/policies.xml#volga";
+  ref.includes.push_back("/shop/*");
+  narrow.refs.push_back(ref);
+  ASSERT_TRUE(server->InstallReferenceFile(narrow).ok());
+
+  auto covered = server->MatchUri(pref.value(), "/shop/cart");
+  ASSERT_TRUE(covered.ok());
+  EXPECT_TRUE(covered.value().policy_found);
+  auto uncovered = server->MatchUri(pref.value(), "/catalog");
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_FALSE(uncovered.value().policy_found);
+}
+
+TEST(PolicyServerTest, MatchUriWithoutReferenceFileFails) {
+  auto server = MustCreate({});
+  ASSERT_TRUE(server->InstallPolicy(VolgaPolicy()).ok());
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok());
+  EXPECT_FALSE(server->MatchUri(pref.value(), "/x").ok());
+}
+
+TEST(PolicyServerTest, ConflictReportAggregatesMatchLog) {
+  PolicyServer::Options options;
+  options.record_matches = true;
+  auto server = MustCreate(options);
+
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  std::vector<int64_t> ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = server->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  auto pref = server->CompilePreference(
+      workload::JrcPreference(workload::PreferenceLevel::kHigh));
+  ASSERT_TRUE(pref.ok());
+  for (int64_t id : ids) {
+    ASSERT_TRUE(server->MatchPolicyId(pref.value(), id).ok());
+  }
+
+  auto report = server->ConflictReport();
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Every match was logged: behavior counts sum to the corpus size.
+  int64_t total = 0;
+  for (const auto& row : report.value().rows) {
+    total += row[2].AsInteger();
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(corpus.size()));
+  // The site owner sees both conforming and conflicting policies.
+  bool saw_block = false, saw_request = false;
+  for (const auto& row : report.value().rows) {
+    if (row[1].AsText() == "block") saw_block = true;
+    if (row[1].AsText() == "request") saw_request = true;
+  }
+  EXPECT_TRUE(saw_block);
+  EXPECT_TRUE(saw_request);
+}
+
+TEST(PolicyServerTest, CompileRejectsInvalidRuleset) {
+  auto server = MustCreate({});
+  appel::AppelRuleset empty;
+  EXPECT_FALSE(server->CompilePreference(empty).ok());
+}
+
+TEST(PolicyServerTest, SqlEngineUsesIndexes) {
+  auto server = MustCreate({});
+  for (const p3p::Policy& policy : workload::FortuneCorpus()) {
+    ASSERT_TRUE(server->InstallPolicy(policy).ok());
+  }
+  auto pref = server->CompilePreference(JanePreference());
+  ASSERT_TRUE(pref.ok());
+  server->database()->ResetStats();
+  ASSERT_TRUE(
+      server->MatchPolicyId(pref.value(), server->policy_ids()[5]).ok());
+  const sqldb::ExecStats& stats = server->database()->stats();
+  // The policy-id joins must be served by indexes, not repeated scans of
+  // the whole Purpose/Statement tables.
+  EXPECT_GT(stats.index_lookups, 0u);
+}
+
+TEST(PolicyServerTest, EngineKindNames) {
+  EXPECT_STREQ(EngineKindName(EngineKind::kSql), "sql");
+  EXPECT_STREQ(EngineKindName(EngineKind::kNativeAppel), "native-appel");
+  EXPECT_STREQ(EngineKindName(EngineKind::kSqlSimple), "sql-simple");
+  EXPECT_STREQ(EngineKindName(EngineKind::kXQueryNative), "xquery-native");
+  EXPECT_STREQ(EngineKindName(EngineKind::kXQueryXTable), "xquery-xtable");
+}
+
+TEST(PolicyServerTest, XTableServerWithTightBudgetRejectsMedium) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kXQueryXTable;
+  options.max_subquery_depth = 6;
+  auto server = MustCreate(options);
+  ASSERT_TRUE(server->InstallPolicy(VolgaPolicy()).ok());
+  auto medium = server->CompilePreference(
+      workload::JrcPreference(workload::PreferenceLevel::kMedium));
+  ASSERT_FALSE(medium.ok());
+  EXPECT_EQ(medium.status().code(), StatusCode::kLimitExceeded);
+  EXPECT_TRUE(server
+                  ->CompilePreference(workload::JrcPreference(
+                      workload::PreferenceLevel::kHigh))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace p3pdb::server

@@ -1,0 +1,284 @@
+// Tests for the shredders: Figure 8 schema generation, Figure 10
+// population, the Figure 14 optimized schema, and the Figure 16 reference
+// tables.
+
+#include <gtest/gtest.h>
+
+#include "p3p/augment.h"
+#include "p3p/policy_xml.h"
+#include "shredder/element_spec.h"
+#include "shredder/optimized_schema.h"
+#include "shredder/reference_schema.h"
+#include "shredder/simple_schema.h"
+#include "sqldb/database.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::shredder {
+namespace {
+
+using sqldb::Database;
+using sqldb::QueryResult;
+
+int64_t CountRows(Database* db, const std::string& table) {
+  auto result = db->Execute("SELECT COUNT(*) FROM " + table);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? result.value().rows[0][0].AsInteger() : -1;
+}
+
+TEST(ElementSpecTest, NameMapping) {
+  EXPECT_EQ(ElementToTableName("POLICY"), "Policy");
+  EXPECT_EQ(ElementToTableName("DATA-GROUP"), "DataGroup");
+  EXPECT_EQ(ElementToTableName("individual-decision"), "IndividualDecision");
+  EXPECT_EQ(ElementToTableName("stated-purpose"), "StatedPurpose");
+  EXPECT_EQ(ElementToIdColumn("DATA-GROUP"), "datagroup_id");
+  EXPECT_EQ(ElementToIdColumn("Policy"), "policy_id");
+}
+
+TEST(ElementSpecTest, TreeShape) {
+  const ElementSpec& policy = PolicyElementSpec();
+  EXPECT_EQ(policy.element_name(), "POLICY");
+  const ElementSpec* statement = policy.FindChild("STATEMENT");
+  ASSERT_NE(statement, nullptr);
+  const ElementSpec* purpose = statement->FindChild("PURPOSE");
+  ASSERT_NE(purpose, nullptr);
+  // 12 purposes + extension.
+  EXPECT_EQ(purpose->children().size(), 13u);
+  ASSERT_NE(purpose->FindChild("contact"), nullptr);
+  EXPECT_EQ(purpose->FindChild("contact")->table_name(), "Contact");
+  // The required attribute has an effective default.
+  ASSERT_EQ(purpose->FindChild("contact")->attributes().size(), 1u);
+  EXPECT_EQ(purpose->FindChild("contact")->attributes()[0].default_value,
+            "always");
+  // Extension tables are disambiguated per parent.
+  EXPECT_EQ(purpose->FindChild("extension")->table_name(),
+            "PurposeExtension");
+  const ElementSpec* recipient = statement->FindChild("RECIPIENT");
+  ASSERT_NE(recipient, nullptr);
+  EXPECT_EQ(recipient->FindChild("extension")->table_name(),
+            "RecipientExtension");
+}
+
+TEST(SimpleSchemaTest, OneTablePerElement) {
+  GeneratedSchema schema = GenerateSimpleSchema();
+  // Figure 8: one table per element in the spec tree.
+  EXPECT_EQ(schema.tables.size(), PolicyElementSpec().SubtreeSize());
+  EXPECT_GT(schema.tables.size(), 50u);
+  // Every non-root table has an FK index.
+  EXPECT_EQ(schema.indexes.size(), schema.tables.size() - 1);
+}
+
+TEST(SimpleSchemaTest, DataTableShapeMatchesFigure9) {
+  GeneratedSchema schema = GenerateSimpleSchema();
+  const sqldb::TableSchema* data = nullptr;
+  for (const auto& t : schema.tables) {
+    if (t.name() == "Data") data = &t;
+  }
+  ASSERT_NE(data, nullptr);
+  // Figure 9: data_id, FK of the parent (datagroup_id, statement_id,
+  // policy_id), and the attribute columns.
+  EXPECT_TRUE(data->ColumnIndex("data_id").has_value());
+  EXPECT_TRUE(data->ColumnIndex("datagroup_id").has_value());
+  EXPECT_TRUE(data->ColumnIndex("statement_id").has_value());
+  EXPECT_TRUE(data->ColumnIndex("policy_id").has_value());
+  EXPECT_TRUE(data->ColumnIndex("ref").has_value());
+  EXPECT_TRUE(data->ColumnIndex("optional").has_value());
+  // PK = id + FK (Figure 8c).
+  EXPECT_EQ(data->primary_key().size(), 4u);
+  EXPECT_EQ(data->primary_key()[0], "data_id");
+  ASSERT_EQ(data->foreign_keys().size(), 1u);
+  EXPECT_EQ(data->foreign_keys()[0].referenced_table, "DataGroup");
+}
+
+TEST(SimpleSchemaTest, ShredVolga) {
+  Database db;
+  ASSERT_TRUE(InstallSimpleSchema(&db).ok());
+  SimpleShredder shredder(&db);
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  auto policy_id = shredder.ShredPolicy(*dom);
+  ASSERT_TRUE(policy_id.ok()) << policy_id.status();
+
+  EXPECT_EQ(CountRows(&db, "Policy"), 1);
+  EXPECT_EQ(CountRows(&db, "Statement"), 2);
+  EXPECT_EQ(CountRows(&db, "Purpose"), 2);
+  EXPECT_EQ(CountRows(&db, "Recipient"), 2);
+  EXPECT_EQ(CountRows(&db, "Current"), 1);
+  EXPECT_EQ(CountRows(&db, "IndividualDecision"), 1);
+  EXPECT_EQ(CountRows(&db, "Contact"), 1);
+  EXPECT_EQ(CountRows(&db, "Ours"), 2);
+  EXPECT_EQ(CountRows(&db, "Same"), 1);
+  EXPECT_EQ(CountRows(&db, "Retention"), 2);
+  EXPECT_EQ(CountRows(&db, "StatedPurpose"), 1);
+  EXPECT_EQ(CountRows(&db, "BusinessPractices"), 1);
+  EXPECT_EQ(CountRows(&db, "DataGroup"), 2);
+  EXPECT_EQ(CountRows(&db, "Data"), 5);
+  EXPECT_EQ(CountRows(&db, "Categories"), 2);  // two miscdata items
+  EXPECT_EQ(CountRows(&db, "Purchase"), 2);
+  EXPECT_EQ(CountRows(&db, "Consequence"), 2);
+  EXPECT_EQ(CountRows(&db, "Access"), 1);
+}
+
+TEST(SimpleSchemaTest, EffectiveDefaultsStored) {
+  Database db;
+  ASSERT_TRUE(InstallSimpleSchema(&db).ok());
+  SimpleShredder shredder(&db);
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  ASSERT_TRUE(shredder.ShredPolicy(*dom).ok());
+  // <current/> carries no required attribute; the stored value is the
+  // effective default "always".
+  auto current = db.Execute("SELECT required FROM Current");
+  ASSERT_TRUE(current.ok());
+  EXPECT_EQ(current.value().rows[0][0].AsText(), "always");
+  // <contact required="opt-in"/> stores the explicit value.
+  auto contact = db.Execute("SELECT required FROM Contact");
+  ASSERT_TRUE(contact.ok());
+  EXPECT_EQ(contact.value().rows[0][0].AsText(), "opt-in");
+  // <DATA> without optional stores "no".
+  auto data = db.Execute("SELECT DISTINCT optional FROM Data");
+  ASSERT_TRUE(data.ok());
+  ASSERT_EQ(data.value().rows.size(), 1u);
+  EXPECT_EQ(data.value().rows[0][0].AsText(), "no");
+}
+
+TEST(SimpleSchemaTest, MultiplePoliciesGetDistinctIds) {
+  Database db;
+  ASSERT_TRUE(InstallSimpleSchema(&db).ok());
+  SimpleShredder shredder(&db);
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  auto id1 = shredder.ShredPolicy(*dom);
+  auto id2 = shredder.ShredPolicy(*dom);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(id1.value(), id2.value());
+  EXPECT_EQ(CountRows(&db, "Policy"), 2);
+  EXPECT_EQ(CountRows(&db, "Statement"), 4);
+}
+
+TEST(SimpleSchemaTest, AugmentedDomAddsCategoryRows) {
+  Database db;
+  ASSERT_TRUE(InstallSimpleSchema(&db).ok());
+  SimpleShredder shredder(&db);
+  std::unique_ptr<xml::Element> dom =
+      p3p::PolicyToXml(workload::VolgaPolicy());
+  std::unique_ptr<xml::Element> augmented = p3p::AugmentPolicyXml(*dom);
+  ASSERT_TRUE(shredder.ShredPolicy(*augmented).ok());
+  // user.name brings physical+demographic, postal the same, email online...
+  EXPECT_GT(CountRows(&db, "Categories"), 2);
+  EXPECT_GE(CountRows(&db, "Physical"), 1);
+  EXPECT_GE(CountRows(&db, "Online"), 1);
+}
+
+TEST(OptimizedSchemaTest, TableSetMatchesFigure14) {
+  Database db;
+  ASSERT_TRUE(InstallOptimizedSchema(&db).ok());
+  // Six tables: Policy, Statement, Purpose, Recipient, Data, Categories.
+  EXPECT_EQ(db.TableCount(), 6u);
+  for (const char* t : {"Policy", "Statement", "Purpose", "Recipient",
+                        "Data", "Categories"}) {
+    EXPECT_NE(db.LookupTable(t), nullptr) << t;
+  }
+  // Purpose has no id column of its own (§5.4).
+  const sqldb::Table* purpose = db.LookupTable("Purpose");
+  EXPECT_FALSE(purpose->schema().ColumnIndex("purpose_id").has_value());
+  EXPECT_TRUE(purpose->schema().ColumnIndex("purpose").has_value());
+  EXPECT_TRUE(purpose->schema().ColumnIndex("required").has_value());
+  // Retention and consequence fold into Statement.
+  const sqldb::Table* statement = db.LookupTable("Statement");
+  EXPECT_TRUE(statement->schema().ColumnIndex("retention").has_value());
+  EXPECT_TRUE(statement->schema().ColumnIndex("consequence").has_value());
+}
+
+TEST(OptimizedSchemaTest, ShredVolga) {
+  Database db;
+  ASSERT_TRUE(InstallOptimizedSchema(&db).ok());
+  OptimizedShredder shredder(&db);
+  auto policy_id = shredder.ShredPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok()) << policy_id.status();
+  EXPECT_EQ(CountRows(&db, "Policy"), 1);
+  EXPECT_EQ(CountRows(&db, "Statement"), 2);
+  EXPECT_EQ(CountRows(&db, "Purpose"), 3);
+  EXPECT_EQ(CountRows(&db, "Recipient"), 3);
+  EXPECT_EQ(CountRows(&db, "Data"), 5);
+  EXPECT_EQ(CountRows(&db, "Categories"), 2);
+
+  auto retention = db.Execute(
+      "SELECT retention FROM Statement ORDER BY statement_id");
+  ASSERT_TRUE(retention.ok());
+  EXPECT_EQ(retention.value().rows[0][0].AsText(), "stated-purpose");
+  EXPECT_EQ(retention.value().rows[1][0].AsText(), "business-practices");
+
+  auto required = db.Execute(
+      "SELECT required FROM Purpose WHERE purpose = 'individual-decision'");
+  ASSERT_TRUE(required.ok());
+  EXPECT_EQ(required.value().rows[0][0].AsText(), "opt-in");
+}
+
+TEST(OptimizedSchemaTest, ForeignKeysEnforced) {
+  Database db;
+  ASSERT_TRUE(InstallOptimizedSchema(&db).ok());
+  // A Purpose row for a nonexistent statement must be rejected.
+  auto bad = db.Execute(
+      "INSERT INTO Purpose VALUES (1, 1, 'current', 'always')");
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(ReferenceSchemaTest, UriPatternToLike) {
+  EXPECT_EQ(UriPatternToLike("/*"), "/%");
+  EXPECT_EQ(UriPatternToLike("/catalog/*.html"), "/catalog/%.html");
+  EXPECT_EQ(UriPatternToLike("/100%_done"), "/100\\%\\_done");
+  EXPECT_EQ(UriPatternToLike("back\\slash"), "back\\\\slash");
+}
+
+TEST(ReferenceSchemaTest, RequiresPolicyTable) {
+  Database db;
+  EXPECT_FALSE(InstallReferenceSchema(&db).ok());
+}
+
+TEST(ReferenceSchemaTest, ShredAndQuery) {
+  Database db;
+  ASSERT_TRUE(InstallOptimizedSchema(&db).ok());
+  ASSERT_TRUE(InstallReferenceSchema(&db).ok());
+  OptimizedShredder policy_shredder(&db);
+  auto policy_id = policy_shredder.ShredPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok());
+
+  ReferenceShredder shredder(&db);
+  std::map<std::string, int64_t> resolution = {
+      {"/P3P/policies.xml#volga", policy_id.value()}};
+  auto meta = shredder.ShredReferenceFile(workload::VolgaReferenceFile(),
+                                          resolution);
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ(CountRows(&db, "Meta"), 1);
+  EXPECT_EQ(CountRows(&db, "Policyref"), 1);
+  EXPECT_EQ(CountRows(&db, "Include"), 1);
+  EXPECT_EQ(CountRows(&db, "Exclude"), 1);
+  EXPECT_EQ(CountRows(&db, "CookieInclude"), 1);
+
+  // LIKE-based coverage check straight in SQL.
+  auto covered = db.Execute(
+      "SELECT policy_id FROM Policyref WHERE EXISTS (SELECT * FROM Include "
+      "WHERE Include.policyref_id = Policyref.policyref_id AND "
+      "'/catalog/books' LIKE Include.pattern ESCAPE '\\')");
+  ASSERT_TRUE(covered.ok()) << covered.status();
+  ASSERT_EQ(covered.value().rows.size(), 1u);
+  EXPECT_EQ(covered.value().rows[0][0].AsInteger(), policy_id.value());
+}
+
+TEST(ReferenceSchemaTest, UnresolvedAboutStoresNull) {
+  Database db;
+  ASSERT_TRUE(InstallOptimizedSchema(&db).ok());
+  ASSERT_TRUE(InstallReferenceSchema(&db).ok());
+  ReferenceShredder shredder(&db);
+  auto meta =
+      shredder.ShredReferenceFile(workload::VolgaReferenceFile(), {});
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  auto rows = db.Execute(
+      "SELECT * FROM Policyref WHERE policy_id IS NULL");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value().rows.size(), 1u);
+}
+
+}  // namespace
+}  // namespace p3pdb::shredder

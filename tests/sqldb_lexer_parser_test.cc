@@ -1,0 +1,282 @@
+// Tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sqldb/ast.h"
+#include "sqldb/lexer.h"
+#include "sqldb/parser.h"
+
+namespace p3pdb::sqldb {
+namespace {
+
+std::vector<Token> MustTokenize(std::string_view sql) {
+  auto result = Tokenize(sql);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(LexerTest, BasicTokens) {
+  std::vector<Token> tokens = MustTokenize("SELECT * FROM t WHERE a = 1");
+  ASSERT_EQ(tokens.size(), 9u);  // incl. kEnd
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].type, TokenType::kStar);
+  EXPECT_TRUE(tokens[2].IsKeyword("FROM"));
+  EXPECT_EQ(tokens[3].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[5].type, TokenType::kIdentifier);
+  EXPECT_EQ(tokens[6].type, TokenType::kOperator);
+  EXPECT_EQ(tokens[7].type, TokenType::kInteger);
+  EXPECT_EQ(tokens[7].int_value, 1);
+  EXPECT_EQ(tokens.back().type, TokenType::kEnd);
+}
+
+TEST(LexerTest, StringLiteralWithEscapedQuote) {
+  std::vector<Token> tokens = MustTokenize("'it''s'");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].type, TokenType::kString);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, Operators) {
+  std::vector<Token> tokens = MustTokenize("= <> != < <= > >=");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_EQ(tokens[0].text, "=");
+  EXPECT_EQ(tokens[1].text, "<>");
+  EXPECT_EQ(tokens[2].text, "<>");  // != normalizes
+  EXPECT_EQ(tokens[3].text, "<");
+  EXPECT_EQ(tokens[4].text, "<=");
+  EXPECT_EQ(tokens[5].text, ">");
+  EXPECT_EQ(tokens[6].text, ">=");
+}
+
+TEST(LexerTest, CommentsSkipped) {
+  std::vector<Token> tokens = MustTokenize("SELECT -- comment\n 1");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].type, TokenType::kInteger);
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("SELECT 'abc").ok());
+}
+
+TEST(LexerTest, QualifiedName) {
+  std::vector<Token> tokens = MustTokenize("Policy.policy_id");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].type, TokenType::kDot);
+}
+
+std::unique_ptr<Statement> MustParse(std::string_view sql) {
+  auto result = ParseStatement(sql);
+  EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+const SelectStmt& AsSelect(const std::unique_ptr<Statement>& stmt) {
+  EXPECT_EQ(stmt->kind, StatementKind::kSelect);
+  return static_cast<const SelectStmt&>(*stmt);
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto stmt = MustParse("SELECT a, b FROM t WHERE a = 1");
+  const SelectStmt& sel = AsSelect(stmt);
+  EXPECT_EQ(sel.items.size(), 2u);
+  EXPECT_EQ(sel.from.size(), 1u);
+  EXPECT_EQ(sel.from[0].table_name, "t");
+  ASSERT_NE(sel.where, nullptr);
+}
+
+TEST(ParserTest, SelectStarWithAlias) {
+  auto stmt = MustParse("SELECT * FROM Policy p");
+  const SelectStmt& sel = AsSelect(stmt);
+  EXPECT_TRUE(sel.items[0].is_star);
+  EXPECT_EQ(sel.from[0].alias, "p");
+}
+
+TEST(ParserTest, SelectLiteralBehavior) {
+  // The shape main() generates in Figure 13: SELECT 'block' FROM ...
+  auto stmt = MustParse("SELECT 'block' FROM ApplicablePolicy");
+  const SelectStmt& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.items.size(), 1u);
+  EXPECT_EQ(sel.items[0].expr->kind, ExprKind::kLiteral);
+}
+
+TEST(ParserTest, NestedExists) {
+  auto stmt = MustParse(
+      "SELECT 'block' FROM ApplicablePolicy WHERE EXISTS ("
+      "SELECT * FROM Policy WHERE Policy.policy_id = "
+      "ApplicablePolicy.policy_id AND EXISTS ("
+      "SELECT * FROM Statement WHERE Statement.policy_id = "
+      "Policy.policy_id))");
+  const SelectStmt& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.where->kind, ExprKind::kExists);
+  const auto& outer = static_cast<const ExistsExpr&>(*sel.where);
+  ASSERT_NE(outer.subquery, nullptr);
+  ASSERT_NE(outer.subquery->where, nullptr);
+  EXPECT_EQ(outer.subquery->where->kind, ExprKind::kLogical);
+}
+
+TEST(ParserTest, OrPrecedenceLowerThanAnd) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  const SelectStmt& sel = AsSelect(stmt);
+  const auto& top = static_cast<const LogicalExpr&>(*sel.where);
+  EXPECT_FALSE(top.is_and);
+  ASSERT_EQ(top.operands.size(), 2u);
+  EXPECT_EQ(top.operands[1]->kind, ExprKind::kLogical);
+  EXPECT_TRUE(static_cast<const LogicalExpr&>(*top.operands[1]).is_and);
+}
+
+TEST(ParserTest, ParensOverridePrecedence) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  const auto& top = static_cast<const LogicalExpr&>(*AsSelect(stmt).where);
+  EXPECT_TRUE(top.is_and);
+  EXPECT_EQ(top.operands[0]->kind, ExprKind::kLogical);
+}
+
+TEST(ParserTest, NotExists) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE NOT EXISTS (SELECT * FROM u)");
+  const auto& exists = static_cast<const ExistsExpr&>(*AsSelect(stmt).where);
+  EXPECT_TRUE(exists.negated);
+}
+
+TEST(ParserTest, InList) {
+  auto stmt =
+      MustParse("SELECT 1 FROM t WHERE p IN ('admin', 'contact', 'develop')");
+  const auto& in = static_cast<const InListExpr&>(*AsSelect(stmt).where);
+  EXPECT_EQ(in.items.size(), 3u);
+  EXPECT_FALSE(in.negated);
+}
+
+TEST(ParserTest, NotIn) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE p NOT IN ('x')");
+  const auto& in = static_cast<const InListExpr&>(*AsSelect(stmt).where);
+  EXPECT_TRUE(in.negated);
+}
+
+TEST(ParserTest, IsNullAndIsNotNull) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE a IS NULL AND b IS NOT NULL");
+  const auto& top = static_cast<const LogicalExpr&>(*AsSelect(stmt).where);
+  const auto& lhs = static_cast<const IsNullExpr&>(*top.operands[0]);
+  const auto& rhs = static_cast<const IsNullExpr&>(*top.operands[1]);
+  EXPECT_FALSE(lhs.negated);
+  EXPECT_TRUE(rhs.negated);
+}
+
+TEST(ParserTest, Like) {
+  auto stmt = MustParse("SELECT 1 FROM t WHERE 'uri' LIKE pattern");
+  EXPECT_EQ(AsSelect(stmt).where->kind, ExprKind::kLike);
+}
+
+TEST(ParserTest, DistinctGroupOrderLimit) {
+  auto stmt = MustParse(
+      "SELECT DISTINCT purpose, COUNT(*) FROM Purpose GROUP BY purpose "
+      "ORDER BY 2 DESC LIMIT 5");
+  const SelectStmt& sel = AsSelect(stmt);
+  EXPECT_TRUE(sel.distinct);
+  EXPECT_EQ(sel.group_by.size(), 1u);
+  ASSERT_EQ(sel.order_by.size(), 1u);
+  EXPECT_FALSE(sel.order_by[0].ascending);
+  EXPECT_EQ(sel.limit, 5);
+}
+
+TEST(ParserTest, Aggregates) {
+  auto stmt = MustParse("SELECT COUNT(*), COUNT(a), MIN(a), MAX(a), SUM(a) FROM t");
+  const SelectStmt& sel = AsSelect(stmt);
+  ASSERT_EQ(sel.items.size(), 5u);
+  for (const auto& item : sel.items) {
+    EXPECT_EQ(item.expr->kind, ExprKind::kAggregate);
+  }
+}
+
+TEST(ParserTest, InsertPositional) {
+  auto stmt = MustParse("INSERT INTO t VALUES (1, 'a'), (2, NULL)");
+  const auto& ins = static_cast<const InsertStmt&>(*stmt);
+  EXPECT_EQ(ins.table_name, "t");
+  EXPECT_TRUE(ins.columns.empty());
+  EXPECT_EQ(ins.rows.size(), 2u);
+}
+
+TEST(ParserTest, InsertWithColumns) {
+  auto stmt = MustParse("INSERT INTO t (a, b) VALUES (1, 'x')");
+  const auto& ins = static_cast<const InsertStmt&>(*stmt);
+  ASSERT_EQ(ins.columns.size(), 2u);
+  EXPECT_EQ(ins.columns[0], "a");
+}
+
+TEST(ParserTest, CreateTableFull) {
+  auto stmt = MustParse(
+      "CREATE TABLE Statement (policy_id INTEGER NOT NULL, "
+      "statement_id INTEGER NOT NULL, consequence VARCHAR(255), "
+      "PRIMARY KEY (policy_id, statement_id), "
+      "FOREIGN KEY (policy_id) REFERENCES Policy (policy_id))");
+  const auto& ct = static_cast<const CreateTableStmt&>(*stmt);
+  EXPECT_EQ(ct.schema.name(), "Statement");
+  EXPECT_EQ(ct.schema.ColumnCount(), 3u);
+  EXPECT_FALSE(ct.schema.columns()[0].nullable);
+  EXPECT_TRUE(ct.schema.columns()[2].nullable);
+  EXPECT_EQ(ct.schema.primary_key().size(), 2u);
+  ASSERT_EQ(ct.schema.foreign_keys().size(), 1u);
+  EXPECT_EQ(ct.schema.foreign_keys()[0].referenced_table, "Policy");
+}
+
+TEST(ParserTest, CreateTableIfNotExists) {
+  auto stmt = MustParse("CREATE TABLE IF NOT EXISTS t (a INTEGER)");
+  EXPECT_TRUE(static_cast<const CreateTableStmt&>(*stmt).if_not_exists);
+}
+
+TEST(ParserTest, CreateUniqueIndex) {
+  auto stmt = MustParse("CREATE UNIQUE INDEX idx ON t (a, b)");
+  const auto& ci = static_cast<const CreateIndexStmt&>(*stmt);
+  EXPECT_TRUE(ci.unique);
+  EXPECT_EQ(ci.columns.size(), 2u);
+}
+
+TEST(ParserTest, DropTableIfExists) {
+  auto stmt = MustParse("DROP TABLE IF EXISTS t");
+  EXPECT_TRUE(static_cast<const DropTableStmt&>(*stmt).if_exists);
+}
+
+TEST(ParserTest, DeleteWithWhere) {
+  auto stmt = MustParse("DELETE FROM t WHERE a = 1");
+  const auto& del = static_cast<const DeleteStmt&>(*stmt);
+  EXPECT_EQ(del.table_name, "t");
+  ASSERT_NE(del.where, nullptr);
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto result = ParseScript(
+      "CREATE TABLE a (x INTEGER); INSERT INTO a VALUES (1);;"
+      "SELECT * FROM a;");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().size(), 3u);
+}
+
+TEST(ParserTest, TrailingGarbageFails) {
+  EXPECT_FALSE(ParseStatement("SELECT 1 FROM t extra garbage here").ok());
+}
+
+TEST(ParserTest, MissingFromTableFails) {
+  EXPECT_FALSE(ParseStatement("SELECT a FROM WHERE x = 1").ok());
+}
+
+TEST(ParserTest, EmptyFails) { EXPECT_FALSE(ParseStatement("").ok()); }
+
+TEST(ParserTest, ErrorsMentionOffset) {
+  auto result = ParseStatement("SELECT FROM t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, ToSqlRoundTrips) {
+  const char* sql =
+      "SELECT 'block' FROM ApplicablePolicy WHERE EXISTS (SELECT * FROM "
+      "Purpose WHERE Purpose.policy_id = ApplicablePolicy.policy_id AND "
+      "(Purpose.purpose = 'admin' OR Purpose.purpose = 'contact' AND "
+      "Purpose.required = 'always'))";
+  auto stmt = MustParse(sql);
+  std::string rendered = AsSelect(stmt).ToSql();
+  // Render -> parse -> render must be a fixed point.
+  auto stmt2 = MustParse(rendered);
+  EXPECT_EQ(AsSelect(stmt2).ToSql(), rendered);
+}
+
+}  // namespace
+}  // namespace p3pdb::sqldb

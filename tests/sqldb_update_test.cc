@@ -1,0 +1,119 @@
+// Tests for UPDATE: assignments referencing current row values, WHERE
+// filtering, index maintenance, and constraint interaction.
+
+#include <gtest/gtest.h>
+
+#include "sqldb/database.h"
+
+namespace p3pdb::sqldb {
+namespace {
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.ExecuteScript(
+                      "CREATE TABLE t (k INTEGER NOT NULL, v VARCHAR(10), "
+                      "n INTEGER, PRIMARY KEY (k));"
+                      "INSERT INTO t VALUES (1, 'a', 10), (2, 'b', 20), "
+                      "(3, 'c', 30);")
+                    .ok());
+  }
+
+  int64_t Count(const std::string& where) {
+    auto result = db_.Execute("SELECT COUNT(*) FROM t WHERE " + where);
+    EXPECT_TRUE(result.ok()) << result.status();
+    return result.ok() ? result.value().rows[0][0].AsInteger() : -1;
+  }
+
+  Database db_;
+};
+
+TEST_F(UpdateTest, UpdateWithWhere) {
+  auto result = db_.Execute("UPDATE t SET v = 'x' WHERE k >= 2");
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result.value().rows_affected, 2);
+  EXPECT_EQ(Count("v = 'x'"), 2);
+  EXPECT_EQ(Count("v = 'a'"), 1);
+}
+
+TEST_F(UpdateTest, UpdateAllRows) {
+  auto result = db_.Execute("UPDATE t SET n = 0");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().rows_affected, 3);
+  EXPECT_EQ(Count("n = 0"), 3);
+}
+
+TEST_F(UpdateTest, AssignmentSeesOldValues) {
+  // Swap-like update: both assignments read the pre-update row.
+  ASSERT_TRUE(db_.Execute("UPDATE t SET n = k, k = n WHERE k = 1").ok());
+  EXPECT_EQ(Count("k = 10 AND n = 1"), 1);
+}
+
+TEST_F(UpdateTest, MultipleAssignments) {
+  ASSERT_TRUE(
+      db_.Execute("UPDATE t SET v = 'z', n = NULL WHERE k = 2").ok());
+  EXPECT_EQ(Count("v = 'z' AND n IS NULL"), 1);
+}
+
+TEST_F(UpdateTest, IndexFollowsUpdatedKey) {
+  ASSERT_TRUE(db_.Execute("UPDATE t SET k = 99 WHERE k = 1").ok());
+  db_.ResetStats();
+  EXPECT_EQ(Count("k = 99"), 1);
+  EXPECT_GE(db_.stats().index_lookups, 1u);
+  EXPECT_EQ(Count("k = 1"), 0);
+  // The freed key is insertable again.
+  EXPECT_TRUE(db_.Execute("INSERT INTO t VALUES (1, 'new', 0)").ok());
+}
+
+TEST_F(UpdateTest, PrimaryKeyConflictRejectedAndRowPreserved) {
+  auto clash = db_.Execute("UPDATE t SET k = 2 WHERE k = 1");
+  ASSERT_FALSE(clash.ok());
+  EXPECT_EQ(clash.status().code(), StatusCode::kAlreadyExists);
+  // The row that failed to move is still there with its old key.
+  EXPECT_EQ(Count("k = 1"), 1);
+  EXPECT_EQ(Count("1 = 1"), 3);
+}
+
+TEST_F(UpdateTest, TypeAndNullabilityChecked) {
+  EXPECT_FALSE(db_.Execute("UPDATE t SET n = 'text' WHERE k = 1").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE t SET k = NULL WHERE k = 1").ok());
+}
+
+TEST_F(UpdateTest, UnknownTableOrColumn) {
+  EXPECT_FALSE(db_.Execute("UPDATE missing SET a = 1").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE t SET missing = 1").ok());
+  EXPECT_FALSE(db_.Execute("UPDATE t SET v = 'x' WHERE missing = 1").ok());
+}
+
+TEST_F(UpdateTest, ReExecutionAfterErrorWorks) {
+  // Statement state must be restored after a failed bind.
+  ASSERT_FALSE(db_.Execute("UPDATE t SET v = nope WHERE k = 1").ok());
+  ASSERT_TRUE(db_.Execute("UPDATE t SET v = 'ok' WHERE k = 1").ok());
+  EXPECT_EQ(Count("v = 'ok'"), 1);
+}
+
+TEST_F(UpdateTest, ForeignKeyEnforcedOnUpdate) {
+  ASSERT_TRUE(db_.ExecuteScript(
+                    "CREATE TABLE child (k INTEGER, "
+                    "FOREIGN KEY (k) REFERENCES t (k));"
+                    "INSERT INTO child VALUES (1);")
+                  .ok());
+  EXPECT_FALSE(db_.Execute("UPDATE child SET k = 77").ok());
+  EXPECT_TRUE(db_.Execute("UPDATE child SET k = 3").ok());
+}
+
+TEST_F(UpdateTest, CorrelatedSubqueryInWhere) {
+  ASSERT_TRUE(db_.ExecuteScript(
+                    "CREATE TABLE marks (k INTEGER);"
+                    "INSERT INTO marks VALUES (2);")
+                  .ok());
+  ASSERT_TRUE(db_.Execute(
+                    "UPDATE t SET v = 'marked' WHERE EXISTS "
+                    "(SELECT * FROM marks WHERE marks.k = t.k)")
+                  .ok());
+  EXPECT_EQ(Count("v = 'marked'"), 1);
+  EXPECT_EQ(Count("v = 'marked' AND k = 2"), 1);
+}
+
+}  // namespace
+}  // namespace p3pdb::sqldb

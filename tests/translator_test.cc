@@ -1,0 +1,427 @@
+// Tests for the APPEL -> SQL translators (Figures 11 and 15) and the
+// applicablePolicy() query: generated query shape, execution against
+// shredded policies, connective semantics, and agreement with the native
+// engine on targeted cases.
+
+#include <gtest/gtest.h>
+
+#include "appel/engine.h"
+#include "p3p/augment.h"
+#include "p3p/policy_xml.h"
+#include "shredder/optimized_schema.h"
+#include "shredder/reference_schema.h"
+#include "shredder/simple_schema.h"
+#include "sqldb/database.h"
+#include "translator/applicable_policy.h"
+#include "translator/sql_optimized.h"
+#include "translator/sql_simple.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::translator {
+namespace {
+
+using appel::AppelExpr;
+using appel::AppelRule;
+using appel::Connective;
+using sqldb::Database;
+using workload::JaneSimplifiedFirstRule;
+using workload::VolgaPolicy;
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+TEST(CombineConditionsTest, AllConnectives) {
+  std::vector<std::string> terms = {"A", "B"};
+  EXPECT_EQ(CombineConditions(terms, Connective::kAnd).value(), "A AND B");
+  EXPECT_EQ(CombineConditions(terms, Connective::kOr).value(), "A OR B");
+  EXPECT_EQ(CombineConditions(terms, Connective::kNonAnd).value(),
+            "NOT (A AND B)");
+  EXPECT_EQ(CombineConditions(terms, Connective::kNonOr).value(),
+            "NOT (A OR B)");
+  EXPECT_FALSE(CombineConditions(terms, Connective::kAndExact).ok());
+  EXPECT_FALSE(CombineConditions(terms, Connective::kOrExact).ok());
+}
+
+// ---- Figure 13: simple-schema translation shape ---------------------------
+
+TEST(SimpleTranslatorTest, JaneSimplifiedMatchesFigure13Shape) {
+  SimpleSqlTranslator translator;
+  auto sql = translator.TranslateRule(JaneSimplifiedFirstRule());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  const std::string& q = sql.value();
+  EXPECT_TRUE(Contains(q, "SELECT 'block' FROM ApplicablePolicy"));
+  EXPECT_TRUE(Contains(q, "SELECT * FROM Policy"));
+  EXPECT_TRUE(
+      Contains(q, "Policy.policy_id = ApplicablePolicy.policy_id"));
+  EXPECT_TRUE(Contains(q, "SELECT * FROM Statement"));
+  EXPECT_TRUE(Contains(q, "Statement.policy_id = Policy.policy_id"));
+  EXPECT_TRUE(Contains(q, "SELECT * FROM Purpose"));
+  // One subquery per vocabulary element — Admin and Contact tables, as in
+  // Figure 13 (not merged).
+  EXPECT_TRUE(Contains(q, "SELECT * FROM Admin"));
+  EXPECT_TRUE(Contains(q, "SELECT * FROM Contact"));
+  EXPECT_TRUE(Contains(q, "Contact.required = 'always'"));
+  EXPECT_TRUE(Contains(q, " OR "));
+}
+
+TEST(SimpleTranslatorTest, CatchAllRule) {
+  SimpleSqlTranslator translator;
+  AppelRule rule;
+  rule.behavior = "request";
+  auto sql = translator.TranslateRule(rule);
+  ASSERT_TRUE(sql.ok());
+  EXPECT_EQ(sql.value(), "SELECT 'request' FROM ApplicablePolicy");
+}
+
+TEST(SimpleTranslatorTest, ExactConnectivesUnsupported) {
+  AppelRule rule = JaneSimplifiedFirstRule();
+  rule.expressions[0].children[0].children[0].connective =
+      Connective::kAndExact;
+  SimpleSqlTranslator translator;
+  auto sql = translator.TranslateRule(rule);
+  ASSERT_FALSE(sql.ok());
+  EXPECT_EQ(sql.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SimpleTranslatorTest, UnknownElementUnsupported) {
+  AppelRule rule = JaneSimplifiedFirstRule();
+  rule.expressions[0].children[0].children[0].name = "NO-SUCH-ELEMENT";
+  SimpleSqlTranslator translator;
+  EXPECT_FALSE(translator.TranslateRule(rule).ok());
+}
+
+// ---- Figure 15: optimized-schema translation shape ------------------------
+
+TEST(OptimizedTranslatorTest, JaneSimplifiedMatchesFigure15Shape) {
+  OptimizedSqlTranslator translator;
+  auto sql = translator.TranslateRule(JaneSimplifiedFirstRule());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  const std::string& q = sql.value();
+  EXPECT_TRUE(Contains(q, "SELECT 'block' FROM ApplicablePolicy"));
+  // The vocabulary subqueries merge into one Purpose subquery with value
+  // predicates (Figure 15).
+  EXPECT_TRUE(Contains(q, "Purpose.purpose = 'admin'"));
+  EXPECT_TRUE(Contains(q, "Purpose.purpose = 'contact'"));
+  EXPECT_TRUE(Contains(q, "Purpose.required = 'always'"));
+  EXPECT_FALSE(Contains(q, "FROM Admin"));
+  EXPECT_FALSE(Contains(q, "FROM Contact"));
+  // Exactly one FROM Purpose (merged), vs two in the Figure 13 form.
+  size_t first = q.find("FROM Purpose");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(q.find("FROM Purpose", first + 1), std::string::npos);
+}
+
+// ---- Execution fixtures ----------------------------------------------------
+
+class OptimizedExecutionTest : public ::testing::Test {
+ protected:
+  void Install(const p3p::Policy& policy) {
+    ASSERT_TRUE(shredder::InstallOptimizedSchema(&db_).ok());
+    ASSERT_TRUE(db_.ExecuteScript(ApplicablePolicyDdl()).ok());
+    shredder::OptimizedShredder shredder(&db_);
+    p3p::Policy augmented = p3p::Canonicalized(policy);
+    p3p::AugmentPolicy(&augmented);
+    auto id = shredder.ShredPolicy(augmented);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(
+        db_.InsertRow("ApplicablePolicy",
+                      {sqldb::Value::Integer(id.value())})
+            .ok());
+  }
+
+  /// Runs one translated rule; returns whether it fired.
+  bool RuleFires(const AppelRule& rule) {
+    OptimizedSqlTranslator translator;
+    auto sql = translator.TranslateRule(rule);
+    EXPECT_TRUE(sql.ok()) << sql.status();
+    if (!sql.ok()) return false;
+    auto result = db_.Execute(sql.value());
+    EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql.value();
+    return result.ok() && !result.value().rows.empty();
+  }
+
+  /// The native engine's verdict on the same rule, for agreement checks.
+  bool NativeFires(const AppelRule& rule, const p3p::Policy& policy) {
+    appel::AppelRuleset rs;
+    rs.rules.push_back(CloneRule(rule));
+    appel::NativeEngine engine;
+    std::unique_ptr<xml::Element> dom =
+        p3p::PolicyToXml(p3p::Canonicalized(policy));
+    auto outcome = engine.Evaluate(rs, *dom);
+    EXPECT_TRUE(outcome.ok()) << outcome.status();
+    return outcome.ok() && outcome.value().fired();
+  }
+
+  static AppelExpr CloneExpr(const AppelExpr& e) {
+    AppelExpr copy;
+    copy.name = e.name;
+    copy.connective = e.connective;
+    copy.attributes = e.attributes;
+    for (const AppelExpr& c : e.children) copy.children.push_back(CloneExpr(c));
+    return copy;
+  }
+  static AppelRule CloneRule(const AppelRule& r) {
+    AppelRule copy;
+    copy.behavior = r.behavior;
+    copy.connective = r.connective;
+    for (const AppelExpr& e : r.expressions) {
+      copy.expressions.push_back(CloneExpr(e));
+    }
+    return copy;
+  }
+
+  static AppelRule PurposeRule(Connective c,
+                               std::vector<std::string> values) {
+    AppelExpr purpose;
+    purpose.name = "PURPOSE";
+    purpose.connective = c;
+    for (std::string& v : values) {
+      AppelExpr value;
+      value.name = std::move(v);
+      purpose.children.push_back(std::move(value));
+    }
+    AppelExpr statement;
+    statement.name = "STATEMENT";
+    statement.children.push_back(std::move(purpose));
+    AppelExpr policy;
+    policy.name = "POLICY";
+    policy.children.push_back(std::move(statement));
+    AppelRule rule;
+    rule.behavior = "block";
+    rule.expressions.push_back(std::move(policy));
+    return rule;
+  }
+
+  Database db_;
+};
+
+TEST_F(OptimizedExecutionTest, JaneSimplifiedDoesNotFireOnVolga) {
+  Install(VolgaPolicy());
+  // Volga has neither admin nor contact-with-always.
+  EXPECT_FALSE(RuleFires(JaneSimplifiedFirstRule()));
+}
+
+TEST_F(OptimizedExecutionTest, FiresWhenContactBecomesMandatory) {
+  p3p::Policy policy = VolgaPolicy();
+  policy.statements[1].purposes[1].required = p3p::Required::kAlways;
+  Install(policy);
+  EXPECT_TRUE(RuleFires(JaneSimplifiedFirstRule()));
+}
+
+TEST_F(OptimizedExecutionTest, ConnectivesAgreeWithNativeEngine) {
+  // Volga statement 1 has purposes {current}; statement 2 has
+  // {individual-decision, contact}. Probe many connective/value
+  // combinations and require SQL == native on every one.
+  p3p::Policy volga = VolgaPolicy();
+  Install(volga);
+  const std::vector<std::vector<std::string>> value_sets = {
+      {"current"},
+      {"contact"},
+      {"admin"},
+      {"current", "contact"},
+      {"individual-decision", "contact"},
+      {"admin", "develop"},
+      {"current", "admin"},
+      {"current", "individual-decision", "contact"},
+  };
+  const Connective connectives[] = {
+      Connective::kAnd,      Connective::kOr,     Connective::kNonAnd,
+      Connective::kNonOr,    Connective::kAndExact, Connective::kOrExact,
+  };
+  for (const auto& values : value_sets) {
+    for (Connective c : connectives) {
+      AppelRule rule = PurposeRule(c, values);
+      bool sql_fired = RuleFires(rule);
+      bool native_fired = NativeFires(rule, volga);
+      EXPECT_EQ(sql_fired, native_fired)
+          << "connective " << appel::ConnectiveToString(c) << " over "
+          << values.size() << " values starting with " << values[0];
+    }
+  }
+}
+
+TEST_F(OptimizedExecutionTest, AndExactSemantics) {
+  // Statement 2 of Volga has exactly {individual-decision, contact}.
+  Install(VolgaPolicy());
+  EXPECT_TRUE(RuleFires(PurposeRule(Connective::kAndExact,
+                                    {"individual-decision", "contact"})));
+  EXPECT_FALSE(RuleFires(PurposeRule(Connective::kAndExact,
+                                     {"individual-decision"})));
+  EXPECT_TRUE(RuleFires(PurposeRule(Connective::kOrExact, {"current"})));
+  EXPECT_FALSE(RuleFires(PurposeRule(Connective::kOrExact, {"admin"})));
+}
+
+TEST_F(OptimizedExecutionTest, RetentionAndAccessPredicates) {
+  Install(VolgaPolicy());
+  // RETENTION folds into Statement.retention.
+  AppelExpr retention;
+  retention.name = "RETENTION";
+  retention.connective = Connective::kOr;
+  AppelExpr value;
+  value.name = "business-practices";
+  retention.children.push_back(std::move(value));
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.children.push_back(std::move(retention));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  AppelRule rule;
+  rule.behavior = "block";
+  rule.expressions.push_back(std::move(policy));
+  EXPECT_TRUE(RuleFires(rule));
+
+  // ACCESS folds into Policy.access (Volga: contact-and-other).
+  AppelExpr access;
+  access.name = "ACCESS";
+  access.connective = Connective::kOr;
+  AppelExpr none;
+  none.name = "none";
+  access.children.push_back(std::move(none));
+  AppelExpr policy2;
+  policy2.name = "POLICY";
+  policy2.children.push_back(std::move(access));
+  AppelRule rule2;
+  rule2.behavior = "block";
+  rule2.expressions.push_back(std::move(policy2));
+  EXPECT_FALSE(RuleFires(rule2));
+}
+
+TEST_F(OptimizedExecutionTest, CategoryPredicatesAfterAugmentation) {
+  Install(VolgaPolicy());
+  // user.name was augmented to physical+demographic at install.
+  AppelExpr categories;
+  categories.name = "CATEGORIES";
+  categories.connective = Connective::kOr;
+  AppelExpr physical;
+  physical.name = "physical";
+  categories.children.push_back(std::move(physical));
+  AppelExpr data;
+  data.name = "DATA";
+  data.children.push_back(std::move(categories));
+  AppelExpr group;
+  group.name = "DATA-GROUP";
+  group.children.push_back(std::move(data));
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.children.push_back(std::move(group));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  AppelRule rule;
+  rule.behavior = "block";
+  rule.expressions.push_back(std::move(policy));
+  EXPECT_TRUE(RuleFires(rule));
+}
+
+TEST_F(OptimizedExecutionTest, DataRefPredicate) {
+  Install(VolgaPolicy());
+  AppelExpr data;
+  data.name = "DATA";
+  data.attributes.push_back(
+      appel::AppelAttribute{"ref", "#user.home-info.online.email"});
+  AppelExpr group;
+  group.name = "DATA-GROUP";
+  group.children.push_back(std::move(data));
+  AppelExpr statement;
+  statement.name = "STATEMENT";
+  statement.children.push_back(std::move(group));
+  AppelExpr policy;
+  policy.name = "POLICY";
+  policy.children.push_back(std::move(statement));
+  AppelRule rule;
+  rule.behavior = "block";
+  rule.expressions.push_back(std::move(policy));
+  EXPECT_TRUE(RuleFires(rule));
+
+  // A ref Volga never collects.
+  AppelRule rule2 = CloneRule(rule);
+  rule2.expressions[0].children[0].children[0].children[0].attributes[0]
+      .value = "#user.login.password";
+  EXPECT_FALSE(RuleFires(rule2));
+}
+
+// ---- Simple-schema execution ----------------------------------------------
+
+class SimpleExecutionTest : public ::testing::Test {
+ protected:
+  void Install(const p3p::Policy& policy) {
+    ASSERT_TRUE(shredder::InstallSimpleSchema(&db_).ok());
+    ASSERT_TRUE(db_.ExecuteScript(ApplicablePolicyDdl()).ok());
+    shredder::SimpleShredder shredder(&db_);
+    p3p::Policy prepared = p3p::Canonicalized(policy);
+    p3p::AugmentPolicy(&prepared);
+    std::unique_ptr<xml::Element> dom = p3p::PolicyToXml(prepared);
+    auto id = shredder.ShredPolicy(*dom);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(db_
+                    .InsertRow("ApplicablePolicy",
+                               {sqldb::Value::Integer(id.value())})
+                    .ok());
+  }
+
+  bool RuleFires(const AppelRule& rule) {
+    SimpleSqlTranslator translator;
+    auto sql = translator.TranslateRule(rule);
+    EXPECT_TRUE(sql.ok()) << sql.status();
+    if (!sql.ok()) return false;
+    auto result = db_.Execute(sql.value());
+    EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql.value();
+    return result.ok() && !result.value().rows.empty();
+  }
+
+  Database db_;
+};
+
+TEST_F(SimpleExecutionTest, JaneSimplifiedDoesNotFireOnVolga) {
+  Install(VolgaPolicy());
+  EXPECT_FALSE(RuleFires(JaneSimplifiedFirstRule()));
+}
+
+TEST_F(SimpleExecutionTest, FiresWhenContactBecomesMandatory) {
+  p3p::Policy policy = VolgaPolicy();
+  policy.statements[1].purposes[1].required = p3p::Required::kAlways;
+  Install(policy);
+  EXPECT_TRUE(RuleFires(JaneSimplifiedFirstRule()));
+}
+
+// ---- applicablePolicy() ----------------------------------------------------
+
+TEST(ApplicablePolicyTest, QueryLocatesPolicyByUri) {
+  Database db;
+  ASSERT_TRUE(shredder::InstallOptimizedSchema(&db).ok());
+  ASSERT_TRUE(shredder::InstallReferenceSchema(&db).ok());
+  shredder::OptimizedShredder policy_shredder(&db);
+  auto id = policy_shredder.ShredPolicy(VolgaPolicy());
+  ASSERT_TRUE(id.ok());
+  shredder::ReferenceShredder ref_shredder(&db);
+  ASSERT_TRUE(ref_shredder
+                  .ShredReferenceFile(workload::VolgaReferenceFile(),
+                                      {{"/P3P/policies.xml#volga",
+                                        id.value()}})
+                  .ok());
+
+  auto hit = db.Execute(ApplicablePolicyQuery("/catalog/books"));
+  ASSERT_TRUE(hit.ok()) << hit.status();
+  ASSERT_EQ(hit.value().rows.size(), 1u);
+  EXPECT_EQ(hit.value().rows[0][0].AsInteger(), id.value());
+
+  auto excluded = db.Execute(ApplicablePolicyQuery("/about/staff.html"));
+  ASSERT_TRUE(excluded.ok()) << excluded.status();
+  EXPECT_TRUE(excluded.value().rows.empty());
+
+  auto cookie = db.Execute(
+      ApplicablePolicyQuery("/session-cookie", /*for_cookie=*/true));
+  ASSERT_TRUE(cookie.ok()) << cookie.status();
+  EXPECT_EQ(cookie.value().rows.size(), 1u);
+}
+
+TEST(ApplicablePolicyTest, QuotesPathLiterals) {
+  // A hostile path with a quote must not break out of the SQL literal.
+  std::string q = ApplicablePolicyQuery("/a'b");
+  EXPECT_NE(q.find("'/a''b'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p3pdb::translator
