@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_schema.dir/bench_ablation_schema.cc.o"
+  "CMakeFiles/bench_ablation_schema.dir/bench_ablation_schema.cc.o.d"
+  "bench_ablation_schema"
+  "bench_ablation_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_per_preference.dir/bench_fig21_per_preference.cc.o"
+  "CMakeFiles/bench_fig21_per_preference.dir/bench_fig21_per_preference.cc.o.d"
+  "bench_fig21_per_preference"
+  "bench_fig21_per_preference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_per_preference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

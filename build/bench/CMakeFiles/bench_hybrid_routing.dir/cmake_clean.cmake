@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hybrid_routing.dir/bench_hybrid_routing.cc.o"
+  "CMakeFiles/bench_hybrid_routing.dir/bench_hybrid_routing.cc.o.d"
+  "bench_hybrid_routing"
+  "bench_hybrid_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hybrid_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

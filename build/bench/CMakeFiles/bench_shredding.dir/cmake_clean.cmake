@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shredding.dir/bench_shredding.cc.o"
+  "CMakeFiles/bench_shredding.dir/bench_shredding.cc.o.d"
+  "bench_shredding"
+  "bench_shredding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shredding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shredding.
+# This may be replaced when dependencies are built.

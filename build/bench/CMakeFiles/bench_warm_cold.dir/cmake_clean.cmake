@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_warm_cold.dir/bench_warm_cold.cc.o"
+  "CMakeFiles/bench_warm_cold.dir/bench_warm_cold.cc.o.d"
+  "bench_warm_cold"
+  "bench_warm_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_warm_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/p3pdb_bench_harness.dir/harness.cc.o.d"
+  "libp3pdb_bench_harness.a"
+  "libp3pdb_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

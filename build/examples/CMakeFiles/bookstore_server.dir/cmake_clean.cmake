@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bookstore_server.dir/bookstore_server.cpp.o"
+  "CMakeFiles/bookstore_server.dir/bookstore_server.cpp.o.d"
+  "bookstore_server"
+  "bookstore_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bookstore_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

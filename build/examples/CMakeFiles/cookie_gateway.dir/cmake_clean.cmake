@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cookie_gateway.dir/cookie_gateway.cpp.o"
+  "CMakeFiles/cookie_gateway.dir/cookie_gateway.cpp.o.d"
+  "cookie_gateway"
+  "cookie_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cookie_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/p3p_check.cpp" "examples/CMakeFiles/p3p_check.dir/p3p_check.cpp.o" "gcc" "examples/CMakeFiles/p3p_check.dir/p3p_check.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/p3pdb_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/p3pdb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/p3pdb_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/translator/CMakeFiles/p3pdb_translator.dir/DependInfo.cmake"
+  "/root/repo/build/src/shredder/CMakeFiles/p3pdb_shredder.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/p3pdb_sqldb.dir/DependInfo.cmake"
+  "/root/repo/build/src/appel/CMakeFiles/p3pdb_appel.dir/DependInfo.cmake"
+  "/root/repo/build/src/p3p/CMakeFiles/p3pdb_p3p.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p3pdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3pdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3p_check.dir/p3p_check.cpp.o"
+  "CMakeFiles/p3p_check.dir/p3p_check.cpp.o.d"
+  "p3p_check"
+  "p3p_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3p_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

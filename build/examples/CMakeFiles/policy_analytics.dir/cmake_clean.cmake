@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/policy_analytics.dir/policy_analytics.cpp.o"
+  "CMakeFiles/policy_analytics.dir/policy_analytics.cpp.o.d"
+  "policy_analytics"
+  "policy_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/policy_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("xml")
+subdirs("sqldb")
+subdirs("p3p")
+subdirs("appel")
+subdirs("shredder")
+subdirs("translator")
+subdirs("xquery")
+subdirs("server")
+subdirs("workload")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_appel.dir/engine.cc.o"
+  "CMakeFiles/p3pdb_appel.dir/engine.cc.o.d"
+  "CMakeFiles/p3pdb_appel.dir/model.cc.o"
+  "CMakeFiles/p3pdb_appel.dir/model.cc.o.d"
+  "libp3pdb_appel.a"
+  "libp3pdb_appel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_appel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p3pdb_appel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_common.dir/status.cc.o"
+  "CMakeFiles/p3pdb_common.dir/status.cc.o.d"
+  "CMakeFiles/p3pdb_common.dir/string_util.cc.o"
+  "CMakeFiles/p3pdb_common.dir/string_util.cc.o.d"
+  "libp3pdb_common.a"
+  "libp3pdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p3p/augment.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/augment.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/augment.cc.o.d"
+  "/root/repo/src/p3p/compact.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/compact.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/compact.cc.o.d"
+  "/root/repo/src/p3p/data_schema.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/data_schema.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/data_schema.cc.o.d"
+  "/root/repo/src/p3p/policy.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/policy.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/policy.cc.o.d"
+  "/root/repo/src/p3p/policy_xml.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/policy_xml.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/policy_xml.cc.o.d"
+  "/root/repo/src/p3p/reference_file.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/reference_file.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/reference_file.cc.o.d"
+  "/root/repo/src/p3p/vocab.cc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/vocab.cc.o" "gcc" "src/p3p/CMakeFiles/p3pdb_p3p.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3pdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p3pdb_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_p3p.dir/augment.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/augment.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/compact.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/compact.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/data_schema.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/data_schema.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/policy.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/policy.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/policy_xml.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/policy_xml.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/reference_file.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/reference_file.cc.o.d"
+  "CMakeFiles/p3pdb_p3p.dir/vocab.cc.o"
+  "CMakeFiles/p3pdb_p3p.dir/vocab.cc.o.d"
+  "libp3pdb_p3p.a"
+  "libp3pdb_p3p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_p3p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_server.dir/hybrid_client.cc.o"
+  "CMakeFiles/p3pdb_server.dir/hybrid_client.cc.o.d"
+  "CMakeFiles/p3pdb_server.dir/policy_server.cc.o"
+  "CMakeFiles/p3pdb_server.dir/policy_server.cc.o.d"
+  "CMakeFiles/p3pdb_server.dir/proxy_service.cc.o"
+  "CMakeFiles/p3pdb_server.dir/proxy_service.cc.o.d"
+  "libp3pdb_server.a"
+  "libp3pdb_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shredder/element_spec.cc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/element_spec.cc.o" "gcc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/element_spec.cc.o.d"
+  "/root/repo/src/shredder/optimized_schema.cc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/optimized_schema.cc.o" "gcc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/optimized_schema.cc.o.d"
+  "/root/repo/src/shredder/reference_schema.cc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/reference_schema.cc.o" "gcc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/reference_schema.cc.o.d"
+  "/root/repo/src/shredder/simple_schema.cc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/simple_schema.cc.o" "gcc" "src/shredder/CMakeFiles/p3pdb_shredder.dir/simple_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3pdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p3pdb_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/p3p/CMakeFiles/p3pdb_p3p.dir/DependInfo.cmake"
+  "/root/repo/build/src/sqldb/CMakeFiles/p3pdb_sqldb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

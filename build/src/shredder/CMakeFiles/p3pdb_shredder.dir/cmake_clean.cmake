@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_shredder.dir/element_spec.cc.o"
+  "CMakeFiles/p3pdb_shredder.dir/element_spec.cc.o.d"
+  "CMakeFiles/p3pdb_shredder.dir/optimized_schema.cc.o"
+  "CMakeFiles/p3pdb_shredder.dir/optimized_schema.cc.o.d"
+  "CMakeFiles/p3pdb_shredder.dir/reference_schema.cc.o"
+  "CMakeFiles/p3pdb_shredder.dir/reference_schema.cc.o.d"
+  "CMakeFiles/p3pdb_shredder.dir/simple_schema.cc.o"
+  "CMakeFiles/p3pdb_shredder.dir/simple_schema.cc.o.d"
+  "libp3pdb_shredder.a"
+  "libp3pdb_shredder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_shredder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp3pdb_shredder.a"
+)

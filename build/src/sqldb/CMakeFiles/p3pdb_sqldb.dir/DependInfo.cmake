@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sqldb/ast.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/ast.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/ast.cc.o.d"
+  "/root/repo/src/sqldb/binder.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/binder.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/binder.cc.o.d"
+  "/root/repo/src/sqldb/database.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/database.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/database.cc.o.d"
+  "/root/repo/src/sqldb/executor.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/executor.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/executor.cc.o.d"
+  "/root/repo/src/sqldb/explain.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/explain.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/explain.cc.o.d"
+  "/root/repo/src/sqldb/lexer.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/lexer.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/lexer.cc.o.d"
+  "/root/repo/src/sqldb/parser.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/parser.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/parser.cc.o.d"
+  "/root/repo/src/sqldb/query_result.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/query_result.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/query_result.cc.o.d"
+  "/root/repo/src/sqldb/schema.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/schema.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/schema.cc.o.d"
+  "/root/repo/src/sqldb/table.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/table.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/table.cc.o.d"
+  "/root/repo/src/sqldb/value.cc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/value.cc.o" "gcc" "src/sqldb/CMakeFiles/p3pdb_sqldb.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3pdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_sqldb.dir/ast.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/ast.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/binder.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/binder.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/database.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/database.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/executor.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/executor.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/explain.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/explain.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/lexer.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/lexer.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/parser.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/parser.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/query_result.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/query_result.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/schema.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/schema.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/table.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/table.cc.o.d"
+  "CMakeFiles/p3pdb_sqldb.dir/value.cc.o"
+  "CMakeFiles/p3pdb_sqldb.dir/value.cc.o.d"
+  "libp3pdb_sqldb.a"
+  "libp3pdb_sqldb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_sqldb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

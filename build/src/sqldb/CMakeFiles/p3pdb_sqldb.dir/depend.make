@@ -1,0 +1,2 @@
+# Empty dependencies file for p3pdb_sqldb.
+# This may be replaced when dependencies are built.

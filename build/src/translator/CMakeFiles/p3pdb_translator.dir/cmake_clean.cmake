@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_translator.dir/applicable_policy.cc.o"
+  "CMakeFiles/p3pdb_translator.dir/applicable_policy.cc.o.d"
+  "CMakeFiles/p3pdb_translator.dir/sql_optimized.cc.o"
+  "CMakeFiles/p3pdb_translator.dir/sql_optimized.cc.o.d"
+  "CMakeFiles/p3pdb_translator.dir/sql_simple.cc.o"
+  "CMakeFiles/p3pdb_translator.dir/sql_simple.cc.o.d"
+  "libp3pdb_translator.a"
+  "libp3pdb_translator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_translator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cc" "src/workload/CMakeFiles/p3pdb_workload.dir/corpus.cc.o" "gcc" "src/workload/CMakeFiles/p3pdb_workload.dir/corpus.cc.o.d"
+  "/root/repo/src/workload/jrc_preferences.cc" "src/workload/CMakeFiles/p3pdb_workload.dir/jrc_preferences.cc.o" "gcc" "src/workload/CMakeFiles/p3pdb_workload.dir/jrc_preferences.cc.o.d"
+  "/root/repo/src/workload/paper_examples.cc" "src/workload/CMakeFiles/p3pdb_workload.dir/paper_examples.cc.o" "gcc" "src/workload/CMakeFiles/p3pdb_workload.dir/paper_examples.cc.o.d"
+  "/root/repo/src/workload/random_preferences.cc" "src/workload/CMakeFiles/p3pdb_workload.dir/random_preferences.cc.o" "gcc" "src/workload/CMakeFiles/p3pdb_workload.dir/random_preferences.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3pdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/p3p/CMakeFiles/p3pdb_p3p.dir/DependInfo.cmake"
+  "/root/repo/build/src/appel/CMakeFiles/p3pdb_appel.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/p3pdb_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

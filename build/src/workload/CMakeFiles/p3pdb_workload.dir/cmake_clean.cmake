@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_workload.dir/corpus.cc.o"
+  "CMakeFiles/p3pdb_workload.dir/corpus.cc.o.d"
+  "CMakeFiles/p3pdb_workload.dir/jrc_preferences.cc.o"
+  "CMakeFiles/p3pdb_workload.dir/jrc_preferences.cc.o.d"
+  "CMakeFiles/p3pdb_workload.dir/paper_examples.cc.o"
+  "CMakeFiles/p3pdb_workload.dir/paper_examples.cc.o.d"
+  "CMakeFiles/p3pdb_workload.dir/random_preferences.cc.o"
+  "CMakeFiles/p3pdb_workload.dir/random_preferences.cc.o.d"
+  "libp3pdb_workload.a"
+  "libp3pdb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

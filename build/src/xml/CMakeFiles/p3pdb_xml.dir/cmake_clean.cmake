@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_xml.dir/node.cc.o"
+  "CMakeFiles/p3pdb_xml.dir/node.cc.o.d"
+  "CMakeFiles/p3pdb_xml.dir/parser.cc.o"
+  "CMakeFiles/p3pdb_xml.dir/parser.cc.o.d"
+  "CMakeFiles/p3pdb_xml.dir/writer.cc.o"
+  "CMakeFiles/p3pdb_xml.dir/writer.cc.o.d"
+  "libp3pdb_xml.a"
+  "libp3pdb_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

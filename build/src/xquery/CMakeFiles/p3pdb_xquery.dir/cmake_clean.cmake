@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3pdb_xquery.dir/ast.cc.o"
+  "CMakeFiles/p3pdb_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/p3pdb_xquery.dir/eval.cc.o"
+  "CMakeFiles/p3pdb_xquery.dir/eval.cc.o.d"
+  "CMakeFiles/p3pdb_xquery.dir/parser.cc.o"
+  "CMakeFiles/p3pdb_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/p3pdb_xquery.dir/translate_appel.cc.o"
+  "CMakeFiles/p3pdb_xquery.dir/translate_appel.cc.o.d"
+  "CMakeFiles/p3pdb_xquery.dir/xtable.cc.o"
+  "CMakeFiles/p3pdb_xquery.dir/xtable.cc.o.d"
+  "libp3pdb_xquery.a"
+  "libp3pdb_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3pdb_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appel_test.dir/appel_test.cc.o"
+  "CMakeFiles/appel_test.dir/appel_test.cc.o.d"
+  "appel_test"
+  "appel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

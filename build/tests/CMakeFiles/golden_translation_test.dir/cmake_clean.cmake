@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_translation_test.dir/golden_translation_test.cc.o"
+  "CMakeFiles/golden_translation_test.dir/golden_translation_test.cc.o.d"
+  "golden_translation_test"
+  "golden_translation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_translation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

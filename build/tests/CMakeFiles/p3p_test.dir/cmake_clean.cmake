@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3p_test.dir/p3p_test.cc.o"
+  "CMakeFiles/p3p_test.dir/p3p_test.cc.o.d"
+  "p3p_test"
+  "p3p_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3p_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

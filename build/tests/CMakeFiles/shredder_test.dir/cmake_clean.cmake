@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shredder_test.dir/shredder_test.cc.o"
+  "CMakeFiles/shredder_test.dir/shredder_test.cc.o.d"
+  "shredder_test"
+  "shredder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shredder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

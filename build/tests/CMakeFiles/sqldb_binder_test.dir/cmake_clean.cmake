@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_binder_test.dir/sqldb_binder_test.cc.o"
+  "CMakeFiles/sqldb_binder_test.dir/sqldb_binder_test.cc.o.d"
+  "sqldb_binder_test"
+  "sqldb_binder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_executor_test.dir/sqldb_executor_test.cc.o"
+  "CMakeFiles/sqldb_executor_test.dir/sqldb_executor_test.cc.o.d"
+  "sqldb_executor_test"
+  "sqldb_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_explain_test.dir/sqldb_explain_test.cc.o"
+  "CMakeFiles/sqldb_explain_test.dir/sqldb_explain_test.cc.o.d"
+  "sqldb_explain_test"
+  "sqldb_explain_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_explain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

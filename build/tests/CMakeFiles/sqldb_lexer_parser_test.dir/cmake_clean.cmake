@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_lexer_parser_test.dir/sqldb_lexer_parser_test.cc.o"
+  "CMakeFiles/sqldb_lexer_parser_test.dir/sqldb_lexer_parser_test.cc.o.d"
+  "sqldb_lexer_parser_test"
+  "sqldb_lexer_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_lexer_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sqldb_lexer_parser_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_random_test.dir/sqldb_random_test.cc.o"
+  "CMakeFiles/sqldb_random_test.dir/sqldb_random_test.cc.o.d"
+  "sqldb_random_test"
+  "sqldb_random_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

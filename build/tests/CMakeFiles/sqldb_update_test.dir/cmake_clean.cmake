@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_update_test.dir/sqldb_update_test.cc.o"
+  "CMakeFiles/sqldb_update_test.dir/sqldb_update_test.cc.o.d"
+  "sqldb_update_test"
+  "sqldb_update_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_update_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sqldb_value_table_test.dir/sqldb_value_table_test.cc.o"
+  "CMakeFiles/sqldb_value_table_test.dir/sqldb_value_table_test.cc.o.d"
+  "sqldb_value_table_test"
+  "sqldb_value_table_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sqldb_value_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
