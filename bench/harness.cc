@@ -1,6 +1,7 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <string_view>
 
 #include "common/string_util.h"
 
@@ -154,6 +155,61 @@ void PrintTableRow(const std::vector<std::string>& cells,
     std::printf(" %-*s |", widths[i], cell.c_str());
   }
   std::fputc('\n', stdout);
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records) {
+  std::string out = "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchJsonRecord& r = records[i];
+    out += "  {\"name\": \"" + JsonEscape(r.name) + "\", ";
+    out += "\"iters\": " + std::to_string(r.iters) + ", ";
+    out += "\"ns_per_op\": " + FormatDouble(r.ns_per_op, 1) + ", ";
+    out += "\"matches_per_sec\": " + FormatDouble(r.matches_per_sec, 1) + "}";
+    if (i + 1 < records.size()) out += ",";
+    out += "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  constexpr std::string_view kFlag = "--json";
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == kFlag && i + 1 < argc) return argv[i + 1];
+    if (arg.size() > kFlag.size() + 1 && arg.substr(0, kFlag.size()) == kFlag &&
+        arg[kFlag.size()] == '=') {
+      return std::string(arg.substr(kFlag.size() + 1));
+    }
+  }
+  return std::string();
+}
+
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchJsonRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  const std::string json = BenchRecordsToJson(records);
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  if (std::fclose(f) != 0 || written != json.size()) {
+    return Status::Internal("short write to '" + path + "'");
+  }
+  return Status::OK();
 }
 
 }  // namespace p3pdb::bench

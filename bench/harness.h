@@ -92,6 +92,29 @@ Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
 /// seconds/milliseconds pretty-printing for the report tables.
 std::string FormatMicros(double micros);
 
+// -- machine-readable reports -----------------------------------------------
+
+/// One benchmark result for the machine-readable report emitted with
+/// `--json <path>` (tracking runs across commits; the tables above remain
+/// the human report).
+struct BenchJsonRecord {
+  std::string name;
+  uint64_t iters = 0;
+  double ns_per_op = 0.0;
+  double matches_per_sec = 0.0;  // 0 when the bench has no match notion
+};
+
+/// Renders the records as a JSON array, keys in declaration order.
+std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records);
+
+/// Returns the path following a `--json` flag (`--json <path>` or
+/// `--json=<path>`); empty string when the flag is absent.
+std::string JsonPathFromArgs(int argc, char** argv);
+
+/// Writes the records to `path` (overwriting) as a JSON array.
+Status WriteBenchJson(const std::string& path,
+                      const std::vector<BenchJsonRecord>& records);
+
 /// Prints a Markdown-ish table row.
 void PrintTableRule(const std::vector<int>& widths);
 void PrintTableRow(const std::vector<std::string>& cells,

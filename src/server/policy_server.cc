@@ -95,6 +95,11 @@ bool PolicyServer::UsesSimpleSchema() const {
          options_.engine == EngineKind::kXQueryXTable;
 }
 
+bool PolicyServer::UsesLegacyMaterialization() const {
+  return options_.materialize_applicable_policy ||
+         options_.engine == EngineKind::kXQueryXTable;
+}
+
 Status PolicyServer::Init() {
   P3PDB_RETURN_IF_ERROR(db_.ExecuteScript(kCatalogDdl));
   if (UsesSqlMatching()) {
@@ -110,12 +115,23 @@ Status PolicyServer::Init() {
     reference_shredder_ = std::make_unique<shredder::ReferenceShredder>(&db_);
     P3PDB_RETURN_IF_ERROR(
         db_.ExecuteScript(translator::ApplicablePolicyDdl()));
+    if (!UsesLegacyMaterialization()) {
+      // Parameterized matching never joins ApplicablePolicy — the rule
+      // queries only need it as a one-row FROM anchor so catch-all rules
+      // return a row. Install that anchor once; matches never mutate it.
+      sqldb::Table* table =
+          db_.GetMutableTable(translator::kApplicablePolicyTable);
+      if (table == nullptr) {
+        return Status::Internal("ApplicablePolicy table missing");
+      }
+      P3PDB_RETURN_IF_ERROR(table->Insert({Value::Integer(0)}));
+    }
   }
   return Status::OK();
 }
 
 Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   P3PDB_RETURN_IF_ERROR(policy.Validate());
   p3p::Policy canonical = p3p::Canonicalized(policy);
   if (options_.augmentation == Augmentation::kAtInstall) {
@@ -159,7 +175,7 @@ Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
 }
 
 Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   // Resolve about -> latest installed policy id by fragment name.
   std::map<std::string, int64_t> resolution;
   for (const p3p::PolicyRef& ref : rf.refs) {
@@ -186,7 +202,10 @@ Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
 
 Result<CompiledPreference> PolicyServer::CompilePreference(
     const appel::AppelRuleset& ruleset) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Read-only against the server: translation touches no shared state and
+  // statement preparation only reads the catalog, so compiles run
+  // concurrently with matches and each other.
+  std::shared_lock<std::shared_mutex> lock(mu_);
   P3PDB_RETURN_IF_ERROR(ruleset.Validate());
   CompiledPreference pref;
   pref.ruleset = ruleset;
@@ -197,12 +216,14 @@ Result<CompiledPreference> PolicyServer::CompilePreference(
       pref.appel_text = appel::RulesetToText(ruleset);
       break;
     case EngineKind::kSql: {
-      translator::OptimizedSqlTranslator translator;
+      translator::OptimizedSqlTranslator translator(
+          /*parameterized=*/!UsesLegacyMaterialization());
       P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
       break;
     }
     case EngineKind::kSqlSimple: {
-      translator::SimpleSqlTranslator translator;
+      translator::SimpleSqlTranslator translator(
+          /*parameterized=*/!UsesLegacyMaterialization());
       P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
       break;
     }
@@ -277,7 +298,7 @@ Result<int64_t> PolicyServer::FindApplicablePolicyId(
 
 std::optional<int64_t> PolicyServer::FindPolicyIdByAbout(
     std::string_view about) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return FindPolicyIdByAboutLocked(about);
 }
 
@@ -332,13 +353,29 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
     }
     case EngineKind::kSql:
     case EngineKind::kSqlSimple: {
-      P3PDB_RETURN_IF_ERROR(MaterializeApplicablePolicy(policy_id));
+      if (UsesLegacyMaterialization()) {
+        P3PDB_RETURN_IF_ERROR(MaterializeApplicablePolicy(policy_id));
+      }
       const bool prepared = !pref.prepared_sql.empty();
       const size_t rule_count = pref.sql.rule_queries.size();
       for (size_t i = 0; i < rule_count; ++i) {
+        // In the default (parameterized) mode, every `?` of the rule query
+        // binds the applicable policy id; catch-all rules take none.
+        const size_t param_count = i < pref.sql.param_counts.size()
+                                       ? pref.sql.param_counts[i]
+                                       : 0;
         QueryResult rows;
         if (prepared) {
-          P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute());
+          if (param_count > 0) {
+            std::vector<Value> params(param_count, Value::Integer(policy_id));
+            P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute(params));
+          } else {
+            P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute());
+          }
+        } else if (param_count > 0) {
+          std::vector<Value> params(param_count, Value::Integer(policy_id));
+          P3PDB_ASSIGN_OR_RETURN(
+              rows, db_.Execute(pref.sql.rule_queries[i], params));
         } else {
           // Paper methodology: the SQL text is submitted to the database
           // for every match; query time includes its prepare.
@@ -391,7 +428,16 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
 
 Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
                                            std::string_view local_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Read-only matching runs under the shared lock; only the legacy
+  // materialized mode mutates the ApplicablePolicy row and must exclude
+  // other matchers.
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (UsesLegacyMaterialization()) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   P3PDB_ASSIGN_OR_RETURN(int64_t policy_id,
                          FindApplicablePolicyId(local_path));
   if (policy_id < 0) {
@@ -405,7 +451,13 @@ Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
 
 Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
                                               std::string_view cookie_path) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (UsesLegacyMaterialization()) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   P3PDB_ASSIGN_OR_RETURN(
       int64_t policy_id,
       FindApplicablePolicyId(cookie_path, /*for_cookie=*/true));
@@ -420,7 +472,13 @@ Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
 
 Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
                                                 int64_t policy_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
+  std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
+  if (UsesLegacyMaterialization()) {
+    exclusive.lock();
+  } else {
+    shared.lock();
+  }
   if (policy_dom_.find(policy_id) == policy_dom_.end()) {
     return Status::NotFound("policy id " + std::to_string(policy_id) +
                             " not installed");
@@ -429,6 +487,11 @@ Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
 }
 
 Status PolicyServer::RecordMatch(const MatchResult& result) {
+  // Matches hold the main lock shared, so the log append — the one write a
+  // read-only match performs — gets its own mutex. MatchLog is touched by
+  // nothing else a concurrent matcher executes, and ConflictReport reads it
+  // under the exclusive main lock.
+  std::lock_guard<std::mutex> lock(match_log_mu_);
   return db_.InsertRow(
       "MatchLog",
       {Value::Integer(next_match_id_++), Value::Integer(result.policy_id),
@@ -437,7 +500,7 @@ Status PolicyServer::RecordMatch(const MatchResult& result) {
 }
 
 int64_t PolicyServer::PolicyVersion(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return PolicyVersionLocked(name);
 }
 
@@ -454,7 +517,7 @@ int64_t PolicyServer::PolicyVersionLocked(std::string_view name) {
 
 Result<std::string> PolicyServer::PolicyXml(std::string_view name,
                                             int64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   P3PDB_ASSIGN_OR_RETURN(
       QueryResult result,
       db_.Execute("SELECT xml FROM PolicyCatalog WHERE name = " +
@@ -468,7 +531,9 @@ Result<std::string> PolicyServer::PolicyXml(std::string_view name,
 }
 
 Result<sqldb::QueryResult> PolicyServer::ConflictReport() {
-  std::lock_guard<std::mutex> lock(mu_);
+  // Exclusive: reads MatchLog, which concurrent shared-lock matchers append
+  // to under match_log_mu_.
+  std::unique_lock<std::shared_mutex> lock(mu_);
   return db_.Execute(
       "SELECT policy_id, behavior, COUNT(*) AS matches FROM MatchLog "
       "GROUP BY policy_id, behavior ORDER BY 1, 2");

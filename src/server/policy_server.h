@@ -22,12 +22,20 @@
 // the database, and conflict statistics that tell the site owner which
 // policies collide with users' preferences.
 //
-// Thread safety: all public methods are safe to call from multiple threads;
-// a single coarse mutex serializes them (matching mutates the materialized
-// ApplicablePolicy row and the executor statistics). At the paper's
-// workload scale a match costs tens of microseconds, so one server
-// sustains well over 10^4 checks/second serialized; sharding across
-// PolicyServer instances is the scale-out path.
+// Thread safety: all public methods are safe to call from multiple threads.
+// Installs (InstallPolicy, InstallReferenceFile) and ConflictReport take the
+// server mutex exclusively; matching, preference compilation, and the
+// catalog lookups take it shared and therefore run concurrently. This works
+// because the default match path is read-only: the generated rule queries
+// take the applicable policy id as a bind parameter (`?`) instead of
+// joining a materialized one-row ApplicablePolicy table, and the executor
+// statistics merge into atomic counters at the Database level. Per-match
+// bookkeeping that does write — the MatchLog insert and its id sequence,
+// active only with `record_matches` — is serialized by a dedicated internal
+// mutex so it never blocks other readers' query execution. The legacy
+// materialized mode (Options::materialize_applicable_policy, and always
+// kXQueryXTable, whose generated SQL still joins ApplicablePolicy) mutates
+// that table per match and falls back to the exclusive lock.
 
 #ifndef P3PDB_SERVER_POLICY_SERVER_H_
 #define P3PDB_SERVER_POLICY_SERVER_H_
@@ -35,6 +43,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -114,6 +123,13 @@ class PolicyServer {
     /// "query time" includes the database's prepare); turning it on is the
     /// modern deployment choice and cuts match latency further.
     bool use_prepared_statements = false;
+    /// Compatibility mode: materialize the applicable policy into the
+    /// one-row ApplicablePolicy table before evaluating each match, as the
+    /// paper's Figure 13 preamble describes, instead of passing the policy
+    /// id as a bind parameter. Makes every match a writer (serialized under
+    /// the exclusive lock). kXQueryXTable always behaves this way: its
+    /// XQuery-derived SQL joins ApplicablePolicy.policy_id directly.
+    bool materialize_applicable_policy = false;
   };
 
   /// Creates a server and installs the engine's schemas.
@@ -185,6 +201,9 @@ class PolicyServer {
   Status Init();
   bool UsesSqlMatching() const;
   bool UsesSimpleSchema() const;
+  /// True when matches mutate the ApplicablePolicy row (compat flag, or the
+  /// XTABLE engine whose SQL joins it) and thus need the exclusive lock.
+  bool UsesLegacyMaterialization() const;
   Result<int64_t> FindApplicablePolicyId(std::string_view local_path,
                                          bool for_cookie = false);
   Status MaterializeApplicablePolicy(int64_t policy_id);
@@ -197,8 +216,15 @@ class PolicyServer {
       std::string_view about) const;
 
   Options options_;
-  // Coarse-grained: public methods lock, private *Locked helpers assume it.
-  mutable std::mutex mu_;
+  // Reader/writer: installs and ConflictReport lock exclusively; matches,
+  // compiles, and catalog lookups lock shared (read-only against db_ and
+  // the in-memory maps). Legacy-materialization matches lock exclusively.
+  // Private *Locked helpers assume the caller holds it (either mode).
+  mutable std::shared_mutex mu_;
+  // Serializes MatchLog appends (next_match_id_ and the InsertRow), which
+  // happen under the *shared* main lock when record_matches is on. MatchLog
+  // is only read by ConflictReport, which holds the exclusive lock.
+  mutable std::mutex match_log_mu_;
   sqldb::Database db_;
   appel::NativeEngine native_engine_;
 
@@ -217,7 +243,7 @@ class PolicyServer {
   std::unique_ptr<shredder::SimpleShredder> simple_shredder_;
   std::unique_ptr<shredder::OptimizedShredder> optimized_shredder_;
   std::unique_ptr<shredder::ReferenceShredder> reference_shredder_;
-  int64_t next_match_id_ = 1;
+  int64_t next_match_id_ = 1;  // guarded by match_log_mu_
 };
 
 }  // namespace p3pdb::server

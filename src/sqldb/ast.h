@@ -31,6 +31,7 @@ struct SelectStmt;
 
 enum class ExprKind {
   kLiteral,
+  kParam,
   kColumnRef,
   kComparison,
   kLogical,
@@ -61,6 +62,17 @@ struct LiteralExpr : Expr {
   std::string ToSql() const override { return value.ToString(); }
 
   Value value;
+};
+
+/// A `?` bind-parameter placeholder. Parameters are numbered left to right
+/// across the whole statement (the root SelectStmt records the total in
+/// `param_count`); values are supplied per execution, so one bound statement
+/// serves concurrent executions with different inputs.
+struct ParamExpr : Expr {
+  explicit ParamExpr(size_t i) : Expr(ExprKind::kParam), index(i) {}
+  std::string ToSql() const override { return "?"; }
+
+  size_t index;
 };
 
 /// `column` or `table.column`. The binder fills the scope coordinates:
@@ -251,6 +263,10 @@ struct SelectStmt : Statement {
   std::vector<ExprPtr> group_by;
   std::vector<OrderByItem> order_by;
   std::optional<int64_t> limit;
+  /// Number of `?` placeholders in the whole statement (subqueries
+  /// included). Only meaningful on the root SELECT; executions must supply
+  /// exactly this many values.
+  size_t param_count = 0;
 };
 
 struct InsertStmt : Statement {

@@ -41,6 +41,7 @@ bool ContainsAggregate(const Expr& expr) {
     }
     case ExprKind::kExists:  // subquery boundary
     case ExprKind::kLiteral:
+    case ExprKind::kParam:
     case ExprKind::kColumnRef:
       return false;
   }
@@ -174,6 +175,9 @@ Status Binder::BindExpr(Expr* expr, std::vector<SelectStmt*>* stack,
                         bool allow_aggregates) {
   switch (expr->kind) {
     case ExprKind::kLiteral:
+      return Status::OK();
+    case ExprKind::kParam:
+      // Placeholders bind to per-execution values, not catalog state.
       return Status::OK();
     case ExprKind::kColumnRef:
       return BindColumnRef(static_cast<ColumnRefExpr*>(expr), *stack);

@@ -13,6 +13,17 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
   return ExecuteParsed(stmt.get());
 }
 
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      const std::vector<Value>& params) {
+  P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
+                         ParseStatement(sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::Unsupported(
+        "bind parameters are only supported for SELECT statements");
+  }
+  return ExecuteParsed(stmt.get(), &params);
+}
+
 Result<PreparedStatement> Database::Prepare(std::string_view sql) {
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                          ParseStatement(sql));
@@ -31,6 +42,12 @@ Result<PreparedStatement> Database::Prepare(std::string_view sql) {
 }
 
 Result<QueryResult> PreparedStatement::Execute() const {
+  static const std::vector<Value> kNoParams;
+  return Execute(kNoParams);
+}
+
+Result<QueryResult> PreparedStatement::Execute(
+    const std::vector<Value>& params) const {
   if (stmt_ == nullptr) {
     return Status::InvalidArgument("executing an empty prepared statement");
   }
@@ -38,8 +55,25 @@ Result<QueryResult> PreparedStatement::Execute() const {
     return Status::InvalidArgument(
         "prepared statement is stale: the catalog changed since Prepare()");
   }
-  Executor executor(&db_->stats_);
-  return executor.RunSelect(*static_cast<const SelectStmt*>(stmt_.get()));
+  const auto* select = static_cast<const SelectStmt*>(stmt_.get());
+  if (params.size() != select->param_count) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(select->param_count) +
+        " parameter(s) but " + std::to_string(params.size()) +
+        " were supplied");
+  }
+  // Per-execution stats keep concurrent executions race-free; the merge is
+  // the only shared-state touch.
+  ExecStats local;
+  Executor executor(&local, &params);
+  auto result = executor.RunSelect(*select);
+  db_->stats_.Merge(local);
+  return result;
+}
+
+size_t PreparedStatement::param_count() const {
+  if (stmt_ == nullptr) return 0;
+  return static_cast<const SelectStmt*>(stmt_.get())->param_count;
 }
 
 Status Database::ExecuteScript(std::string_view sql) {
@@ -52,14 +86,25 @@ Status Database::ExecuteScript(std::string_view sql) {
   return Status::OK();
 }
 
-Result<QueryResult> Database::ExecuteParsed(Statement* stmt) {
+Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
+                                            const std::vector<Value>* params) {
   switch (stmt->kind) {
     case StatementKind::kSelect: {
       auto* select = static_cast<SelectStmt*>(stmt);
+      const size_t supplied = params == nullptr ? 0 : params->size();
+      if (supplied != select->param_count) {
+        return Status::InvalidArgument(
+            "statement takes " + std::to_string(select->param_count) +
+            " parameter(s) but " + std::to_string(supplied) +
+            " were supplied");
+      }
       Binder binder(*this, options_.max_subquery_depth);
       P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
-      Executor executor(&stats_);
-      return executor.RunSelect(*select);
+      ExecStats local;
+      Executor executor(&local, params);
+      auto result = executor.RunSelect(*select);
+      stats_.Merge(local);
+      return result;
     }
     case StatementKind::kInsert:
       return ExecuteInsert(static_cast<InsertStmt*>(stmt));
@@ -76,7 +121,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt) {
       // CreateTable consumes the schema; copy so re-execution stays valid.
       TableSchema schema = ct->schema;
       P3PDB_RETURN_IF_ERROR(CreateTable(std::move(schema)));
-      ++stats_.statements_executed;
+      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
@@ -88,13 +133,13 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt) {
       }
       P3PDB_RETURN_IF_ERROR(
           table->CreateIndex(ci->index_name, ci->columns, ci->unique));
-      ++stats_.statements_executed;
+      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
       return QueryResult{};
     }
     case StatementKind::kDropTable: {
       auto* dt = static_cast<DropTableStmt*>(stmt);
       P3PDB_RETURN_IF_ERROR(DropTable(dt->table_name, dt->if_exists));
-      ++stats_.statements_executed;
+      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
       return QueryResult{};
     }
     case StatementKind::kExplain: {
@@ -289,7 +334,8 @@ Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
     }
   }
 
-  Executor executor(&stats_);
+  ExecStats local;
+  Executor executor(&local);
   int64_t inserted = 0;
   for (const std::vector<ExprPtr>& value_exprs : stmt->rows) {
     if (value_exprs.size() != ordinals.size()) {
@@ -308,7 +354,8 @@ Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
     P3PDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
     ++inserted;
   }
-  ++stats_.statements_executed;
+  ++local.statements_executed;
+  stats_.Merge(local);
   QueryResult result;
   result.rows_affected = inserted;
   return result;
@@ -362,7 +409,8 @@ Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
 
   // Snapshot pass: compute every victim's new row from its old values
   // before mutating anything.
-  Executor executor(&stats_);
+  ExecStats local;
+  Executor executor(&local);
   std::vector<std::pair<size_t, Row>> updates;
   for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
     if (!table->IsLive(row_id)) continue;
@@ -402,7 +450,8 @@ Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
       return st;
     }
   }
-  ++stats_.statements_executed;
+  ++local.statements_executed;
+  stats_.Merge(local);
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(updates.size());
   return result;
@@ -417,6 +466,7 @@ Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
 
   // Reuse the SELECT machinery: wrap the WHERE in a single-table SELECT to
   // bind it, then evaluate per row.
+  ExecStats local;
   std::vector<size_t> victims;
   if (stmt->where == nullptr) {
     for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
@@ -442,7 +492,7 @@ Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
 
     // Enumerate matching rows by id (a bespoke loop rather than RunSelect so
     // the victim row ids are known).
-    Executor executor(&stats_);
+    Executor executor(&local);
     for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
       if (!table->IsLive(row_id)) continue;
       auto pass = executor.EvalRowPredicate(probe, table->RowAt(row_id));
@@ -456,7 +506,8 @@ Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
   }
 
   for (size_t row_id : victims) table->Delete(row_id);
-  ++stats_.statements_executed;
+  ++local.statements_executed;
+  stats_.Merge(local);
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(victims.size());
   return result;

@@ -28,17 +28,28 @@ class Database;
 /// A parsed-and-bound SELECT that can be executed repeatedly without
 /// re-preparing — what the generated rule queries become after the
 /// "conversion" step, so match-time cost is execution only.
+///
+/// Execution is read-only over the bound AST, so one PreparedStatement may
+/// be executed from many threads concurrently (each call supplies its own
+/// parameter values and accumulates into a private ExecStats).
 class PreparedStatement {
  public:
   PreparedStatement() = default;
 
   /// Runs the statement against the database it was prepared on. The
-  /// catalog must still contain the bound tables.
+  /// catalog must still contain the bound tables. Fails if the statement
+  /// contains `?` placeholders (their values would be unbound).
   Result<QueryResult> Execute() const;
+
+  /// Runs the statement with one value per `?` placeholder, in order.
+  /// `params.size()` must equal param_count().
+  Result<QueryResult> Execute(const std::vector<Value>& params) const;
 
   bool valid() const { return stmt_ != nullptr; }
   /// The SQL text the statement was prepared from.
   const std::string& sql() const { return sql_; }
+  /// Number of `?` placeholders the statement takes.
+  size_t param_count() const;
 
  private:
   friend class Database;
@@ -66,8 +77,13 @@ class Database : public CatalogView {
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
 
-  /// Parses and executes one SQL statement.
+  /// Parses and executes one SQL statement. Statements containing `?`
+  /// placeholders are rejected (use the parameterized overload).
   Result<QueryResult> Execute(std::string_view sql);
+
+  /// Parses and executes one SELECT with one value per `?` placeholder.
+  Result<QueryResult> Execute(std::string_view sql,
+                              const std::vector<Value>& params);
 
   /// Parses and binds a SELECT once for repeated execution.
   Result<PreparedStatement> Prepare(std::string_view sql);
@@ -89,13 +105,16 @@ class Database : public CatalogView {
   size_t TableCount() const { return tables_.size(); }
 
   const Options& options() const { return options_; }
-  const ExecStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ExecStats{}; }
+  /// Snapshot of the accumulated execution counters. Returned by value:
+  /// the live aggregate is atomic and may be concurrently updated.
+  ExecStats stats() const { return stats_.Snapshot(); }
+  void ResetStats() { stats_.Reset(); }
 
  private:
   friend class PreparedStatement;
 
-  Result<QueryResult> ExecuteParsed(Statement* stmt);
+  Result<QueryResult> ExecuteParsed(Statement* stmt,
+                                    const std::vector<Value>* params = nullptr);
   Result<QueryResult> ExecuteInsert(InsertStmt* stmt);
   Result<QueryResult> ExecuteUpdate(UpdateStmt* stmt);
   Result<QueryResult> ExecuteDelete(DeleteStmt* stmt);
@@ -104,7 +123,7 @@ class Database : public CatalogView {
   Options options_;
   // Keyed by lower-cased name for case-insensitive resolution.
   std::map<std::string, std::unique_ptr<Table>> tables_;
-  ExecStats stats_;
+  AtomicExecStats stats_;
   // Bumped on every DDL change; prepared statements from an older
   // generation refuse to run rather than touch stale table pointers.
   uint64_t catalog_generation_ = 0;

@@ -29,6 +29,7 @@ void FlattenAnd(const Expr* e, std::vector<const Expr*>* out) {
 bool RefsAvailableForSlot(const Expr& e, size_t slot) {
   switch (e.kind) {
     case ExprKind::kLiteral:
+    case ExprKind::kParam:  // bound before execution starts
       return true;
     case ExprKind::kColumnRef: {
       const auto& ref = static_cast<const ColumnRefExpr&>(e);
@@ -174,6 +175,17 @@ Result<Value> Executor::Eval(const Expr& expr, ScopeStack& stack) {
   switch (expr.kind) {
     case ExprKind::kLiteral:
       return static_cast<const LiteralExpr&>(expr).value;
+    case ExprKind::kParam: {
+      const auto& param = static_cast<const ParamExpr&>(expr);
+      if (params_ == nullptr || param.index >= params_->size()) {
+        return Status::InvalidArgument(
+            "unbound parameter: statement uses '?' placeholder " +
+            std::to_string(param.index + 1) + " but " +
+            std::to_string(params_ == nullptr ? 0 : params_->size()) +
+            " value(s) were supplied");
+      }
+      return (*params_)[param.index];
+    }
     case ExprKind::kColumnRef: {
       const auto& ref = static_cast<const ColumnRefExpr&>(expr);
       if (ref.level < 0 ||

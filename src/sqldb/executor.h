@@ -22,11 +22,14 @@
 
 namespace p3pdb::sqldb {
 
-/// Executes bound SELECT statements. Stateless apart from the stats sink;
-/// one instance can run many queries.
+/// Executes bound SELECT statements. Stateless apart from the stats sink
+/// and the optional bind-parameter values; one instance can run many
+/// queries. `stats` is a per-execution object owned by the caller, so
+/// concurrent executors never share mutable state.
 class Executor {
  public:
-  explicit Executor(ExecStats* stats) : stats_(stats) {}
+  explicit Executor(ExecStats* stats, const std::vector<Value>* params = nullptr)
+      : stats_(stats), params_(params) {}
 
   /// Runs a bound SELECT and materializes the full result.
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
@@ -76,6 +79,7 @@ class Executor {
                       const std::vector<Row>& order_keys);
 
   ExecStats* stats_;
+  const std::vector<Value>* params_;  // null = statement takes no parameters
 };
 
 /// SQL LIKE with % (any run) and _ (any single char). `escape_char` ('\0'

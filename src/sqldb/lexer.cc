@@ -106,6 +106,10 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
         push(TokenType::kSemicolon, ";", start);
         ++i;
         continue;
+      case '?':
+        push(TokenType::kQuestion, "?", start);
+        ++i;
+        continue;
       case '=':
         push(TokenType::kOperator, "=", start);
         ++i;

@@ -23,6 +23,7 @@ enum class TokenType {
   kDot,
   kStar,
   kSemicolon,
+  kQuestion,    // ? bind-parameter placeholder
   kEnd,
 };
 

@@ -95,13 +95,16 @@ class Parser {
   // ---- statements ----
 
   Result<std::unique_ptr<Statement>> ParseStatement() {
+    param_count_ = 0;
     if (Current().IsKeyword("SELECT")) {
       P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<SelectStmt> sel, ParseSelect());
+      sel->param_count = param_count_;
       return std::unique_ptr<Statement>(std::move(sel));
     }
     if (ConsumeKeyword("EXPLAIN")) {
       auto explain = std::make_unique<ExplainStmt>();
       P3PDB_ASSIGN_OR_RETURN(explain->select, ParseSelect());
+      explain->select->param_count = param_count_;
       return std::unique_ptr<Statement>(std::move(explain));
     }
     if (ConsumeKeyword("INSERT")) return ParseInsert();
@@ -492,6 +495,11 @@ class Parser {
   Result<ExprPtr> ParsePrimary() {
     const Token& tok = Current();
     switch (tok.type) {
+      case TokenType::kQuestion: {
+        ExprPtr e(new ParamExpr(param_count_++));
+        Advance();
+        return e;
+      }
       case TokenType::kString: {
         ExprPtr e(new LiteralExpr(Value::Text(tok.text)));
         Advance();
@@ -575,6 +583,9 @@ class Parser {
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  // `?` placeholders seen so far in the current statement; becomes the root
+  // SELECT's param_count.
+  size_t param_count_ = 0;
 };
 
 }  // namespace

@@ -3,6 +3,7 @@
 #ifndef P3PDB_SQLDB_QUERY_RESULT_H_
 #define P3PDB_SQLDB_QUERY_RESULT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -25,7 +26,9 @@ struct QueryResult {
 
 /// Counters accumulated by the executor; reset via Database::ResetStats().
 /// The ablation benchmarks report these to explain *why* one plan shape is
-/// faster than another (index lookups vs. full scans).
+/// faster than another (index lookups vs. full scans). Each execution fills
+/// a private ExecStats, which the Database merges into its AtomicExecStats
+/// aggregate — so concurrent read-only executions never race on counters.
 struct ExecStats {
   uint64_t statements_executed = 0;
   uint64_t rows_scanned = 0;      // rows visited by any access path
@@ -33,6 +36,48 @@ struct ExecStats {
   uint64_t full_scans = 0;        // table scans (no usable index)
   uint64_t subquery_evals = 0;    // EXISTS subquery evaluations
   uint64_t comparisons = 0;       // predicate comparisons evaluated
+};
+
+/// Database-level stats aggregate safe under concurrent executions.
+/// Relaxed ordering suffices: the counters are monotonic tallies, not
+/// synchronization points.
+struct AtomicExecStats {
+  std::atomic<uint64_t> statements_executed{0};
+  std::atomic<uint64_t> rows_scanned{0};
+  std::atomic<uint64_t> index_lookups{0};
+  std::atomic<uint64_t> full_scans{0};
+  std::atomic<uint64_t> subquery_evals{0};
+  std::atomic<uint64_t> comparisons{0};
+
+  void Merge(const ExecStats& s) {
+    statements_executed.fetch_add(s.statements_executed,
+                                  std::memory_order_relaxed);
+    rows_scanned.fetch_add(s.rows_scanned, std::memory_order_relaxed);
+    index_lookups.fetch_add(s.index_lookups, std::memory_order_relaxed);
+    full_scans.fetch_add(s.full_scans, std::memory_order_relaxed);
+    subquery_evals.fetch_add(s.subquery_evals, std::memory_order_relaxed);
+    comparisons.fetch_add(s.comparisons, std::memory_order_relaxed);
+  }
+
+  ExecStats Snapshot() const {
+    ExecStats s;
+    s.statements_executed = statements_executed.load(std::memory_order_relaxed);
+    s.rows_scanned = rows_scanned.load(std::memory_order_relaxed);
+    s.index_lookups = index_lookups.load(std::memory_order_relaxed);
+    s.full_scans = full_scans.load(std::memory_order_relaxed);
+    s.subquery_evals = subquery_evals.load(std::memory_order_relaxed);
+    s.comparisons = comparisons.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    statements_executed.store(0, std::memory_order_relaxed);
+    rows_scanned.store(0, std::memory_order_relaxed);
+    index_lookups.store(0, std::memory_order_relaxed);
+    full_scans.store(0, std::memory_order_relaxed);
+    subquery_evals.store(0, std::memory_order_relaxed);
+    comparisons.store(0, std::memory_order_relaxed);
+  }
 };
 
 }  // namespace p3pdb::sqldb

@@ -298,8 +298,9 @@ Result<std::string> MatchStatement(const AppelExpr& stmt) {
   return "EXISTS (" + sql + ")";
 }
 
-/// POLICY condition in ApplicablePolicy scope.
-Result<std::string> MatchPolicy(const AppelExpr& policy) {
+/// POLICY condition in ApplicablePolicy scope. `parameterized` swaps the
+/// join to the materialized ApplicablePolicy row for a `?` placeholder.
+Result<std::string> MatchPolicy(const AppelExpr& policy, bool parameterized) {
   std::vector<std::string> terms;
   for (const AppelAttribute& attr : policy.attributes) {
     if (attr.name == "name" || attr.name == "discuri" ||
@@ -332,7 +333,8 @@ Result<std::string> MatchPolicy(const AppelExpr& policy) {
 
   std::string sql =
       std::string("SELECT * FROM Policy WHERE Policy.policy_id = ") +
-      kApplicablePolicyTable + ".policy_id";
+      (parameterized ? std::string("?")
+                     : std::string(kApplicablePolicyTable) + ".policy_id");
   for (const std::string& term : terms) sql += " AND " + term;
   return "EXISTS (" + sql + ")";
 }
@@ -352,7 +354,8 @@ Result<std::string> OptimizedSqlTranslator::TranslateRule(
           "top-level APPEL expressions must match POLICY, got '" + expr.name +
           "'");
     }
-    P3PDB_ASSIGN_OR_RETURN(std::string cond, MatchPolicy(expr));
+    P3PDB_ASSIGN_OR_RETURN(std::string cond,
+                           MatchPolicy(expr, parameterized_));
     terms.push_back(std::move(cond));
   }
   P3PDB_ASSIGN_OR_RETURN(std::string combined,
@@ -368,6 +371,7 @@ Result<SqlRuleset> OptimizedSqlTranslator::TranslateRuleset(
     P3PDB_ASSIGN_OR_RETURN(std::string sql, TranslateRule(rule));
     out.rule_queries.push_back(std::move(sql));
     out.behaviors.push_back(rule.behavior);
+    out.param_counts.push_back(RuleParamCount(rule, parameterized_));
   }
   return out;
 }

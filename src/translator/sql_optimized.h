@@ -27,11 +27,21 @@ namespace p3pdb::translator {
 
 class OptimizedSqlTranslator {
  public:
+  /// `parameterized` emits `Policy.policy_id = ?` instead of a join to the
+  /// materialized ApplicablePolicy row — the read-only query shape that
+  /// matches can execute concurrently. The default stays the paper's
+  /// Figure 15 text (pinned by the goldens).
+  explicit OptimizedSqlTranslator(bool parameterized = false)
+      : parameterized_(parameterized) {}
+
   /// Translates one rule into a query against the Figure 14 tables (plus
-  /// the materialized ApplicablePolicy row).
+  /// the ApplicablePolicy anchor row).
   Result<std::string> TranslateRule(const appel::AppelRule& rule) const;
 
   Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs) const;
+
+ private:
+  bool parameterized_;
 };
 
 }  // namespace p3pdb::translator

@@ -112,12 +112,25 @@ Result<std::string> Match(const AppelExpr& expr, const ElementSpec& spec,
 
 }  // namespace
 
+size_t RuleParamCount(const AppelRule& rule, bool parameterized) {
+  if (!parameterized || rule.IsCatchAll()) return 0;
+  return rule.expressions.size();
+}
+
 Result<std::string> SimpleSqlTranslator::TranslateRule(
     const AppelRule& rule) const {
   // main() of Figure 11.
   std::string sql = "SELECT " + SqlQuote(rule.behavior) + " FROM " +
                     kApplicablePolicyTable;
   if (rule.IsCatchAll()) return sql;
+
+  // Parameterized mode replaces the join against the materialized
+  // ApplicablePolicy row with a bind parameter, making the query read-only;
+  // ApplicablePolicy then serves as a static one-row FROM anchor.
+  const std::string join_condition =
+      parameterized_ ? std::string("Policy.policy_id = ?")
+                     : std::string("Policy.policy_id = ") +
+                           kApplicablePolicyTable + ".policy_id";
 
   std::vector<std::string> terms;
   for (const AppelExpr& expr : rule.expressions) {
@@ -128,9 +141,7 @@ Result<std::string> SimpleSqlTranslator::TranslateRule(
     }
     P3PDB_ASSIGN_OR_RETURN(
         std::string sub,
-        Match(expr, shredder::PolicyElementSpec(),
-              std::string("Policy.policy_id = ") + kApplicablePolicyTable +
-                  ".policy_id",
+        Match(expr, shredder::PolicyElementSpec(), join_condition,
               {"policy_id"}));
     terms.push_back("EXISTS (" + sub + ")");
   }
@@ -147,6 +158,7 @@ Result<SqlRuleset> SimpleSqlTranslator::TranslateRuleset(
     P3PDB_ASSIGN_OR_RETURN(std::string sql, TranslateRule(rule));
     out.rule_queries.push_back(std::move(sql));
     out.behaviors.push_back(rule.behavior);
+    out.param_counts.push_back(RuleParamCount(rule, parameterized_));
   }
   return out;
 }

@@ -28,17 +28,35 @@ namespace p3pdb::translator {
 struct SqlRuleset {
   std::vector<std::string> rule_queries;   // aligned with behaviors
   std::vector<std::string> behaviors;
+  /// `?` placeholders per rule query (all bound to the applicable
+  /// policy_id). All zeros when translated in the legacy materialized
+  /// mode.
+  std::vector<size_t> param_counts;
 };
 
 class SimpleSqlTranslator {
  public:
+  /// `parameterized` selects the read-only query shape: the policy-id join
+  /// against the materialized ApplicablePolicy row becomes a `?` bind
+  /// parameter, so matching needs no per-match table write. The default
+  /// stays the paper's Figure 11/13 text (pinned by the goldens).
+  explicit SimpleSqlTranslator(bool parameterized = false)
+      : parameterized_(parameterized) {}
+
   /// Translates one rule (Figure 11's main()). A catch-all rule (empty
   /// body) becomes `SELECT '<behavior>' FROM ApplicablePolicy`.
   Result<std::string> TranslateRule(const appel::AppelRule& rule) const;
 
   /// Translates every rule of the preference.
   Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs) const;
+
+ private:
+  bool parameterized_;
 };
+
+/// Placeholders a rule's translation takes: one per top-level POLICY
+/// expression in parameterized mode, zero otherwise (catch-alls included).
+size_t RuleParamCount(const appel::AppelRule& rule, bool parameterized);
 
 /// Combines per-expression SQL conditions under an APPEL connective:
 /// and -> conjunction, or -> disjunction, non-and/non-or -> NOT(...).

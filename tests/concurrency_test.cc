@@ -87,6 +87,67 @@ TEST(ConcurrencyTest, InstallsRaceWithMatches) {
   EXPECT_EQ(server.value()->policy_ids().size(), 30u);
 }
 
+// 8 matcher threads hammer MatchUri while one installer keeps re-versioning
+// a policy; with record_matches on, every successful match must land in the
+// MatchLog — the shared-lock match path may not lose log rows.
+TEST(ConcurrencyTest, MixedMatchUriAndReinstallLosesNoMatchLogRows) {
+  auto server = PolicyServer::Create(
+      {.engine = EngineKind::kSql, .record_matches = true});
+  ASSERT_TRUE(server.ok());
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  for (const p3p::Policy& policy : corpus) {
+    ASSERT_TRUE(server.value()->InstallPolicy(policy).ok());
+  }
+  ASSERT_TRUE(server.value()
+                  ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+                  .ok());
+  auto pref = server.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kMedium));
+  ASSERT_TRUE(pref.ok());
+
+  std::vector<std::string> paths;
+  for (const p3p::Policy& policy : corpus) {
+    paths.push_back("/" + policy.name + "/index.html");
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kMatchesPerThread = 150;
+  std::atomic<int> errors{0};
+  std::atomic<int> successful_matches{0};
+  std::thread installer([&] {
+    for (int i = 0; i < 10; ++i) {
+      // Same name every time: each install is a new version of policy 0.
+      if (!server.value()->InstallPolicy(corpus[0]).ok()) ++errors;
+    }
+  });
+  std::vector<std::thread> matchers;
+  for (int t = 0; t < kThreads; ++t) {
+    matchers.emplace_back([&, t] {
+      for (int i = 0; i < kMatchesPerThread; ++i) {
+        auto r = server.value()->MatchUri(pref.value(),
+                                          paths[(t * 13 + i) % paths.size()]);
+        if (!r.ok() || !r.value().policy_found) {
+          ++errors;
+        } else {
+          ++successful_matches;
+        }
+      }
+    });
+  }
+  installer.join();
+  for (std::thread& t : matchers) t.join();
+  ASSERT_EQ(errors.load(), 0);
+  EXPECT_EQ(successful_matches.load(), kThreads * kMatchesPerThread);
+
+  auto logged = server.value()->database()->Execute(
+      "SELECT COUNT(*) FROM MatchLog");
+  ASSERT_TRUE(logged.ok());
+  EXPECT_EQ(logged.value().rows[0][0].AsInteger(),
+            successful_matches.load());
+  // And the versioning thread took effect: 11 versions of the first policy.
+  EXPECT_EQ(server.value()->PolicyVersion(corpus[0].name), 11);
+}
+
 TEST(ConcurrencyTest, ParallelCompiles) {
   auto server = PolicyServer::Create({.engine = EngineKind::kSql});
   ASSERT_TRUE(server.ok());

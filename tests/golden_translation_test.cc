@@ -63,6 +63,51 @@ TEST(GoldenTranslationTest, OptimizedSchemaSqlMatchesFigure15) {
   EXPECT_EQ(sql.value(), kGoldenOptimizedSql);
 }
 
+// The parameterized (read-only) variants differ from the figures in exactly
+// one place: the join to the materialized ApplicablePolicy row becomes a
+// `?` bind parameter.
+TEST(GoldenTranslationTest, ParameterizedSimpleSqlSwapsJoinForPlaceholder) {
+  translator::SimpleSqlTranslator translator(/*parameterized=*/true);
+  auto sql = translator.TranslateRule(workload::JaneSimplifiedFirstRule());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  std::string expected = kGoldenSimpleSql;
+  size_t pos = expected.find("Policy.policy_id = ApplicablePolicy.policy_id");
+  ASSERT_NE(pos, std::string::npos);
+  expected.replace(pos,
+                   std::string("Policy.policy_id = ApplicablePolicy.policy_id")
+                       .size(),
+                   "Policy.policy_id = ?");
+  EXPECT_EQ(sql.value(), expected);
+  EXPECT_EQ(translator::RuleParamCount(workload::JaneSimplifiedFirstRule(),
+                                       /*parameterized=*/true),
+            1u);
+}
+
+TEST(GoldenTranslationTest, ParameterizedOptimizedSqlSwapsJoinForPlaceholder) {
+  translator::OptimizedSqlTranslator translator(/*parameterized=*/true);
+  auto sql = translator.TranslateRule(workload::JaneSimplifiedFirstRule());
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  std::string expected = kGoldenOptimizedSql;
+  size_t pos = expected.find("Policy.policy_id = ApplicablePolicy.policy_id");
+  ASSERT_NE(pos, std::string::npos);
+  expected.replace(pos,
+                   std::string("Policy.policy_id = ApplicablePolicy.policy_id")
+                       .size(),
+                   "Policy.policy_id = ?");
+  EXPECT_EQ(sql.value(), expected);
+}
+
+TEST(GoldenTranslationTest, CatchAllRuleTakesNoParameters) {
+  appel::AppelRule catch_all;
+  catch_all.behavior = "request";
+  translator::SimpleSqlTranslator translator(/*parameterized=*/true);
+  auto sql = translator.TranslateRule(catch_all);
+  ASSERT_TRUE(sql.ok()) << sql.status();
+  EXPECT_EQ(sql.value(), "SELECT 'request' FROM ApplicablePolicy");
+  EXPECT_EQ(translator::RuleParamCount(catch_all, /*parameterized=*/true),
+            0u);
+}
+
 TEST(GoldenTranslationTest, XQueryMatchesFigure18) {
   xquery::AppelToXQueryTranslator translator;
   auto text = translator.TranslateRule(workload::JaneSimplifiedFirstRule());
