@@ -36,6 +36,7 @@ struct ThroughputPoint {
   int threads = 0;
   uint64_t matches = 0;
   double elapsed_us = 0.0;
+  TimingStats latency_us;  // per-match wall time, merged across threads
 
   double MatchesPerSec() const {
     return elapsed_us <= 0.0 ? 0.0 : matches / (elapsed_us / 1e6);
@@ -74,15 +75,21 @@ Result<ThroughputPoint> Measure(PolicyServer* server, const char* mode,
 
   std::vector<std::thread> workers;
   std::vector<Status> outcomes(threads, Status::OK());
+  // Per-thread sample vectors; merged after the join so the sampling adds
+  // no cross-thread synchronization to the measured region.
+  std::vector<TimingStats> latencies(threads);
   Stopwatch sw;
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
       for (int i = 0; i < kMatchesPerThread; ++i) {
+        Stopwatch match_sw;
         auto r = server->MatchUri(pref, paths[(t + i) % paths.size()]);
+        double us = match_sw.ElapsedMicros();
         if (!r.ok()) {
           outcomes[t] = r.status();
           return;
         }
+        latencies[t].Add(us);
       }
     });
   }
@@ -92,20 +99,28 @@ Result<ThroughputPoint> Measure(PolicyServer* server, const char* mode,
   for (const Status& s : outcomes) {
     if (!s.ok()) return s;
   }
+  for (const TimingStats& per_thread : latencies) {
+    for (double us : per_thread.samples()) point.latency_us.Add(us);
+  }
   point.mode = mode;
   point.threads = threads;
   point.matches = static_cast<uint64_t>(threads) * kMatchesPerThread;
   return point;
 }
 
-Result<std::vector<ThroughputPoint>> RunExperiment() {
+struct ExperimentOutput {
+  std::vector<ThroughputPoint> points;
+  std::string metrics_text;  // parameterized server's registry, end of run
+};
+
+Result<ExperimentOutput> RunExperiment() {
   std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
   std::vector<std::string> paths;
   for (const p3p::Policy& policy : corpus) {
     paths.push_back("/" + policy.name + "/index.html");
   }
 
-  std::vector<ThroughputPoint> points;
+  ExperimentOutput out;
   P3PDB_ASSIGN_OR_RETURN(auto parameterized,
                          MakeServer(/*materialize=*/false, corpus));
   P3PDB_ASSIGN_OR_RETURN(auto legacy, MakeServer(/*materialize=*/true, corpus));
@@ -113,13 +128,16 @@ Result<std::vector<ThroughputPoint>> RunExperiment() {
     P3PDB_ASSIGN_OR_RETURN(
         ThroughputPoint p,
         Measure(parameterized.get(), "parameterized", paths, threads));
-    points.push_back(std::move(p));
+    out.points.push_back(std::move(p));
     P3PDB_ASSIGN_OR_RETURN(
         ThroughputPoint m,
         Measure(legacy.get(), "materialized", paths, threads));
-    points.push_back(std::move(m));
+    out.points.push_back(std::move(m));
   }
-  return points;
+  // The server kept its own histograms while the harness timed externally —
+  // the two views should agree. Emit the registry for eyeballing that.
+  out.metrics_text = parameterized->RenderMetricsText();
+  return out;
 }
 
 void PrintReport(const std::vector<ThroughputPoint>& points) {
@@ -134,9 +152,10 @@ void PrintReport(const std::vector<ThroughputPoint>& points) {
         "bounded by the\nhardware, not the locking; the parameterized/"
         "materialized gap is still meaningful.\n");
   }
-  std::vector<int> widths = {14, 8, 12, 14, 10};
+  std::vector<int> widths = {14, 8, 12, 14, 10, 10, 10, 10};
   PrintTableRule(widths);
-  PrintTableRow({"Mode", "Threads", "ns/match", "Matches/sec", "Speedup"},
+  PrintTableRow({"Mode", "Threads", "ns/match", "Matches/sec", "Speedup",
+                 "p50", "p90", "p99"},
                 widths);
   PrintTableRule(widths);
   double parameterized_1t = 0.0;
@@ -155,7 +174,10 @@ void PrintReport(const std::vector<ThroughputPoint>& points) {
                    FormatDouble(p.MatchesPerSec(), 0),
                    base <= 0.0 ? std::string("-")
                                : FormatDouble(p.MatchesPerSec() / base, 2) +
-                                     "x"},
+                                     "x",
+                   FormatMicros(p.latency_us.Percentile(50.0)),
+                   FormatMicros(p.latency_us.Percentile(90.0)),
+                   FormatMicros(p.latency_us.Percentile(99.0))},
                   widths);
   }
   PrintTableRule(widths);
@@ -173,20 +195,25 @@ void PrintReport(const std::vector<ThroughputPoint>& points) {
 
 int main(int argc, char** argv) {
   using p3pdb::bench::BenchJsonRecord;
-  auto points = p3pdb::bench::RunExperiment();
-  if (!points.ok()) {
-    std::printf("error: %s\n", points.status().ToString().c_str());
+  auto output = p3pdb::bench::RunExperiment();
+  if (!output.ok()) {
+    std::printf("error: %s\n", output.status().ToString().c_str());
     return 1;
   }
-  p3pdb::bench::PrintReport(points.value());
+  p3pdb::bench::PrintReport(output.value().points);
+  std::printf("Parameterized server metrics (Prometheus exposition):\n%s\n",
+              output.value().metrics_text.c_str());
 
   std::string json_path = p3pdb::bench::JsonPathFromArgs(argc, argv);
   if (!json_path.empty()) {
     std::vector<BenchJsonRecord> records;
-    for (const auto& p : points.value()) {
-      BenchJsonRecord record;
-      record.name = "concurrent_match/" + p.mode +
-                    "/threads:" + std::to_string(p.threads);
+    for (const auto& p : output.value().points) {
+      BenchJsonRecord record = p3pdb::bench::RecordFromTimings(
+          "concurrent_match/" + p.mode +
+              "/threads:" + std::to_string(p.threads),
+          p.latency_us);
+      // Throughput numbers come from the wall clock over the whole run,
+      // not the per-match samples (threads overlap).
       record.iters = p.matches;
       record.ns_per_op = p.NsPerOp();
       record.matches_per_sec = p.MatchesPerSec();

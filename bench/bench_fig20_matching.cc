@@ -29,7 +29,7 @@ using server::EngineKind;
 using workload::JanePreference;
 using workload::VolgaPolicy;
 
-void PrintFigure20() {
+void PrintFigure20(const std::string& json_path) {
   auto experiment = MatchingExperiment::Create();
   if (!experiment.ok()) {
     std::printf("error: %s\n", experiment.status().ToString().c_str());
@@ -81,6 +81,13 @@ void PrintFigure20() {
       xquery.Max());
   row("Min", appel.Min(), convert.Min(), query.Min(), total.Min(),
       xquery.Min());
+  auto prow = [&](const char* label, double p) {
+    row(label, appel.Percentile(p), convert.Percentile(p),
+        query.Percentile(p), total.Percentile(p), xquery.Percentile(p));
+  };
+  prow("p50", 50.0);
+  prow("p90", 90.0);
+  prow("p99", 99.0);
   PrintTableRule(widths);
   std::printf(
       "Speedups: APPEL/SQL-total = %.1fx (paper: >15x), "
@@ -92,6 +99,22 @@ void PrintFigure20() {
   std::printf(
       "(XQuery column excludes the Medium preference, whose XTABLE "
       "translation exceeds the complexity budget — see Figure 21)\n\n");
+
+  if (!json_path.empty()) {
+    std::vector<BenchJsonRecord> records;
+    records.push_back(RecordFromTimings("fig20/appel_engine", appel));
+    records.push_back(RecordFromTimings("fig20/sql_convert", convert));
+    records.push_back(RecordFromTimings("fig20/sql_query", query));
+    records.push_back(RecordFromTimings("fig20/sql_total", total));
+    records.push_back(RecordFromTimings("fig20/xquery_total", xquery));
+    auto written = WriteBenchJson(json_path, records);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.ToString().c_str());
+      return;
+    }
+    std::printf("wrote %zu records to %s\n\n", records.size(),
+                json_path.c_str());
+  }
 }
 
 void BM_MatchNativeAppel(benchmark::State& state) {
@@ -170,7 +193,7 @@ BENCHMARK(BM_MatchXQueryXTable);
 }  // namespace p3pdb::bench
 
 int main(int argc, char** argv) {
-  p3pdb::bench::PrintFigure20();
+  p3pdb::bench::PrintFigure20(p3pdb::bench::JsonPathFromArgs(argc, argv));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

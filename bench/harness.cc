@@ -170,6 +170,22 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
+BenchJsonRecord RecordFromTimings(std::string name,
+                                  const TimingStats& micros) {
+  BenchJsonRecord record;
+  record.name = std::move(name);
+  record.iters = micros.count();
+  record.ns_per_op = micros.Average() * 1000.0;
+  record.matches_per_sec =
+      micros.Average() <= 0.0 ? 0.0 : 1e6 / micros.Average();
+  record.min_ns = micros.Min() * 1000.0;
+  record.max_ns = micros.Max() * 1000.0;
+  record.p50_ns = micros.Percentile(50.0) * 1000.0;
+  record.p90_ns = micros.Percentile(90.0) * 1000.0;
+  record.p99_ns = micros.Percentile(99.0) * 1000.0;
+  return record;
+}
+
 std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records) {
   std::string out = "[\n";
   for (size_t i = 0; i < records.size(); ++i) {
@@ -177,7 +193,12 @@ std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records) {
     out += "  {\"name\": \"" + JsonEscape(r.name) + "\", ";
     out += "\"iters\": " + std::to_string(r.iters) + ", ";
     out += "\"ns_per_op\": " + FormatDouble(r.ns_per_op, 1) + ", ";
-    out += "\"matches_per_sec\": " + FormatDouble(r.matches_per_sec, 1) + "}";
+    out += "\"matches_per_sec\": " + FormatDouble(r.matches_per_sec, 1) + ", ";
+    out += "\"min_ns\": " + FormatDouble(r.min_ns, 1) + ", ";
+    out += "\"max_ns\": " + FormatDouble(r.max_ns, 1) + ", ";
+    out += "\"p50_ns\": " + FormatDouble(r.p50_ns, 1) + ", ";
+    out += "\"p90_ns\": " + FormatDouble(r.p90_ns, 1) + ", ";
+    out += "\"p99_ns\": " + FormatDouble(r.p99_ns, 1) + "}";
     if (i + 1 < records.size()) out += ",";
     out += "\n";
   }

@@ -102,7 +102,18 @@ struct BenchJsonRecord {
   uint64_t iters = 0;
   double ns_per_op = 0.0;
   double matches_per_sec = 0.0;  // 0 when the bench has no match notion
+  // Latency distribution (nanoseconds). All zero when the bench only
+  // measured an aggregate throughput, not per-op samples.
+  double min_ns = 0.0;
+  double max_ns = 0.0;
+  double p50_ns = 0.0;
+  double p90_ns = 0.0;
+  double p99_ns = 0.0;
 };
+
+/// Builds a record from per-op samples held in microseconds (the unit
+/// TimingStats accumulates): avg/min/max plus p50/p90/p99, all in ns.
+BenchJsonRecord RecordFromTimings(std::string name, const TimingStats& micros);
 
 /// Renders the records as a JSON array, keys in declaration order.
 std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records);

@@ -37,10 +37,26 @@ bool AttributesMatch(const AppelExpr& expr, const xml::Element& evidence) {
   return true;
 }
 
+/// Elements in an XML subtree, the augmentation work measure: the naive
+/// augmenter deep-copies and re-visits every element of the policy copy.
+uint64_t CountElements(const xml::Element& element) {
+  uint64_t count = 1;
+  for (const auto& child : element.children()) {
+    count += CountElements(*child);
+  }
+  return count;
+}
+
 }  // namespace
 
 bool NativeEngine::ExprMatches(const AppelExpr& expr,
                                const xml::Element& evidence) {
+  return MatchExpr(expr, evidence, nullptr);
+}
+
+bool NativeEngine::MatchExpr(const AppelExpr& expr,
+                             const xml::Element& evidence, uint64_t* steps) {
+  if (steps != nullptr) ++*steps;
   if (expr.name != evidence.LocalName()) return false;
   if (!AttributesMatch(expr, evidence)) return false;
   if (expr.children.empty()) return true;
@@ -51,7 +67,7 @@ bool NativeEngine::ExprMatches(const AppelExpr& expr,
   for (const AppelExpr& child_expr : expr.children) {
     bool found = false;
     for (const auto& child_evidence : evidence.children()) {
-      if (ExprMatches(child_expr, *child_evidence)) {
+      if (MatchExpr(child_expr, *child_evidence, steps)) {
         found = true;
         break;
       }
@@ -83,7 +99,7 @@ bool NativeEngine::ExprMatches(const AppelExpr& expr,
       for (const auto& child_evidence : evidence.children()) {
         bool covered = false;
         for (const AppelExpr& child_expr : expr.children) {
-          if (ExprMatches(child_expr, *child_evidence)) {
+          if (MatchExpr(child_expr, *child_evidence, steps)) {
             covered = true;
             break;
           }
@@ -98,6 +114,12 @@ bool NativeEngine::ExprMatches(const AppelExpr& expr,
 
 Result<MatchOutcome> NativeEngine::Evaluate(
     const AppelRuleset& ruleset, const xml::Element& policy_root) const {
+  return Evaluate(ruleset, policy_root, nullptr);
+}
+
+Result<MatchOutcome> NativeEngine::Evaluate(const AppelRuleset& ruleset,
+                                            const xml::Element& policy_root,
+                                            obs::TraceContext* trace) const {
   if (policy_root.LocalName() != "POLICY") {
     return Status::InvalidArgument("evidence root must be a POLICY element");
   }
@@ -110,12 +132,26 @@ Result<MatchOutcome> NativeEngine::Evaluate(
   std::unique_ptr<xml::Element> augmented;
   const xml::Element* evidence = &policy_root;
   if (options_.augment_per_match) {
+    obs::ScopedSpan aug_span(trace, "category-augmentation");
     auto schema = p3p::DataSchemaFromXml(p3p::BaseDataSchemaXmlText());
     if (!schema.ok()) return schema.status();
     augmented = p3p::AugmentPolicyXmlNaive(policy_root, schema.value());
     evidence = augmented.get();
+    if (aug_span.active()) {
+      // Work = base-schema elements re-processed + working-copy elements
+      // visited. Deterministic, unlike the wall clock.
+      uint64_t schema_elements = schema.value().ElementCount();
+      aug_span.AddCount("schema-elements", schema_elements);
+      aug_span.AddCount("work", schema_elements + CountElements(*augmented));
+    }
   }
 
+  obs::ScopedSpan eval_span(trace, "connective-eval");
+  uint64_t steps = 0;
+  uint64_t* steps_ptr = trace == nullptr ? nullptr : &steps;
+  MatchOutcome outcome;
+  outcome.behavior = kDefaultBehavior;
+  outcome.fired_rule_index = -1;
   for (size_t i = 0; i < ruleset.rules.size(); ++i) {
     const AppelRule& rule = ruleset.rules[i];
     bool fires;
@@ -124,7 +160,7 @@ Result<MatchOutcome> NativeEngine::Evaluate(
     } else {
       size_t matched = 0;
       for (const AppelExpr& expr : rule.expressions) {
-        if (ExprMatches(expr, *evidence)) ++matched;
+        if (MatchExpr(expr, *evidence, steps_ptr)) ++matched;
       }
       switch (rule.connective) {
         case Connective::kAnd:
@@ -145,15 +181,17 @@ Result<MatchOutcome> NativeEngine::Evaluate(
       }
     }
     if (fires) {
-      MatchOutcome outcome;
       outcome.behavior = rule.behavior;
       outcome.fired_rule_index = static_cast<int>(i);
-      return outcome;
+      break;
     }
   }
-  MatchOutcome outcome;
-  outcome.behavior = kDefaultBehavior;
-  outcome.fired_rule_index = -1;
+  if (eval_span.active()) {
+    eval_span.AddCount("work", steps);
+    eval_span.SetAttr("behavior", outcome.behavior);
+    if (outcome.fired())
+      eval_span.SetAttr("rule", std::to_string(outcome.fired_rule_index));
+  }
   return outcome;
 }
 

@@ -13,10 +13,12 @@
 #ifndef P3PDB_APPEL_ENGINE_H_
 #define P3PDB_APPEL_ENGINE_H_
 
+#include <cstdint>
 #include <string>
 
 #include "appel/model.h"
 #include "common/result.h"
+#include "obs/trace.h"
 #include "p3p/data_schema.h"
 #include "xml/node.h"
 
@@ -51,11 +53,25 @@ class NativeEngine {
   Result<MatchOutcome> Evaluate(const AppelRuleset& ruleset,
                                 const xml::Element& policy_root) const;
 
+  /// Traced variant: records a `category-augmentation` span (with a
+  /// deterministic `work` counter — elements scanned in the base schema
+  /// plus elements of the augmented working copy) and a `connective-eval`
+  /// span (`work` = pattern-match step count), reproducing the paper's
+  /// §6.3.2 cost breakdown per match. Null `trace` is the overload above.
+  Result<MatchOutcome> Evaluate(const AppelRuleset& ruleset,
+                                const xml::Element& policy_root,
+                                obs::TraceContext* trace) const;
+
   /// Whether one expression matches one evidence element (exposed for
   /// testing the connective semantics in isolation).
   static bool ExprMatches(const AppelExpr& expr, const xml::Element& evidence);
 
  private:
+  /// The recursive matcher behind ExprMatches; `steps` (when non-null)
+  /// counts invocations — the connective-eval work measure.
+  static bool MatchExpr(const AppelExpr& expr, const xml::Element& evidence,
+                        uint64_t* steps);
+
   Options options_;
   const p3p::DataSchema* schema_;
 };

@@ -62,6 +62,26 @@ class TimingStats {
     return samples_.empty() ? 0.0 : m;
   }
 
+  /// Nearest-rank percentile, `p` in [0, 100]: the smallest sample with at
+  /// least ceil(p/100 * n) samples at or below it. Percentile(0) is the
+  /// minimum, Percentile(100) the maximum; 0 when empty. Sorts a copy, so
+  /// it is meant for end-of-run reporting, not the hot path.
+  double Percentile(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0.0) return sorted.front();
+    if (p >= 100.0) return sorted.back();
+    size_t rank = static_cast<size_t>(
+        p / 100.0 * static_cast<double>(sorted.size()));
+    if (static_cast<double>(rank) <
+        p / 100.0 * static_cast<double>(sorted.size())) {
+      ++rank;
+    }
+    if (rank == 0) rank = 1;
+    return sorted[rank - 1];
+  }
+
  private:
   std::vector<double> samples_;
 };

@@ -1,0 +1,145 @@
+// Metrics registry: named counters, gauges, and log-bucketed latency
+// histograms for the match path.
+//
+// The paper's evaluation (§6) argues from *measurements* — per-step
+// profiling of the native APPEL engine and access-path counters for the SQL
+// plans. This registry is the production-shaped version of that discipline:
+// instruments are registered once (under a mutex), after which every
+// Increment/Record is a relaxed atomic operation, so the hot match path
+// stays lock-free — the same tally discipline as sqldb's AtomicExecStats.
+// Snapshots render as Prometheus-style exposition text and as JSON, with
+// p50/p90/p99 computed from the histogram buckets.
+
+#ifndef P3PDB_OBS_METRICS_H_
+#define P3PDB_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace p3pdb::obs {
+
+/// Monotonic counter. Lock-free; relaxed ordering (a tally, not a
+/// synchronization point).
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins gauge (e.g. installed policy count).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two bucket count for histograms. Bucket 0 covers [0, 1];
+/// bucket i covers (2^(i-1), 2^i]; the last bucket additionally absorbs
+/// everything larger (rendered as +Inf). With 40 buckets the second-to-last
+/// boundary is 2^38 — far beyond any latency in microseconds this system
+/// records.
+inline constexpr size_t kHistogramBuckets = 40;
+
+/// Upper (inclusive) boundary of bucket `i`: 1, 2, 4, 8, ...
+uint64_t HistogramBucketUpperBound(size_t i);
+
+/// Bucket index a value lands in.
+size_t HistogramBucketIndex(uint64_t value);
+
+/// Point-in-time copy of a histogram; all percentile math happens here, on
+/// plain integers, so it is deterministic and unit-testable.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};  // per-bucket counts
+
+  /// Nearest-rank percentile over the bucketed distribution, `p` in
+  /// [0, 100]. Returns the upper boundary of the bucket containing the
+  /// rank (log-bucketing trades exactness for lock-freedom; boundaries are
+  /// the conservative answer, as with Prometheus `le` buckets). 0 when
+  /// empty.
+  double Percentile(double p) const;
+
+  double Average() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Log-bucketed histogram of non-negative integer samples (the match path
+/// records microseconds). Record() is lock-free.
+class Histogram {
+ public:
+  void Record(uint64_t value) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+    buckets_[HistogramBucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
+};
+
+/// Everything a registry holds, frozen. Maps are keyed by instrument name.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Owns named instruments. Get* registers on first use (mutex-guarded) and
+/// returns a stable pointer; callers cache the pointer and touch it
+/// lock-free afterwards. Instrument names follow Prometheus conventions
+/// (snake_case, unit suffix, `_total` for counters).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus-style exposition text: `# TYPE` comments, cumulative
+  /// `_bucket{le="..."}` lines, `_sum`/`_count`, and quantile lines for
+  /// p50/p90/p99.
+  std::string RenderText() const;
+
+  /// JSON object {"counters": {...}, "gauges": {...}, "histograms":
+  /// {name: {count, sum, avg, p50, p90, p99}}}.
+  std::string RenderJson() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps; instruments themselves are
+                           // lock-free and pointer-stable once registered
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace p3pdb::obs
+
+#endif  // P3PDB_OBS_METRICS_H_

@@ -1,0 +1,124 @@
+// Per-request trace spans for the match path.
+//
+// A TraceContext records a tree of timed spans: reference-file lookup →
+// policy fetch → preference evaluation, and inside the evaluation either
+// the native APPEL steps (parse → category-augmentation → connective
+// evaluation, the §6 breakdown) or the per-rule SQL steps (parse → bind →
+// execute). Spans carry string attributes (policy id, rule behavior) and
+// uint64 counters (rows, work units); counters are what the deterministic
+// §6 test compares, since wall times are machine-dependent.
+//
+// Tracing is strictly opt-in: every instrumentation point takes a
+// `TraceContext*` and a null pointer makes ScopedSpan a no-op that never
+// reads the clock, so the match path pays nothing when tracing is off.
+// A TraceContext is single-request, single-thread state — concurrent
+// matches each get their own.
+
+#ifndef P3PDB_OBS_TRACE_H_
+#define P3PDB_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace p3pdb::obs {
+
+/// One timed step. Elapsed time is inclusive of children.
+struct TraceSpan {
+  std::string name;
+  double elapsed_us = 0.0;
+  std::vector<std::pair<std::string, std::string>> attributes;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::unique_ptr<TraceSpan>> children;
+
+  /// Value of a named counter; 0 when absent.
+  uint64_t CounterValue(std::string_view key) const;
+
+  /// First direct child with the given name; nullptr when absent.
+  const TraceSpan* FindChild(std::string_view name) const;
+};
+
+/// Owns the span tree for one request. Begin/End must nest properly (the
+/// ScopedSpan RAII wrapper below guarantees this).
+class TraceContext {
+ public:
+  TraceContext() = default;
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Opens a span as a child of the innermost open span (or as the root).
+  /// Returns the span; valid until the context is destroyed.
+  TraceSpan* BeginSpan(std::string_view name);
+
+  /// Closes the innermost open span, recording its elapsed time.
+  void EndSpan();
+
+  /// The completed (or still-open) root span; nullptr before the first
+  /// BeginSpan. A second root-level BeginSpan replaces the previous tree,
+  /// so one context can be reused across sequential requests.
+  const TraceSpan* root() const { return root_.get(); }
+
+  /// Depth-first search for the first span with the given name.
+  const TraceSpan* FindSpan(std::string_view name) const;
+
+  /// Flame-style indented text tree:
+  ///   match 412.0us {engine=sql}
+  ///     ref-lookup 31.0us
+  ///     rule-query 120.0us {behavior=block} [rows=1]
+  std::string RenderText() const;
+
+  /// JSON rendering of the same tree.
+  std::string RenderJson() const;
+
+ private:
+  std::unique_ptr<TraceSpan> root_;
+  // Innermost-last stack of open spans plus their start times.
+  std::vector<std::pair<TraceSpan*, std::chrono::steady_clock::time_point>>
+      open_;
+};
+
+/// RAII span. With a null context every member is a no-op and the clock is
+/// never read — this is the zero-overhead-when-disabled guarantee.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceContext* ctx, std::string_view name) : ctx_(ctx) {
+    if (ctx_ != nullptr) span_ = ctx_->BeginSpan(name);
+  }
+  ~ScopedSpan() { End(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a string attribute to the span.
+  void SetAttr(std::string_view key, std::string_view value) {
+    if (span_ != nullptr) {
+      span_->attributes.emplace_back(std::string(key), std::string(value));
+    }
+  }
+
+  /// Adds to a named counter on the span (created at 0 on first use).
+  void AddCount(std::string_view key, uint64_t delta);
+
+  /// Closes the span early (idempotent).
+  void End() {
+    if (ctx_ != nullptr && span_ != nullptr) {
+      ctx_->EndSpan();
+      span_ = nullptr;
+    }
+  }
+
+  /// True when tracing is live (non-null context, span still open).
+  bool active() const { return span_ != nullptr; }
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  TraceSpan* span_ = nullptr;
+};
+
+}  // namespace p3pdb::obs
+
+#endif  // P3PDB_OBS_TRACE_H_

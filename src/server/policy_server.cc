@@ -1,5 +1,7 @@
 #include "server/policy_server.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "p3p/augment.h"
 #include "p3p/policy_xml.h"
@@ -61,6 +63,34 @@ std::string AboutToPolicyName(std::string_view about) {
   return std::string(about.substr(hash + 1));
 }
 
+/// Microseconds since `start`. Callers read the clock only when
+/// collect_metrics is on, so the start point is a plain time_point rather
+/// than a Stopwatch (whose constructor always reads the clock).
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Stamps the outcome onto the root `match` span (no-op when tracing is
+/// off or the match failed).
+void FinishMatchSpan(obs::ScopedSpan& span,
+                     const Result<MatchResult>& result) {
+  if (!span.active()) return;
+  if (!result.ok()) {
+    span.SetAttr("error", result.status().message());
+    return;
+  }
+  const MatchResult& match = result.value();
+  span.SetAttr("behavior", match.behavior);
+  if (match.policy_found) {
+    span.SetAttr("policy-id", std::to_string(match.policy_id));
+    if (match.fired_rule_index >= 0) {
+      span.SetAttr("rule", std::to_string(match.fired_rule_index));
+    }
+  }
+}
+
 }  // namespace
 
 PolicyServer::PolicyServer(Options options)
@@ -70,7 +100,19 @@ PolicyServer::PolicyServer(Options options)
           .enforce_foreign_keys = true}),
       native_engine_(appel::NativeEngine::Options{
           .augment_per_match =
-              options.augmentation == Augmentation::kPerMatch}) {}
+              options.augmentation == Augmentation::kPerMatch}) {
+  // Instruments register once here; the match path then touches them
+  // through cached pointers only (relaxed atomics, no registry lock).
+  matches_total_ = metrics_.GetCounter("p3p_matches_total");
+  match_errors_total_ = metrics_.GetCounter("p3p_match_errors_total");
+  no_policy_total_ = metrics_.GetCounter("p3p_match_no_policy_total");
+  rule_queries_total_ = metrics_.GetCounter("p3p_rule_queries_total");
+  compiles_total_ = metrics_.GetCounter("p3p_preference_compiles_total");
+  policies_installed_ = metrics_.GetGauge("p3p_policies_installed");
+  match_us_ = metrics_.GetHistogram("p3p_match_duration_us");
+  ref_lookup_us_ = metrics_.GetHistogram("p3p_ref_lookup_duration_us");
+  compile_us_ = metrics_.GetHistogram("p3p_preference_compile_duration_us");
+}
 
 Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(Options options) {
   if (options.augmentation == Augmentation::kPerMatch &&
@@ -171,6 +213,9 @@ Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
 
   policy_ids_.push_back(policy_id);
   latest_policy_by_name_[name] = policy_id;
+  if (options_.collect_metrics) {
+    policies_installed_->Set(static_cast<int64_t>(policy_ids_.size()));
+  }
   return policy_id;
 }
 
@@ -202,67 +247,88 @@ Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
 
 Result<CompiledPreference> PolicyServer::CompilePreference(
     const appel::AppelRuleset& ruleset) {
+  return CompilePreference(ruleset, nullptr);
+}
+
+Result<CompiledPreference> PolicyServer::CompilePreference(
+    const appel::AppelRuleset& ruleset, obs::TraceContext* trace) {
   // Read-only against the server: translation touches no shared state and
   // statement preparation only reads the catalog, so compiles run
   // concurrently with matches and each other.
   std::shared_lock<std::shared_mutex> lock(mu_);
+  obs::TraceContext* t = EffectiveTrace(trace);
+  obs::ScopedSpan compile_span(t, "compile-preference");
+  if (compile_span.active()) {
+    compile_span.SetAttr("engine", EngineKindName(options_.engine));
+    compile_span.AddCount("rules", ruleset.rules.size());
+  }
+  std::chrono::steady_clock::time_point start{};
+  if (options_.collect_metrics) start = std::chrono::steady_clock::now();
+
   P3PDB_RETURN_IF_ERROR(ruleset.Validate());
   CompiledPreference pref;
   pref.ruleset = ruleset;
-  switch (options_.engine) {
-    case EngineKind::kNativeAppel:
-      // No compilation in the client-centric model: the engine consumes
-      // the APPEL text itself on every match.
-      pref.appel_text = appel::RulesetToText(ruleset);
-      break;
-    case EngineKind::kSql: {
-      translator::OptimizedSqlTranslator translator(
-          /*parameterized=*/!UsesLegacyMaterialization());
-      P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
-      break;
-    }
-    case EngineKind::kSqlSimple: {
-      translator::SimpleSqlTranslator translator(
-          /*parameterized=*/!UsesLegacyMaterialization());
-      P3PDB_ASSIGN_OR_RETURN(pref.sql, translator.TranslateRuleset(ruleset));
-      break;
-    }
-    case EngineKind::kXQueryNative: {
-      xquery::AppelToXQueryTranslator translator;
-      P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
-                             translator.TranslateRuleset(ruleset));
-      for (const std::string& text : pref.xquery_text.rule_queries) {
-        P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
-        pref.xquery_asts.push_back(std::move(q));
+  {
+    obs::ScopedSpan translate_span(t, "translate");
+    switch (options_.engine) {
+      case EngineKind::kNativeAppel:
+        // No compilation in the client-centric model: the engine consumes
+        // the APPEL text itself on every match.
+        pref.appel_text = appel::RulesetToText(ruleset);
+        break;
+      case EngineKind::kSql: {
+        translator::OptimizedSqlTranslator translator(
+            /*parameterized=*/!UsesLegacyMaterialization());
+        P3PDB_ASSIGN_OR_RETURN(pref.sql,
+                               translator.TranslateRuleset(ruleset, t));
+        break;
       }
-      break;
-    }
-    case EngineKind::kXQueryXTable: {
-      xquery::AppelToXQueryTranslator to_xq;
-      P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
-                             to_xq.TranslateRuleset(ruleset));
-      xquery::XTableTranslator to_sql;
-      for (const std::string& text : pref.xquery_text.rule_queries) {
-        // XTABLE consumes the XQuery *text*, so parse then translate —
-        // both conversions are part of this path's cost.
-        P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
-        P3PDB_ASSIGN_OR_RETURN(std::string sql, to_sql.TranslateQuery(q));
-        // Prepare-time validation, as DB2 would do: parse and bind the
-        // generated SQL, enforcing the statement complexity budget. This is
-        // where the deeply nested Medium translation fails (Figure 21).
-        P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<sqldb::Statement> stmt,
-                               sqldb::ParseStatement(sql));
-        if (stmt->kind == sqldb::StatementKind::kSelect) {
-          sqldb::Binder binder(db_, options_.max_subquery_depth);
-          P3PDB_RETURN_IF_ERROR(
-              binder.BindSelect(static_cast<sqldb::SelectStmt*>(stmt.get())));
+      case EngineKind::kSqlSimple: {
+        translator::SimpleSqlTranslator translator(
+            /*parameterized=*/!UsesLegacyMaterialization());
+        P3PDB_ASSIGN_OR_RETURN(pref.sql,
+                               translator.TranslateRuleset(ruleset, t));
+        break;
+      }
+      case EngineKind::kXQueryNative: {
+        xquery::AppelToXQueryTranslator translator;
+        P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
+                               translator.TranslateRuleset(ruleset));
+        for (const std::string& text : pref.xquery_text.rule_queries) {
+          P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
+          pref.xquery_asts.push_back(std::move(q));
         }
-        pref.xtable_sql.push_back(std::move(sql));
+        break;
       }
-      break;
+      case EngineKind::kXQueryXTable: {
+        xquery::AppelToXQueryTranslator to_xq;
+        P3PDB_ASSIGN_OR_RETURN(pref.xquery_text,
+                               to_xq.TranslateRuleset(ruleset));
+        xquery::XTableTranslator to_sql;
+        for (const std::string& text : pref.xquery_text.rule_queries) {
+          // XTABLE consumes the XQuery *text*, so parse then translate —
+          // both conversions are part of this path's cost.
+          P3PDB_ASSIGN_OR_RETURN(xquery::Query q, xquery::ParseQuery(text));
+          P3PDB_ASSIGN_OR_RETURN(std::string sql, to_sql.TranslateQuery(q));
+          // Prepare-time validation, as DB2 would do: parse and bind the
+          // generated SQL, enforcing the statement complexity budget. This
+          // is where the deeply nested Medium translation fails (Figure
+          // 21).
+          P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<sqldb::Statement> stmt,
+                                 sqldb::ParseStatement(sql));
+          if (stmt->kind == sqldb::StatementKind::kSelect) {
+            sqldb::Binder binder(db_, options_.max_subquery_depth);
+            P3PDB_RETURN_IF_ERROR(binder.BindSelect(
+                static_cast<sqldb::SelectStmt*>(stmt.get())));
+          }
+          pref.xtable_sql.push_back(std::move(sql));
+        }
+        break;
+      }
     }
   }
   if (options_.use_prepared_statements) {
+    obs::ScopedSpan prepare_span(t, "prepare");
     for (const std::string& sql : pref.sql.rule_queries) {
       P3PDB_ASSIGN_OR_RETURN(sqldb::PreparedStatement stmt, db_.Prepare(sql));
       pref.prepared_sql.push_back(std::move(stmt));
@@ -271,29 +337,55 @@ Result<CompiledPreference> PolicyServer::CompilePreference(
       P3PDB_ASSIGN_OR_RETURN(sqldb::PreparedStatement stmt, db_.Prepare(sql));
       pref.prepared_sql.push_back(std::move(stmt));
     }
+    if (prepare_span.active()) {
+      prepare_span.AddCount("statements", pref.prepared_sql.size());
+    }
+  }
+  if (options_.collect_metrics) {
+    compiles_total_->Increment();
+    compile_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
   }
   return pref;
 }
 
 Result<int64_t> PolicyServer::FindApplicablePolicyId(
-    std::string_view local_path, bool for_cookie) {
+    std::string_view local_path, bool for_cookie, obs::TraceContext* trace) {
   if (!has_reference_file_) {
     return Status::InvalidArgument("no reference file installed");
   }
-  if (UsesSqlMatching()) {
-    P3PDB_ASSIGN_OR_RETURN(
-        QueryResult result,
-        db_.Execute(
-            translator::ApplicablePolicyQuery(local_path, for_cookie)));
-    if (result.rows.empty()) return int64_t{-1};
-    return result.rows[0][0].AsInteger();
+  obs::ScopedSpan span(trace, "ref-lookup");
+  if (span.active()) {
+    span.SetAttr("path", local_path);
+    if (for_cookie) span.SetAttr("cookie", "true");
   }
-  std::optional<std::string> about =
-      for_cookie ? reference_file_.PolicyForCookie(local_path)
-                 : reference_file_.PolicyForPath(local_path);
-  if (!about.has_value()) return int64_t{-1};
-  std::optional<int64_t> id = FindPolicyIdByAboutLocked(*about);
-  return id.has_value() ? *id : int64_t{-1};
+  std::chrono::steady_clock::time_point start{};
+  if (options_.collect_metrics) start = std::chrono::steady_clock::now();
+
+  Result<int64_t> id = [&]() -> Result<int64_t> {
+    if (UsesSqlMatching()) {
+      P3PDB_ASSIGN_OR_RETURN(
+          QueryResult result,
+          db_.Execute(
+              translator::ApplicablePolicyQuery(local_path, for_cookie),
+              trace));
+      if (result.rows.empty()) return int64_t{-1};
+      return result.rows[0][0].AsInteger();
+    }
+    std::optional<std::string> about =
+        for_cookie ? reference_file_.PolicyForCookie(local_path)
+                   : reference_file_.PolicyForPath(local_path);
+    if (!about.has_value()) return int64_t{-1};
+    std::optional<int64_t> found = FindPolicyIdByAboutLocked(*about);
+    return found.has_value() ? *found : int64_t{-1};
+  }();
+
+  if (options_.collect_metrics) {
+    ref_lookup_us_->Record(static_cast<uint64_t>(MicrosSince(start)));
+  }
+  if (span.active() && id.ok()) {
+    span.SetAttr("policy-id", std::to_string(id.value()));
+  }
+  return id;
 }
 
 std::optional<int64_t> PolicyServer::FindPolicyIdByAbout(
@@ -325,7 +417,8 @@ Status PolicyServer::MaterializeApplicablePolicy(int64_t policy_id) {
 }
 
 Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
-    const CompiledPreference& pref, int64_t policy_id) {
+    const CompiledPreference& pref, int64_t policy_id,
+    obs::TraceContext* trace) {
   MatchResult result;
   result.policy_id = policy_id;
   result.behavior = appel::kDefaultBehavior;
@@ -340,13 +433,28 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
       // The client-centric pipeline, per match: parse the policy XML the
       // site served, parse the user's APPEL text, then evaluate (with the
       // engine's per-match augmentation when so configured).
-      P3PDB_ASSIGN_OR_RETURN(xml::Document policy_doc,
-                             xml::Parse(it->second));
-      P3PDB_ASSIGN_OR_RETURN(appel::AppelRuleset ruleset,
-                             appel::RulesetFromText(pref.appel_text));
+      xml::Document policy_doc;
+      {
+        obs::ScopedSpan parse_span(trace, "policy-parse");
+        P3PDB_ASSIGN_OR_RETURN(policy_doc, xml::Parse(it->second));
+        if (parse_span.active()) {
+          parse_span.AddCount("chars", it->second.size());
+        }
+      }
+      appel::AppelRuleset ruleset;
+      {
+        obs::ScopedSpan parse_span(trace, "appel-parse");
+        P3PDB_ASSIGN_OR_RETURN(ruleset,
+                               appel::RulesetFromText(pref.appel_text));
+        if (parse_span.active()) {
+          parse_span.AddCount("chars", pref.appel_text.size());
+        }
+      }
+      // The engine adds the §6 breakdown: category-augmentation (when
+      // configured per match) and connective-eval spans.
       P3PDB_ASSIGN_OR_RETURN(
           appel::MatchOutcome outcome,
-          native_engine_.Evaluate(ruleset, *policy_doc.root));
+          native_engine_.Evaluate(ruleset, *policy_doc.root, trace));
       result.behavior = outcome.behavior;
       result.fired_rule_index = outcome.fired_rule_index;
       break;
@@ -359,6 +467,11 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
       const bool prepared = !pref.prepared_sql.empty();
       const size_t rule_count = pref.sql.rule_queries.size();
       for (size_t i = 0; i < rule_count; ++i) {
+        obs::ScopedSpan rule_span(trace, "rule-query");
+        if (rule_span.active()) {
+          rule_span.SetAttr("rule", std::to_string(i));
+          rule_span.SetAttr("behavior", pref.sql.behaviors[i]);
+        }
         // In the default (parameterized) mode, every `?` of the rule query
         // binds the applicable policy id; catch-all rules take none.
         const size_t param_count = i < pref.sql.param_counts.size()
@@ -366,21 +479,21 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
                                        : 0;
         QueryResult rows;
         if (prepared) {
-          if (param_count > 0) {
-            std::vector<Value> params(param_count, Value::Integer(policy_id));
-            P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute(params));
-          } else {
-            P3PDB_ASSIGN_OR_RETURN(rows, pref.prepared_sql[i].Execute());
-          }
+          std::vector<Value> params(param_count, Value::Integer(policy_id));
+          P3PDB_ASSIGN_OR_RETURN(rows,
+                                 pref.prepared_sql[i].Execute(params, trace));
         } else if (param_count > 0) {
           std::vector<Value> params(param_count, Value::Integer(policy_id));
           P3PDB_ASSIGN_OR_RETURN(
-              rows, db_.Execute(pref.sql.rule_queries[i], params));
+              rows, db_.Execute(pref.sql.rule_queries[i], params, trace));
         } else {
           // Paper methodology: the SQL text is submitted to the database
           // for every match; query time includes its prepare.
-          P3PDB_ASSIGN_OR_RETURN(rows, db_.Execute(pref.sql.rule_queries[i]));
+          P3PDB_ASSIGN_OR_RETURN(
+              rows, db_.Execute(pref.sql.rule_queries[i], trace));
         }
+        if (options_.collect_metrics) rule_queries_total_->Increment();
+        if (rule_span.active()) rule_span.AddCount("rows", rows.rows.size());
         if (!rows.rows.empty()) {
           result.behavior = rows.rows[0][0].AsText();
           result.fired_rule_index = static_cast<int>(i);
@@ -396,8 +509,11 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
                                 " not installed");
       }
       for (size_t i = 0; i < pref.xquery_asts.size(); ++i) {
+        obs::ScopedSpan rule_span(trace, "rule-query");
+        if (rule_span.active()) rule_span.SetAttr("rule", std::to_string(i));
         P3PDB_ASSIGN_OR_RETURN(
             bool fired, xquery::EvalQuery(pref.xquery_asts[i], *it->second));
+        if (options_.collect_metrics) rule_queries_total_->Increment();
         if (fired) {
           result.behavior = pref.xquery_text.behaviors[i];
           result.fired_rule_index = static_cast<int>(i);
@@ -409,8 +525,12 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
     case EngineKind::kXQueryXTable: {
       P3PDB_RETURN_IF_ERROR(MaterializeApplicablePolicy(policy_id));
       for (size_t i = 0; i < pref.xtable_sql.size(); ++i) {
+        obs::ScopedSpan rule_span(trace, "rule-query");
+        if (rule_span.active()) rule_span.SetAttr("rule", std::to_string(i));
         P3PDB_ASSIGN_OR_RETURN(QueryResult rows,
-                               db_.Execute(pref.xtable_sql[i]));
+                               db_.Execute(pref.xtable_sql[i], trace));
+        if (options_.collect_metrics) rule_queries_total_->Increment();
+        if (rule_span.active()) rule_span.AddCount("rows", rows.rows.size());
         if (!rows.rows.empty()) {
           result.behavior = rows.rows[0][0].AsText();
           result.fired_rule_index = static_cast<int>(i);
@@ -421,6 +541,7 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
     }
   }
   if (options_.record_matches) {
+    obs::ScopedSpan record_span(trace, "record-match");
     P3PDB_RETURN_IF_ERROR(RecordMatch(result));
   }
   return result;
@@ -428,6 +549,21 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
 
 Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
                                            std::string_view local_path) {
+  return MatchUri(pref, local_path, nullptr);
+}
+
+Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
+                                           std::string_view local_path,
+                                           obs::TraceContext* trace) {
+  obs::TraceContext* t = EffectiveTrace(trace);
+  obs::ScopedSpan match_span(t, "match");
+  if (match_span.active()) {
+    match_span.SetAttr("engine", EngineKindName(options_.engine));
+    match_span.SetAttr("uri", local_path);
+  }
+  std::chrono::steady_clock::time_point start{};
+  if (options_.collect_metrics) start = std::chrono::steady_clock::now();
+
   // Read-only matching runs under the shared lock; only the legacy
   // materialized mode mutates the ApplicablePolicy row and must exclude
   // other matchers.
@@ -438,19 +574,40 @@ Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
-  P3PDB_ASSIGN_OR_RETURN(int64_t policy_id,
-                         FindApplicablePolicyId(local_path));
-  if (policy_id < 0) {
-    MatchResult result;
-    result.behavior = kNoPolicyBehavior;
-    result.policy_found = false;
-    return result;
-  }
-  return EvaluateAgainstCurrent(pref, policy_id);
+  Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    P3PDB_ASSIGN_OR_RETURN(
+        int64_t policy_id,
+        FindApplicablePolicyId(local_path, /*for_cookie=*/false, t));
+    if (policy_id < 0) {
+      MatchResult miss;
+      miss.behavior = kNoPolicyBehavior;
+      miss.policy_found = false;
+      return miss;
+    }
+    return EvaluateAgainstCurrent(pref, policy_id, t);
+  }();
+  FinishMatchSpan(match_span, result);
+  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  return result;
 }
 
 Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
                                               std::string_view cookie_path) {
+  return MatchCookie(pref, cookie_path, nullptr);
+}
+
+Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
+                                              std::string_view cookie_path,
+                                              obs::TraceContext* trace) {
+  obs::TraceContext* t = EffectiveTrace(trace);
+  obs::ScopedSpan match_span(t, "match");
+  if (match_span.active()) {
+    match_span.SetAttr("engine", EngineKindName(options_.engine));
+    match_span.SetAttr("cookie", cookie_path);
+  }
+  std::chrono::steady_clock::time_point start{};
+  if (options_.collect_metrics) start = std::chrono::steady_clock::now();
+
   std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
   std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
   if (UsesLegacyMaterialization()) {
@@ -458,20 +615,39 @@ Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
-  P3PDB_ASSIGN_OR_RETURN(
-      int64_t policy_id,
-      FindApplicablePolicyId(cookie_path, /*for_cookie=*/true));
-  if (policy_id < 0) {
-    MatchResult result;
-    result.behavior = kNoPolicyBehavior;
-    result.policy_found = false;
-    return result;
-  }
-  return EvaluateAgainstCurrent(pref, policy_id);
+  Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    P3PDB_ASSIGN_OR_RETURN(
+        int64_t policy_id,
+        FindApplicablePolicyId(cookie_path, /*for_cookie=*/true, t));
+    if (policy_id < 0) {
+      MatchResult miss;
+      miss.behavior = kNoPolicyBehavior;
+      miss.policy_found = false;
+      return miss;
+    }
+    return EvaluateAgainstCurrent(pref, policy_id, t);
+  }();
+  FinishMatchSpan(match_span, result);
+  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  return result;
 }
 
 Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
                                                 int64_t policy_id) {
+  return MatchPolicyId(pref, policy_id, nullptr);
+}
+
+Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
+                                                int64_t policy_id,
+                                                obs::TraceContext* trace) {
+  obs::TraceContext* t = EffectiveTrace(trace);
+  obs::ScopedSpan match_span(t, "match");
+  if (match_span.active()) {
+    match_span.SetAttr("engine", EngineKindName(options_.engine));
+  }
+  std::chrono::steady_clock::time_point start{};
+  if (options_.collect_metrics) start = std::chrono::steady_clock::now();
+
   std::shared_lock<std::shared_mutex> shared(mu_, std::defer_lock);
   std::unique_lock<std::shared_mutex> exclusive(mu_, std::defer_lock);
   if (UsesLegacyMaterialization()) {
@@ -479,11 +655,39 @@ Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
-  if (policy_dom_.find(policy_id) == policy_dom_.end()) {
-    return Status::NotFound("policy id " + std::to_string(policy_id) +
-                            " not installed");
+  Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    if (policy_dom_.find(policy_id) == policy_dom_.end()) {
+      return Status::NotFound("policy id " + std::to_string(policy_id) +
+                              " not installed");
+    }
+    return EvaluateAgainstCurrent(pref, policy_id, t);
+  }();
+  FinishMatchSpan(match_span, result);
+  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  return result;
+}
+
+void PolicyServer::TallyMatch(const Result<MatchResult>& result,
+                              double elapsed_us) {
+  matches_total_->Increment();
+  match_us_->Record(static_cast<uint64_t>(elapsed_us));
+  if (!result.ok()) {
+    match_errors_total_->Increment();
+  } else if (!result.value().policy_found) {
+    no_policy_total_->Increment();
   }
-  return EvaluateAgainstCurrent(pref, policy_id);
+}
+
+obs::MetricsSnapshot PolicyServer::MetricsSnapshot() const {
+  return metrics_.Snapshot();
+}
+
+std::string PolicyServer::RenderMetricsText() const {
+  return metrics_.RenderText();
+}
+
+std::string PolicyServer::RenderMetricsJson() const {
+  return metrics_.RenderJson();
 }
 
 Status PolicyServer::RecordMatch(const MatchResult& result) {

@@ -51,6 +51,8 @@
 #include "appel/engine.h"
 #include "appel/model.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "p3p/policy.h"
 #include "p3p/reference_file.h"
 #include "shredder/optimized_schema.h"
@@ -130,6 +132,15 @@ class PolicyServer {
     /// the exclusive lock). kXQueryXTable always behaves this way: its
     /// XQuery-derived SQL joins ApplicablePolicy.policy_id directly.
     bool materialize_applicable_policy = false;
+    /// Tally counters and latency histograms for matches and compiles into
+    /// the server's MetricsRegistry (lock-free on the hot path; see
+    /// RenderMetricsText). Off switches even the clock reads off.
+    bool collect_metrics = true;
+    /// Honor the TraceContext* passed to the Match*/CompilePreference
+    /// overloads. Off (the default) makes every instrumentation point a
+    /// no-op — the zero-overhead guarantee — even when a caller supplies a
+    /// context.
+    bool enable_tracing = false;
   };
 
   /// Creates a server and installs the engine's schemas.
@@ -154,20 +165,44 @@ class PolicyServer {
   Result<CompiledPreference> CompilePreference(
       const appel::AppelRuleset& ruleset);
 
+  /// Traced compile: a `compile-preference` root span with `translate`
+  /// (one `translate-rule` child per rule) and `prepare` children. The
+  /// context is honored only when Options::enable_tracing is set.
+  Result<CompiledPreference> CompilePreference(
+      const appel::AppelRuleset& ruleset, obs::TraceContext* trace);
+
   /// Full pipeline: locate the applicable policy for the URI local path,
   /// then evaluate the compiled preference against it.
   Result<MatchResult> MatchUri(const CompiledPreference& pref,
                                std::string_view local_path);
+
+  /// Traced match: a `match` root span covering `ref-lookup` and the
+  /// engine's evaluation steps — per-rule `rule-query` (with nested
+  /// sql-parse/sql-bind/sql-execute) for the SQL engines, or
+  /// policy-parse/appel-parse plus the engine's category-augmentation and
+  /// connective-eval spans for the native path. Honored only when
+  /// Options::enable_tracing is set; a null context is always free.
+  Result<MatchResult> MatchUri(const CompiledPreference& pref,
+                               std::string_view local_path,
+                               obs::TraceContext* trace);
 
   /// Like MatchUri, but resolves the URI of a cookie via the reference
   /// file's COOKIE-INCLUDE/COOKIE-EXCLUDE patterns (§5.5).
   Result<MatchResult> MatchCookie(const CompiledPreference& pref,
                                   std::string_view cookie_path);
 
+  Result<MatchResult> MatchCookie(const CompiledPreference& pref,
+                                  std::string_view cookie_path,
+                                  obs::TraceContext* trace);
+
   /// Evaluates the compiled preference against one installed policy
   /// (the paper's experiments match each preference against every policy).
   Result<MatchResult> MatchPolicyId(const CompiledPreference& pref,
                                     int64_t policy_id);
+
+  Result<MatchResult> MatchPolicyId(const CompiledPreference& pref,
+                                    int64_t policy_id,
+                                    obs::TraceContext* trace);
 
   /// Resolves a POLICY-REF `about` URI (by its fragment name) to the
   /// latest installed policy id; nullopt when unknown. Used by the hybrid
@@ -190,6 +225,22 @@ class PolicyServer {
   /// Ids of installed policies, in install order.
   const std::vector<int64_t>& policy_ids() const { return policy_ids_; }
 
+  // -- Observability -------------------------------------------------------
+
+  /// Frozen copy of every server instrument (counters such as
+  /// p3p_matches_total / p3p_rule_queries_total, histograms such as
+  /// p3p_match_duration_us). Lock-free reads of relaxed atomics.
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
+  /// Prometheus-style exposition text of the server metrics.
+  std::string RenderMetricsText() const;
+
+  /// JSON rendering of the server metrics.
+  std::string RenderMetricsJson() const;
+
+  /// The server's registry, for callers that add their own instruments.
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+
   /// The underlying database (for examples, tests, and stats).
   sqldb::Database* database() { return &db_; }
 
@@ -205,11 +256,24 @@ class PolicyServer {
   /// XTABLE engine whose SQL joins it) and thus need the exclusive lock.
   bool UsesLegacyMaterialization() const;
   Result<int64_t> FindApplicablePolicyId(std::string_view local_path,
-                                         bool for_cookie = false);
+                                         bool for_cookie,
+                                         obs::TraceContext* trace);
   Status MaterializeApplicablePolicy(int64_t policy_id);
   Result<MatchResult> EvaluateAgainstCurrent(const CompiledPreference& pref,
-                                             int64_t policy_id);
+                                             int64_t policy_id,
+                                             obs::TraceContext* trace);
   Status RecordMatch(const MatchResult& result);
+
+  /// The context instrumentation actually sees: null unless
+  /// Options::enable_tracing is set (so disabled tracing never reads the
+  /// clock, whatever the caller passed).
+  obs::TraceContext* EffectiveTrace(obs::TraceContext* trace) const {
+    return options_.enable_tracing ? trace : nullptr;
+  }
+
+  /// Tallies one finished match into the counters/histograms (no-op unless
+  /// Options::collect_metrics).
+  void TallyMatch(const Result<MatchResult>& result, double elapsed_us);
 
   int64_t PolicyVersionLocked(std::string_view name);
   std::optional<int64_t> FindPolicyIdByAboutLocked(
@@ -244,6 +308,19 @@ class PolicyServer {
   std::unique_ptr<shredder::OptimizedShredder> optimized_shredder_;
   std::unique_ptr<shredder::ReferenceShredder> reference_shredder_;
   int64_t next_match_id_ = 1;  // guarded by match_log_mu_
+
+  // Server instruments. Registered once in the constructor; every update
+  // afterwards is a relaxed atomic op, safe under the shared lock.
+  obs::MetricsRegistry metrics_;
+  obs::Counter* matches_total_ = nullptr;
+  obs::Counter* match_errors_total_ = nullptr;
+  obs::Counter* no_policy_total_ = nullptr;
+  obs::Counter* rule_queries_total_ = nullptr;
+  obs::Counter* compiles_total_ = nullptr;
+  obs::Gauge* policies_installed_ = nullptr;
+  obs::Histogram* match_us_ = nullptr;
+  obs::Histogram* ref_lookup_us_ = nullptr;
+  obs::Histogram* compile_us_ = nullptr;
 };
 
 }  // namespace p3pdb::server

@@ -1,5 +1,7 @@
 #include "server/proxy_service.h"
 
+#include <chrono>
+
 namespace p3pdb::server {
 
 Result<PolicyServer*> ProxyService::AddSite(std::string host) {
@@ -62,28 +64,67 @@ Result<const CompiledPreference*> ProxyService::CompiledFor(
   return &it->second;
 }
 
+Result<MatchResult> ProxyService::Handle(std::string_view user,
+                                         std::string_view host,
+                                         std::string_view path, bool cookie,
+                                         obs::TraceContext* trace) {
+  // The proxy span opens regardless of the site's enable_tracing option —
+  // the proxy is its own deployment; a null context is still free.
+  obs::ScopedSpan span(trace, "proxy-request");
+  if (span.active()) {
+    span.SetAttr("user", user);
+    span.SetAttr("host", host);
+    span.SetAttr("path", path);
+    if (cookie) span.SetAttr("cookie", "true");
+  }
+  auto start = std::chrono::steady_clock::now();
+  Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    auto site_it = sites_.find(host);
+    if (site_it == sites_.end()) {
+      return Status::NotFound("no site '" + std::string(host) + "'");
+    }
+    P3PDB_ASSIGN_OR_RETURN(const CompiledPreference* pref,
+                           CompiledFor(user, &site_it->second));
+    PolicyServer* server = site_it->second.server.get();
+    return cookie ? server->MatchCookie(*pref, path, trace)
+                  : server->MatchUri(*pref, path, trace);
+  }();
+  (cookie ? cookie_requests_total_ : requests_total_)->Increment();
+  if (!result.ok()) request_errors_total_->Increment();
+  request_us_->Record(static_cast<uint64_t>(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+  if (span.active() && result.ok()) {
+    span.SetAttr("behavior", result.value().behavior);
+  }
+  return result;
+}
+
 Result<MatchResult> ProxyService::HandleRequest(std::string_view user,
                                                 std::string_view host,
                                                 std::string_view path) {
-  auto site_it = sites_.find(host);
-  if (site_it == sites_.end()) {
-    return Status::NotFound("no site '" + std::string(host) + "'");
-  }
-  P3PDB_ASSIGN_OR_RETURN(const CompiledPreference* pref,
-                         CompiledFor(user, &site_it->second));
-  return site_it->second.server->MatchUri(*pref, path);
+  return Handle(user, host, path, /*cookie=*/false, nullptr);
+}
+
+Result<MatchResult> ProxyService::HandleRequest(std::string_view user,
+                                                std::string_view host,
+                                                std::string_view path,
+                                                obs::TraceContext* trace) {
+  return Handle(user, host, path, /*cookie=*/false, trace);
 }
 
 Result<MatchResult> ProxyService::HandleCookie(std::string_view user,
                                                std::string_view host,
                                                std::string_view cookie_path) {
-  auto site_it = sites_.find(host);
-  if (site_it == sites_.end()) {
-    return Status::NotFound("no site '" + std::string(host) + "'");
-  }
-  P3PDB_ASSIGN_OR_RETURN(const CompiledPreference* pref,
-                         CompiledFor(user, &site_it->second));
-  return site_it->second.server->MatchCookie(*pref, cookie_path);
+  return Handle(user, host, cookie_path, /*cookie=*/true, nullptr);
+}
+
+Result<MatchResult> ProxyService::HandleCookie(std::string_view user,
+                                               std::string_view host,
+                                               std::string_view cookie_path,
+                                               obs::TraceContext* trace) {
+  return Handle(user, host, cookie_path, /*cookie=*/true, trace);
 }
 
 }  // namespace p3pdb::server

@@ -19,6 +19,8 @@
 #include <string_view>
 
 #include "appel/model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/policy_server.h"
 
 namespace p3pdb::server {
@@ -29,7 +31,12 @@ class ProxyService {
   /// single deployment; all sites share the engine choice).
   ProxyService() : ProxyService(PolicyServer::Options{}) {}
   explicit ProxyService(PolicyServer::Options site_options)
-      : site_options_(site_options) {}
+      : site_options_(site_options) {
+    requests_total_ = metrics_.GetCounter("proxy_requests_total");
+    cookie_requests_total_ = metrics_.GetCounter("proxy_cookie_requests_total");
+    request_errors_total_ = metrics_.GetCounter("proxy_request_errors_total");
+    request_us_ = metrics_.GetHistogram("proxy_request_duration_us");
+  }
 
   ProxyService(const ProxyService&) = delete;
   ProxyService& operator=(const ProxyService&) = delete;
@@ -54,10 +61,29 @@ class ProxyService {
                                     std::string_view host,
                                     std::string_view path);
 
+  /// Traced variant: adds a `proxy-request` root span (user/host/path
+  /// attributes) and forwards the context into the site server's match,
+  /// which honors it only when its Options::enable_tracing is set.
+  Result<MatchResult> HandleRequest(std::string_view user,
+                                    std::string_view host,
+                                    std::string_view path,
+                                    obs::TraceContext* trace);
+
   /// Cookie variant of HandleRequest.
   Result<MatchResult> HandleCookie(std::string_view user,
                                    std::string_view host,
                                    std::string_view cookie_path);
+
+  Result<MatchResult> HandleCookie(std::string_view user,
+                                   std::string_view host,
+                                   std::string_view cookie_path,
+                                   obs::TraceContext* trace);
+
+  /// Proxy-level instruments (request counts/latency); each hosted site's
+  /// PolicyServer keeps its own registry in addition.
+  obs::MetricsSnapshot MetricsSnapshot() const { return metrics_.Snapshot(); }
+  std::string RenderMetricsText() const { return metrics_.RenderText(); }
+  std::string RenderMetricsJson() const { return metrics_.RenderJson(); }
 
   size_t site_count() const { return sites_.size(); }
   size_t user_count() const { return users_.size(); }
@@ -72,9 +98,21 @@ class ProxyService {
   Result<const CompiledPreference*> CompiledFor(std::string_view user,
                                                 Site* site);
 
+  /// Shared body of HandleRequest/HandleCookie: span + metrics around the
+  /// site lookup, compile, and match.
+  Result<MatchResult> Handle(std::string_view user, std::string_view host,
+                             std::string_view path, bool cookie,
+                             obs::TraceContext* trace);
+
   PolicyServer::Options site_options_;
   std::map<std::string, Site, std::less<>> sites_;
   std::map<std::string, appel::AppelRuleset, std::less<>> users_;
+
+  obs::MetricsRegistry metrics_;
+  obs::Counter* requests_total_ = nullptr;
+  obs::Counter* cookie_requests_total_ = nullptr;
+  obs::Counter* request_errors_total_ = nullptr;
+  obs::Histogram* request_us_ = nullptr;
 };
 
 }  // namespace p3pdb::server

@@ -322,11 +322,14 @@ struct DropTableStmt : Statement {
   bool if_exists = false;
 };
 
-/// `EXPLAIN SELECT ...`: renders the access-path plan instead of rows.
+/// `EXPLAIN [ANALYZE] SELECT ...`: renders the access-path plan instead of
+/// rows. With ANALYZE the statement is also executed and every plan node is
+/// annotated with its actual row count, loop count, and elapsed time.
 struct ExplainStmt : Statement {
   ExplainStmt() : Statement(StatementKind::kExplain) {}
 
   std::unique_ptr<SelectStmt> select;
+  bool analyze = false;
 };
 
 }  // namespace p3pdb::sqldb

@@ -17,11 +17,69 @@ Result<QueryResult> Database::Execute(std::string_view sql,
                                       const std::vector<Value>& params) {
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                          ParseStatement(sql));
-  if (stmt->kind != StatementKind::kSelect) {
+  if (stmt->kind != StatementKind::kSelect &&
+      stmt->kind != StatementKind::kExplain) {
     return Status::Unsupported(
         "bind parameters are only supported for SELECT statements");
   }
   return ExecuteParsed(stmt.get(), &params);
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      obs::TraceContext* trace) {
+  if (trace == nullptr) return Execute(sql);
+  return ExecuteTraced(sql, nullptr, trace);
+}
+
+Result<QueryResult> Database::Execute(std::string_view sql,
+                                      const std::vector<Value>& params,
+                                      obs::TraceContext* trace) {
+  if (trace == nullptr) return Execute(sql, params);
+  return ExecuteTraced(sql, &params, trace);
+}
+
+Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
+                                            const std::vector<Value>* params,
+                                            obs::TraceContext* trace) {
+  obs::ScopedSpan parse_span(trace, "sql-parse");
+  auto parsed = ParseStatement(sql);
+  parse_span.End();
+  P3PDB_RETURN_IF_ERROR(parsed.status());
+  Statement* stmt = parsed.value().get();
+  if (params != nullptr && stmt->kind != StatementKind::kSelect &&
+      stmt->kind != StatementKind::kExplain) {
+    return Status::Unsupported(
+        "bind parameters are only supported for SELECT statements");
+  }
+  if (stmt->kind != StatementKind::kSelect) {
+    // DDL/DML/EXPLAIN: bind+execute as one span; per-node detail for
+    // SELECTs comes from EXPLAIN ANALYZE, not the trace.
+    obs::ScopedSpan exec_span(trace, "sql-execute");
+    return ExecuteParsed(stmt, params);
+  }
+  auto* select = static_cast<SelectStmt*>(stmt);
+  const size_t supplied = params == nullptr ? 0 : params->size();
+  if (supplied != select->param_count) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(select->param_count) +
+        " parameter(s) but " + std::to_string(supplied) + " were supplied");
+  }
+  {
+    obs::ScopedSpan bind_span(trace, "sql-bind");
+    Binder binder(*this, options_.max_subquery_depth);
+    P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+  }
+  obs::ScopedSpan exec_span(trace, "sql-execute");
+  ExecStats local;
+  Executor executor(&local, params);
+  auto result = executor.RunSelect(*select);
+  stats_.Merge(local);
+  if (result.ok()) {
+    exec_span.AddCount("rows", result.value().rows.size());
+    exec_span.AddCount("rows-scanned", local.rows_scanned);
+    exec_span.AddCount("index-lookups", local.index_lookups);
+  }
+  return result;
 }
 
 Result<PreparedStatement> Database::Prepare(std::string_view sql) {
@@ -48,6 +106,11 @@ Result<QueryResult> PreparedStatement::Execute() const {
 
 Result<QueryResult> PreparedStatement::Execute(
     const std::vector<Value>& params) const {
+  return Execute(params, nullptr);
+}
+
+Result<QueryResult> PreparedStatement::Execute(
+    const std::vector<Value>& params, obs::TraceContext* trace) const {
   if (stmt_ == nullptr) {
     return Status::InvalidArgument("executing an empty prepared statement");
   }
@@ -64,10 +127,16 @@ Result<QueryResult> PreparedStatement::Execute(
   }
   // Per-execution stats keep concurrent executions race-free; the merge is
   // the only shared-state touch.
+  obs::ScopedSpan exec_span(trace, "sql-execute");
   ExecStats local;
   Executor executor(&local, &params);
   auto result = executor.RunSelect(*select);
   db_->stats_.Merge(local);
+  if (result.ok()) {
+    exec_span.AddCount("rows", result.value().rows.size());
+    exec_span.AddCount("rows-scanned", local.rows_scanned);
+    exec_span.AddCount("index-lookups", local.index_lookups);
+  }
   return result;
 }
 
@@ -144,11 +213,32 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
     }
     case StatementKind::kExplain: {
       auto* explain = static_cast<ExplainStmt*>(stmt);
+      SelectStmt* select = explain->select.get();
+      const size_t supplied = params == nullptr ? 0 : params->size();
+      // Plain EXPLAIN renders a parameterized plan without values (the
+      // placeholders stay `?`); ANALYZE executes, so values are mandatory.
+      if (supplied != select->param_count &&
+          (explain->analyze || supplied != 0)) {
+        return Status::InvalidArgument(
+            "statement takes " + std::to_string(select->param_count) +
+            " parameter(s) but " + std::to_string(supplied) +
+            " were supplied");
+      }
       Binder binder(*this, options_.max_subquery_depth);
-      P3PDB_RETURN_IF_ERROR(binder.BindSelect(explain->select.get()));
+      P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+      ExplainOptions explain_options;
+      explain_options.params = params;
+      PlanProfile profile;
+      if (explain->analyze) {
+        ExecStats local;
+        Executor executor(&local, params, &profile);
+        P3PDB_RETURN_IF_ERROR(executor.RunSelect(*select).status());
+        stats_.Merge(local);
+        explain_options.profile = &profile;
+      }
       QueryResult result;
       result.columns.push_back("plan");
-      std::string plan = ExplainPlan(*explain->select);
+      std::string plan = ExplainPlan(*select, explain_options);
       for (const std::string& line : Split(plan, '\n')) {
         if (!line.empty()) result.rows.push_back({Value::Text(line)});
       }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "sqldb/ast.h"
 #include "sqldb/binder.h"
 #include "sqldb/query_result.h"
@@ -44,6 +45,11 @@ class PreparedStatement {
   /// Runs the statement with one value per `?` placeholder, in order.
   /// `params.size()` must equal param_count().
   Result<QueryResult> Execute(const std::vector<Value>& params) const;
+
+  /// As above, recording an `sql-execute` trace span (row and access-path
+  /// counters attached). A null `trace` is a plain Execute.
+  Result<QueryResult> Execute(const std::vector<Value>& params,
+                              obs::TraceContext* trace) const;
 
   bool valid() const { return stmt_ != nullptr; }
   /// The SQL text the statement was prepared from.
@@ -81,9 +87,17 @@ class Database : public CatalogView {
   /// placeholders are rejected (use the parameterized overload).
   Result<QueryResult> Execute(std::string_view sql);
 
-  /// Parses and executes one SELECT with one value per `?` placeholder.
+  /// Parses and executes one SELECT (or EXPLAIN [ANALYZE]) with one value
+  /// per `?` placeholder.
   Result<QueryResult> Execute(std::string_view sql,
                               const std::vector<Value>& params);
+
+  /// Traced variants: record `sql-parse` / `sql-bind` / `sql-execute`
+  /// spans into `trace` (null = untraced, identical to the above).
+  Result<QueryResult> Execute(std::string_view sql, obs::TraceContext* trace);
+  Result<QueryResult> Execute(std::string_view sql,
+                              const std::vector<Value>& params,
+                              obs::TraceContext* trace);
 
   /// Parses and binds a SELECT once for repeated execution.
   Result<PreparedStatement> Prepare(std::string_view sql);
@@ -115,6 +129,9 @@ class Database : public CatalogView {
 
   Result<QueryResult> ExecuteParsed(Statement* stmt,
                                     const std::vector<Value>* params = nullptr);
+  Result<QueryResult> ExecuteTraced(std::string_view sql,
+                                    const std::vector<Value>* params,
+                                    obs::TraceContext* trace);
   Result<QueryResult> ExecuteInsert(InsertStmt* stmt);
   Result<QueryResult> ExecuteUpdate(UpdateStmt* stmt);
   Result<QueryResult> ExecuteDelete(DeleteStmt* stmt);

@@ -5,9 +5,21 @@
 #include <set>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "sqldb/binder.h"
 
 namespace p3pdb::sqldb {
+
+const PlanNodeStats* PlanProfile::FindSelect(const SelectStmt* stmt) const {
+  auto it = selects_.find(stmt);
+  return it == selects_.end() ? nullptr : &it->second;
+}
+
+const PlanNodeStats* PlanProfile::FindScan(const SelectStmt* stmt,
+                                           size_t slot) const {
+  auto it = scans_.find({stmt, slot});
+  return it == scans_.end() ? nullptr : &it->second;
+}
 
 namespace {
 
@@ -317,6 +329,13 @@ Result<bool> Executor::EvalFilter(const Expr& expr, ScopeStack& stack) {
 
 Result<bool> Executor::ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack) {
   ++stats_->subquery_evals;
+  PlanNodeStats* node = nullptr;
+  std::chrono::steady_clock::time_point profile_start{};
+  if (profile_ != nullptr) {
+    node = profile_->Select(&sub);
+    ++node->loops;
+    profile_start = std::chrono::steady_clock::now();
+  }
   Scope scope;
   scope.stmt = &sub;
   scope.rows.assign(sub.from.size(), nullptr);
@@ -331,6 +350,12 @@ Result<bool> Executor::ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack) {
       },
       &stopped);
   stack.pop_back();
+  if (node != nullptr) {
+    node->elapsed_us += std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - profile_start)
+                            .count();
+    if (found) ++node->rows;
+  }
   if (!st.ok()) return st;
   return found;
 }
@@ -348,7 +373,21 @@ Status Executor::EnumerateRows(
     if (stop) *stopped = true;
     return Status::OK();
   }
+  if (profile_ == nullptr) {
+    return ScanSlot(stmt, stack, scope, slot, on_row, stopped, nullptr);
+  }
+  PlanNodeStats* node = profile_->Scan(&stmt, slot);
+  ++node->loops;
+  Stopwatch sw;
+  Status st = ScanSlot(stmt, stack, scope, slot, on_row, stopped, node);
+  node->elapsed_us += sw.ElapsedMicros();
+  return st;
+}
 
+Status Executor::ScanSlot(const SelectStmt& stmt, ScopeStack& stack,
+                          Scope& scope, size_t slot,
+                          const std::function<Result<bool>()>& on_row,
+                          bool* stopped, PlanNodeStats* node) {
   const Table* table = stmt.from[slot].table;
 
   // Try an index lookup driven by available equality conjuncts.
@@ -387,6 +426,7 @@ Status Executor::EnumerateRows(
     for (size_t row_id : ids) {
       if (!table->IsLive(row_id)) continue;
       ++stats_->rows_scanned;
+      if (node != nullptr) ++node->rows;
       scope.rows[slot] = &table->RowAt(row_id);
       P3PDB_RETURN_IF_ERROR(
           EnumerateRows(stmt, stack, scope, slot + 1, on_row, stopped));
@@ -400,6 +440,7 @@ Status Executor::EnumerateRows(
   for (size_t row_id = 0; row_id < table->SlotCount(); ++row_id) {
     if (!table->IsLive(row_id)) continue;
     ++stats_->rows_scanned;
+    if (node != nullptr) ++node->rows;
     scope.rows[slot] = &table->RowAt(row_id);
     P3PDB_RETURN_IF_ERROR(
         EnumerateRows(stmt, stack, scope, slot + 1, on_row, stopped));
@@ -415,8 +456,18 @@ Result<QueryResult> Executor::RunSelect(const SelectStmt& stmt) {
   for (const SelectItem& item : stmt.items) {
     if (!item.is_star && ContainsAggregate(*item.expr)) aggregate_mode = true;
   }
-  if (aggregate_mode) return RunAggregateSelect(stmt, stack);
-  return RunPlainSelect(stmt, stack);
+  if (profile_ == nullptr) {
+    if (aggregate_mode) return RunAggregateSelect(stmt, stack);
+    return RunPlainSelect(stmt, stack);
+  }
+  PlanNodeStats* node = profile_->Select(&stmt);
+  ++node->loops;
+  Stopwatch sw;
+  auto result = aggregate_mode ? RunAggregateSelect(stmt, stack)
+                               : RunPlainSelect(stmt, stack);
+  node->elapsed_us += sw.ElapsedMicros();
+  if (result.ok()) node->rows += result.value().rows.size();
+  return result;
 }
 
 namespace {

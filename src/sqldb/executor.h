@@ -13,6 +13,8 @@
 #define P3PDB_SQLDB_EXECUTOR_H_
 
 #include <functional>
+#include <map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -22,14 +24,44 @@
 
 namespace p3pdb::sqldb {
 
-/// Executes bound SELECT statements. Stateless apart from the stats sink
-/// and the optional bind-parameter values; one instance can run many
-/// queries. `stats` is a per-execution object owned by the caller, so
-/// concurrent executors never share mutable state.
+/// Runtime counters for one plan node, accumulated across loops (EXPLAIN
+/// ANALYZE). `elapsed_us` is inclusive of child nodes, Postgres-style.
+struct PlanNodeStats {
+  uint64_t loops = 0;   // times the node was (re)started
+  uint64_t rows = 0;    // rows the node produced, summed over loops
+  double elapsed_us = 0.0;
+};
+
+/// Side table of actual runtime stats keyed by plan-node identity: a
+/// SelectStmt* for select nodes (top-level or EXISTS subquery), a
+/// (SelectStmt*, FROM slot) pair for scan nodes. The AST nodes themselves
+/// stay immutable during execution, so one bound statement can be profiled
+/// without perturbing concurrent readers of the tree.
+class PlanProfile {
+ public:
+  PlanNodeStats* Select(const SelectStmt* stmt) { return &selects_[stmt]; }
+  PlanNodeStats* Scan(const SelectStmt* stmt, size_t slot) {
+    return &scans_[{stmt, slot}];
+  }
+
+  /// nullptr when the node never executed (e.g. short-circuited subquery).
+  const PlanNodeStats* FindSelect(const SelectStmt* stmt) const;
+  const PlanNodeStats* FindScan(const SelectStmt* stmt, size_t slot) const;
+
+ private:
+  std::map<const SelectStmt*, PlanNodeStats> selects_;
+  std::map<std::pair<const SelectStmt*, size_t>, PlanNodeStats> scans_;
+};
+
+/// Executes bound SELECT statements. Stateless apart from the stats sink,
+/// the optional bind-parameter values, and the optional plan profile; one
+/// instance can run many queries. `stats` is a per-execution object owned
+/// by the caller, so concurrent executors never share mutable state.
 class Executor {
  public:
-  explicit Executor(ExecStats* stats, const std::vector<Value>* params = nullptr)
-      : stats_(stats), params_(params) {}
+  explicit Executor(ExecStats* stats, const std::vector<Value>* params = nullptr,
+                    PlanProfile* profile = nullptr)
+      : stats_(stats), params_(params), profile_(profile) {}
 
   /// Runs a bound SELECT and materializes the full result.
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
@@ -66,6 +98,11 @@ class Executor {
   Status EnumerateRows(const SelectStmt& stmt, ScopeStack& stack, Scope& scope,
                        size_t slot, const std::function<Result<bool>()>& on_row,
                        bool* stopped);
+  /// The per-slot body of EnumerateRows (access-path choice and row loop);
+  /// `node` collects actuals when profiling, else nullptr.
+  Status ScanSlot(const SelectStmt& stmt, ScopeStack& stack, Scope& scope,
+                  size_t slot, const std::function<Result<bool>()>& on_row,
+                  bool* stopped, PlanNodeStats* node);
 
   Result<QueryResult> RunPlainSelect(const SelectStmt& stmt,
                                      ScopeStack& stack);
@@ -80,6 +117,7 @@ class Executor {
 
   ExecStats* stats_;
   const std::vector<Value>* params_;  // null = statement takes no parameters
+  PlanProfile* profile_;  // null = no per-node actuals collected
 };
 
 /// SQL LIKE with % (any run) and _ (any single char). `escape_char` ('\0'

@@ -1,7 +1,6 @@
 #include "sqldb/explain.h"
 
 #include "common/string_util.h"
-#include "sqldb/executor.h"
 #include "sqldb/table.h"
 
 namespace p3pdb::sqldb {
@@ -12,32 +11,60 @@ void Indent(int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
 }
 
-void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out);
+/// Renders an index-key expression, substituting bound parameter values
+/// when available: `?[=3]` reads "placeholder, currently bound to 3".
+std::string RenderKeyExpr(const Expr& expr, const ExplainOptions& options) {
+  if (expr.kind == ExprKind::kParam) {
+    const auto& param = static_cast<const ParamExpr&>(expr);
+    if (options.params != nullptr && param.index < options.params->size()) {
+      return "?[=" + (*options.params)[param.index].ToString() + "]";
+    }
+    return "?";
+  }
+  return expr.ToSql();
+}
+
+/// Appends the EXPLAIN ANALYZE actuals for one plan node.
+void AppendActuals(const PlanNodeStats* node, const ExplainOptions& options,
+                   std::string* out) {
+  if (options.profile == nullptr) return;
+  if (node == nullptr) {
+    out->append(" (never executed)");
+    return;
+  }
+  out->append(" (actual rows=" + std::to_string(node->rows) +
+              " loops=" + std::to_string(node->loops) +
+              " time=" + FormatDouble(node->elapsed_us, 1) + "us)");
+}
+
+void ExplainSelect(const SelectStmt& stmt, int depth,
+                   const ExplainOptions& options, std::string* out);
 
 /// Walks an expression for EXISTS subqueries and explains each.
-void ExplainSubqueries(const Expr& expr, int depth, std::string* out) {
+void ExplainSubqueries(const Expr& expr, int depth,
+                       const ExplainOptions& options, std::string* out) {
   switch (expr.kind) {
     case ExprKind::kExists: {
       const auto& e = static_cast<const ExistsExpr&>(expr);
       Indent(depth, out);
       out->append(e.negated ? "not-exists-subquery\n" : "exists-subquery\n");
-      ExplainSelect(*e.subquery, depth + 1, out);
+      ExplainSelect(*e.subquery, depth + 1, options, out);
       return;
     }
     case ExprKind::kLogical:
       for (const ExprPtr& op :
            static_cast<const LogicalExpr&>(expr).operands) {
-        ExplainSubqueries(*op, depth, out);
+        ExplainSubqueries(*op, depth, options, out);
       }
       return;
     case ExprKind::kNot:
       ExplainSubqueries(*static_cast<const NotExpr&>(expr).operand, depth,
-                        out);
+                        options, out);
       return;
     case ExprKind::kComparison: {
       const auto& c = static_cast<const ComparisonExpr&>(expr);
-      ExplainSubqueries(*c.left, depth, out);
-      ExplainSubqueries(*c.right, depth, out);
+      ExplainSubqueries(*c.left, depth, options, out);
+      ExplainSubqueries(*c.right, depth, options, out);
       return;
     }
     default:
@@ -45,7 +72,8 @@ void ExplainSubqueries(const Expr& expr, int depth, std::string* out) {
   }
 }
 
-void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out) {
+void ExplainSelect(const SelectStmt& stmt, int depth,
+                   const ExplainOptions& options, std::string* out) {
   Indent(depth, out);
   out->append("select");
   if (stmt.distinct) out->append(" distinct");
@@ -53,6 +81,9 @@ void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out) {
   if (!stmt.order_by.empty()) out->append(" (sort)");
   if (stmt.limit.has_value()) {
     out->append(" (limit " + std::to_string(*stmt.limit) + ")");
+  }
+  if (options.profile != nullptr) {
+    AppendActuals(options.profile->FindSelect(&stmt), options, out);
   }
   out->push_back('\n');
 
@@ -78,25 +109,40 @@ void ExplainSelect(const SelectStmt& stmt, int depth, std::string* out) {
     if (index != nullptr) {
       std::vector<std::string> cols;
       for (size_t ord : index->column_ordinals()) {
-        cols.push_back(ref.table->schema().columns()[ord].name);
+        std::string col = ref.table->schema().columns()[ord].name;
+        for (const IndexableEquality& eq : equalities) {
+          if (eq.column_ordinal == ord) {
+            col += " = " + RenderKeyExpr(*eq.key_expr, options);
+            break;
+          }
+        }
+        cols.push_back(std::move(col));
       }
       out->append(" (index " + index->name() + " on " + Join(cols, ", ") +
                   ")");
     } else {
       out->append(" (seq scan)");
     }
+    if (options.profile != nullptr) {
+      AppendActuals(options.profile->FindScan(&stmt, slot), options, out);
+    }
     out->push_back('\n');
   }
   if (stmt.where != nullptr) {
-    ExplainSubqueries(*stmt.where, depth + 1, out);
+    ExplainSubqueries(*stmt.where, depth + 1, options, out);
   }
 }
 
 }  // namespace
 
 std::string ExplainPlan(const SelectStmt& stmt) {
+  return ExplainPlan(stmt, ExplainOptions{});
+}
+
+std::string ExplainPlan(const SelectStmt& stmt,
+                        const ExplainOptions& options) {
   std::string out;
-  ExplainSelect(stmt, 0, &out);
+  ExplainSelect(stmt, 0, options, &out);
   return out;
 }
 

@@ -8,10 +8,24 @@
 #define P3PDB_SQLDB_EXPLAIN_H_
 
 #include <string>
+#include <vector>
 
 #include "sqldb/ast.h"
+#include "sqldb/executor.h"
+#include "sqldb/value.h"
 
 namespace p3pdb::sqldb {
+
+/// Optional decorations for the plan text.
+struct ExplainOptions {
+  /// When set, `?` placeholders in index-key expressions render with their
+  /// bound value — `?[=3]` — so parameterized-mode plans are readable.
+  const std::vector<Value>* params = nullptr;
+  /// When set (EXPLAIN ANALYZE), each node line gains its actual row count,
+  /// loop count, and inclusive elapsed time; nodes the execution never
+  /// reached render as "(never executed)".
+  const PlanProfile* profile = nullptr;
+};
 
 /// Produces the plan text for a *bound* SELECT (Database::Execute binds
 /// before calling this for EXPLAIN statements). One line per plan node:
@@ -19,9 +33,14 @@ namespace p3pdb::sqldb {
 ///   select
 ///     scan ApplicablePolicy (seq scan)
 ///     exists-subquery
-///       scan Policy (index pk_Policy on policy_id)
+///       scan Policy (index pk_Policy on policy_id = ?[=3])
 ///       ...
+///
+/// With `options.profile`, nodes carry actuals:
+///
+///   select (actual rows=1 loops=1 time=12.4us)
 std::string ExplainPlan(const SelectStmt& stmt);
+std::string ExplainPlan(const SelectStmt& stmt, const ExplainOptions& options);
 
 }  // namespace p3pdb::sqldb
 

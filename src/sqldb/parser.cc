@@ -103,6 +103,7 @@ class Parser {
     }
     if (ConsumeKeyword("EXPLAIN")) {
       auto explain = std::make_unique<ExplainStmt>();
+      explain->analyze = ConsumeKeyword("ANALYZE");
       P3PDB_ASSIGN_OR_RETURN(explain->select, ParseSelect());
       explain->select->param_count = param_count_;
       return std::unique_ptr<Statement>(std::move(explain));

@@ -366,12 +366,22 @@ Result<std::string> OptimizedSqlTranslator::TranslateRule(
 
 Result<SqlRuleset> OptimizedSqlTranslator::TranslateRuleset(
     const AppelRuleset& rs) const {
+  return TranslateRuleset(rs, nullptr);
+}
+
+Result<SqlRuleset> OptimizedSqlTranslator::TranslateRuleset(
+    const AppelRuleset& rs, obs::TraceContext* trace) const {
   SqlRuleset out;
   for (const AppelRule& rule : rs.rules) {
+    obs::ScopedSpan span(trace, "translate-rule");
+    span.SetAttr("behavior", rule.behavior);
     P3PDB_ASSIGN_OR_RETURN(std::string sql, TranslateRule(rule));
+    size_t param_count = RuleParamCount(rule, parameterized_);
+    span.AddCount("sql-chars", sql.size());
+    span.AddCount("params", param_count);
     out.rule_queries.push_back(std::move(sql));
     out.behaviors.push_back(rule.behavior);
-    out.param_counts.push_back(RuleParamCount(rule, parameterized_));
+    out.param_counts.push_back(param_count);
   }
   return out;
 }

@@ -40,6 +40,11 @@ class OptimizedSqlTranslator {
 
   Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs) const;
 
+  /// Traced variant: one `translate-rule` span per rule (behavior
+  /// attribute; generated-SQL size and placeholder count as counters).
+  Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs,
+                                      obs::TraceContext* trace) const;
+
  private:
   bool parameterized_;
 };

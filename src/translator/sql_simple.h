@@ -19,6 +19,7 @@
 
 #include "appel/model.h"
 #include "common/result.h"
+#include "obs/trace.h"
 
 namespace p3pdb::translator {
 
@@ -49,6 +50,11 @@ class SimpleSqlTranslator {
 
   /// Translates every rule of the preference.
   Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs) const;
+
+  /// Traced variant: one `translate-rule` span per rule (behavior
+  /// attribute; generated-SQL size and placeholder count as counters).
+  Result<SqlRuleset> TranslateRuleset(const appel::AppelRuleset& rs,
+                                      obs::TraceContext* trace) const;
 
  private:
   bool parameterized_;

@@ -166,6 +166,37 @@ TEST(TimingStatsTest, EmptyIsZero) {
   EXPECT_DOUBLE_EQ(stats.Average(), 0.0);
   EXPECT_DOUBLE_EQ(stats.Max(), 0.0);
   EXPECT_DOUBLE_EQ(stats.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 0.0);
+}
+
+TEST(TimingStatsTest, PercentileIsNearestRank) {
+  TimingStats stats;
+  for (int v : {5, 1, 4, 2, 3}) stats.Add(v);  // order must not matter
+  // Sorted: 1 2 3 4 5. Nearest rank ceil(p/100 * 5).
+  EXPECT_DOUBLE_EQ(stats.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(20.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 3.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(90.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99.0), 5.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(100.0), 5.0);
+}
+
+TEST(TimingStatsTest, PercentileEndpoints) {
+  TimingStats stats;
+  stats.Add(7.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 7.0);
+  // Out-of-range p clamps to min/max rather than indexing out of bounds.
+  EXPECT_DOUBLE_EQ(stats.Percentile(-5.0), 7.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(150.0), 7.0);
+}
+
+TEST(TimingStatsTest, PercentileOnSkewedTail) {
+  TimingStats stats;
+  for (int i = 0; i < 99; ++i) stats.Add(1.0);
+  stats.Add(1000.0);  // one outlier
+  EXPECT_DOUBLE_EQ(stats.Percentile(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.Percentile(99.0), 1.0);   // rank 99 of 100
+  EXPECT_DOUBLE_EQ(stats.Percentile(99.5), 1000.0);  // rank 100
 }
 
 }  // namespace

@@ -1,0 +1,222 @@
+// Tests for the observability subsystem: histogram bucket boundaries and
+// percentile math (pure integer arithmetic, fully deterministic), the
+// metrics registry's render formats, and trace span nesting/rendering.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace p3pdb::obs {
+namespace {
+
+// -- histogram buckets -------------------------------------------------------
+
+TEST(HistogramBucketsTest, BoundariesArePowersOfTwo) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 2u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 4u);
+  EXPECT_EQ(HistogramBucketUpperBound(10), 1024u);
+}
+
+TEST(HistogramBucketsTest, IndexMatchesBoundaryDefinition) {
+  // Bucket 0 covers [0, 1]; bucket i covers (2^(i-1), 2^i].
+  EXPECT_EQ(HistogramBucketIndex(0), 0u);
+  EXPECT_EQ(HistogramBucketIndex(1), 0u);
+  EXPECT_EQ(HistogramBucketIndex(2), 1u);
+  EXPECT_EQ(HistogramBucketIndex(3), 2u);
+  EXPECT_EQ(HistogramBucketIndex(4), 2u);
+  EXPECT_EQ(HistogramBucketIndex(5), 3u);
+  EXPECT_EQ(HistogramBucketIndex(1024), 10u);
+  EXPECT_EQ(HistogramBucketIndex(1025), 11u);
+}
+
+TEST(HistogramBucketsTest, EveryValueLandsInItsOwnBucketRange) {
+  for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 100ull, 4096ull, 999999ull}) {
+    size_t i = HistogramBucketIndex(v);
+    EXPECT_LE(v, HistogramBucketUpperBound(i)) << v;
+    if (i > 0) {
+      EXPECT_GT(v, HistogramBucketUpperBound(i - 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramBucketsTest, HugeValuesClampToLastBucket) {
+  EXPECT_EQ(HistogramBucketIndex(~0ull), kHistogramBuckets - 1);
+}
+
+// -- percentile math ---------------------------------------------------------
+
+TEST(HistogramPercentileTest, EmptyIsZero) {
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.Percentile(50.0), 0.0);
+  EXPECT_EQ(snap.Average(), 0.0);
+}
+
+TEST(HistogramPercentileTest, SingleBucketReturnsItsBoundary) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(5);  // bucket (4,8] -> boundary 8
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 500u);
+  EXPECT_EQ(snap.Percentile(50.0), 8.0);
+  EXPECT_EQ(snap.Percentile(99.0), 8.0);
+}
+
+TEST(HistogramPercentileTest, SplitDistribution) {
+  Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(1);    // bucket [0,1]
+  for (int i = 0; i < 50; ++i) h.Record(100);  // bucket (64,128]
+  HistogramSnapshot snap = h.Snapshot();
+  // Nearest-rank: p50 -> rank 50 (still in the first bucket), p90/p99 in
+  // the second.
+  EXPECT_EQ(snap.Percentile(50.0), 1.0);
+  EXPECT_EQ(snap.Percentile(90.0), 128.0);
+  EXPECT_EQ(snap.Percentile(99.0), 128.0);
+}
+
+// -- registry and rendering --------------------------------------------------
+
+TEST(MetricsRegistryTest, InstrumentsAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("requests_total");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(registry.GetCounter("requests_total"), c);  // same instrument
+  registry.GetGauge("queue_depth")->Set(7);
+  registry.GetHistogram("latency_us")->Record(3);
+
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("requests_total"), 5u);
+  EXPECT_EQ(snap.gauges.at("queue_depth"), 7);
+  EXPECT_EQ(snap.histograms.at("latency_us").count, 1u);
+}
+
+TEST(MetricsRegistryTest, RenderTextIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits_total")->Increment(3);
+  registry.GetHistogram("latency_us")->Record(5);
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# TYPE hits_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("hits_total 3"), std::string::npos) << text;
+  EXPECT_NE(text.find("# TYPE latency_us histogram"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_bucket{le=\"8\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_bucket{le=\"+Inf\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_us_sum 5"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency_us_count 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("latency_us{quantile=\"0.50\"} 8.0"),
+            std::string::npos)
+      << text;
+}
+
+TEST(MetricsRegistryTest, RenderJsonCarriesTheSameNumbers) {
+  MetricsRegistry registry;
+  registry.GetCounter("hits_total")->Increment(3);
+  registry.GetGauge("depth")->Set(-2);
+  registry.GetHistogram("latency_us")->Record(5);
+  std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"hits_total\": 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\": -2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p50\": 8.0"), std::string::npos) << json;
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingLosesNothing) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ops_total");
+  Histogram* h = registry.GetHistogram("latency_us");
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        c->Increment();
+        h->Record(static_cast<uint64_t>(i % 7));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c->value(), uint64_t{kThreads} * kOpsPerThread);
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kOpsPerThread);
+  uint64_t bucket_total = 0;
+  for (uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+// -- trace spans -------------------------------------------------------------
+
+TEST(TraceTest, SpansNestAndCarryData) {
+  TraceContext trace;
+  {
+    ScopedSpan outer(&trace, "match");
+    outer.SetAttr("engine", "sql");
+    {
+      ScopedSpan inner(&trace, "rule-query");
+      inner.AddCount("rows", 2);
+      inner.AddCount("rows", 3);  // accumulates into one counter
+    }
+    ScopedSpan sibling(&trace, "record-match");
+  }
+  const TraceSpan* root = trace.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "match");
+  ASSERT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(root->children[0]->name, "rule-query");
+  EXPECT_EQ(root->children[0]->CounterValue("rows"), 5u);
+  EXPECT_EQ(root->children[1]->name, "record-match");
+  EXPECT_GE(root->elapsed_us, root->children[0]->elapsed_us);
+
+  EXPECT_EQ(trace.FindSpan("record-match"), root->children[1].get());
+  EXPECT_EQ(trace.FindSpan("absent"), nullptr);
+  EXPECT_EQ(root->FindChild("rule-query"), root->children[0].get());
+}
+
+TEST(TraceTest, NullContextIsANoOp) {
+  ScopedSpan span(nullptr, "anything");
+  EXPECT_FALSE(span.active());
+  span.SetAttr("k", "v");   // must not crash
+  span.AddCount("n", 1);
+  span.End();
+}
+
+TEST(TraceTest, ContextIsReusableAcrossRequests) {
+  TraceContext trace;
+  { ScopedSpan first(&trace, "first"); }
+  ASSERT_NE(trace.root(), nullptr);
+  EXPECT_EQ(trace.root()->name, "first");
+  { ScopedSpan second(&trace, "second"); }
+  EXPECT_EQ(trace.root()->name, "second");  // replaced, not nested
+  EXPECT_TRUE(trace.root()->children.empty());
+}
+
+TEST(TraceTest, RenderTextIndentsChildren) {
+  TraceContext trace;
+  {
+    ScopedSpan outer(&trace, "match");
+    outer.SetAttr("engine", "sql");
+    ScopedSpan inner(&trace, "ref-lookup");
+    inner.AddCount("rows", 1);
+  }
+  std::string text = trace.RenderText();
+  EXPECT_NE(text.find("match "), std::string::npos) << text;
+  EXPECT_NE(text.find("{engine=sql}"), std::string::npos) << text;
+  EXPECT_NE(text.find("\n  ref-lookup "), std::string::npos) << text;
+  EXPECT_NE(text.find("[rows=1]"), std::string::npos) << text;
+
+  std::string json = trace.RenderJson();
+  EXPECT_NE(json.find("\"name\": \"match\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\": \"ref-lookup\""), std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace p3pdb::obs

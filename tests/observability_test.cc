@@ -1,0 +1,238 @@
+// End-to-end observability tests: the match path's trace shape on both
+// engines, the §6.3.2 category-augmentation finding reproduced by counters
+// (deterministic — no wall-clock assertions), server/proxy metrics, and the
+// zero-overhead guarantee when tracing is disabled.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.h"
+#include "server/policy_server.h"
+#include "server/proxy_service.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using obs::TraceContext;
+using obs::TraceSpan;
+
+Result<std::unique_ptr<PolicyServer>> MakeSqlServer(
+    bool tracing, bool record_matches = false,
+    bool use_prepared_statements = false) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kSql;
+  options.enable_tracing = tracing;
+  options.record_matches = record_matches;
+  options.use_prepared_statements = use_prepared_statements;
+  P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<PolicyServer> server,
+                         PolicyServer::Create(options));
+  P3PDB_RETURN_IF_ERROR(
+      server->InstallPolicy(workload::VolgaPolicy()).status());
+  P3PDB_RETURN_IF_ERROR(
+      server->InstallReferenceFile(workload::VolgaReferenceFile()));
+  return server;
+}
+
+// Collects every "work" counter in the tree, keyed by span name.
+void CollectWork(const TraceSpan& span,
+                 std::vector<std::pair<std::string, uint64_t>>* out) {
+  for (const auto& [key, value] : span.counters) {
+    if (key == "work") out->emplace_back(span.name, value);
+  }
+  for (const auto& child : span.children) CollectWork(*child, out);
+}
+
+TEST(ObservabilityTest, Section6AugmentationDominatesByCounter) {
+  // §6.3.2: on the native APPEL engine with per-match augmentation, the
+  // dominant cost of a match is augmenting the policy with the category
+  // schema — not evaluating the rule connectives. The spans carry explicit
+  // work counters (elements visited), so the comparison is deterministic.
+  auto server = PolicyServer::Create({.engine = EngineKind::kNativeAppel,
+                                      .augmentation = Augmentation::kPerMatch,
+                                      .enable_tracing = true});
+  ASSERT_TRUE(server.ok());
+  auto policy_id = server.value()->InstallPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+
+  TraceContext trace;
+  auto result = server.value()->MatchPolicyId(pref.value(), policy_id.value(),
+                                              &trace);
+  ASSERT_TRUE(result.ok());
+
+  const TraceSpan* aug = trace.FindSpan("category-augmentation");
+  const TraceSpan* eval = trace.FindSpan("connective-eval");
+  ASSERT_NE(aug, nullptr) << trace.RenderText();
+  ASSERT_NE(eval, nullptr) << trace.RenderText();
+  EXPECT_GT(aug->CounterValue("work"), 0u);
+  EXPECT_GT(aug->CounterValue("work"), eval->CounterValue("work"))
+      << trace.RenderText();
+
+  // Strictly the largest work counter anywhere in the tree.
+  std::vector<std::pair<std::string, uint64_t>> work;
+  CollectWork(*trace.root(), &work);
+  for (const auto& [name, value] : work) {
+    if (name == "category-augmentation") continue;
+    EXPECT_LT(value, aug->CounterValue("work")) << name;
+  }
+}
+
+TEST(ObservabilityTest, PreAugmentedEngineSkipsAugmentationSpan) {
+  // With schema-augmented storage (the paper's fix), per-match augmentation
+  // disappears from the trace entirely.
+  auto server =
+      PolicyServer::Create({.engine = EngineKind::kNativeAppel,
+                            .augmentation = Augmentation::kAtInstall,
+                            .enable_tracing = true});
+  ASSERT_TRUE(server.ok());
+  auto policy_id = server.value()->InstallPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  TraceContext trace;
+  ASSERT_TRUE(server.value()
+                  ->MatchPolicyId(pref.value(), policy_id.value(), &trace)
+                  .ok());
+  EXPECT_EQ(trace.FindSpan("category-augmentation"), nullptr)
+      << trace.RenderText();
+  EXPECT_NE(trace.FindSpan("connective-eval"), nullptr) << trace.RenderText();
+}
+
+TEST(ObservabilityTest, SqlMatchTraceShape) {
+  auto server = MakeSqlServer(/*tracing=*/true, /*record_matches=*/true);
+  ASSERT_TRUE(server.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+
+  TraceContext trace;
+  auto result = server.value()->MatchUri(pref.value(), "/catalog/specials",
+                                         &trace);
+  ASSERT_TRUE(result.ok());
+
+  const TraceSpan* root = trace.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "match");
+  // The match pipeline: reference-file lookup, then rule queries against
+  // the shredded policy, each backed by the SQL executor spans.
+  const TraceSpan* ref = root->FindChild("ref-lookup");
+  ASSERT_NE(ref, nullptr) << trace.RenderText();
+  EXPECT_NE(trace.FindSpan("sql-execute"), nullptr) << trace.RenderText();
+  EXPECT_NE(trace.FindSpan("rule-query"), nullptr) << trace.RenderText();
+  EXPECT_NE(trace.FindSpan("record-match"), nullptr) << trace.RenderText();
+
+  // The rendered tree carries the engine attribute and per-span counters.
+  std::string text = trace.RenderText();
+  EXPECT_NE(text.find("engine=sql"), std::string::npos) << text;
+}
+
+TEST(ObservabilityTest, TracedCompileHasTranslateAndPrepareSpans) {
+  auto server = MakeSqlServer(/*tracing=*/true, /*record_matches=*/false,
+                              /*use_prepared_statements=*/true);
+  ASSERT_TRUE(server.ok());
+  TraceContext trace;
+  auto pref = server.value()->CompilePreference(workload::JanePreference(),
+                                                &trace);
+  ASSERT_TRUE(pref.ok());
+  const TraceSpan* root = trace.root();
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->name, "compile-preference");
+  EXPECT_NE(root->FindChild("translate"), nullptr) << trace.RenderText();
+  EXPECT_NE(root->FindChild("prepare"), nullptr) << trace.RenderText();
+}
+
+TEST(ObservabilityTest, DisabledTracingLeavesContextUntouched) {
+  // enable_tracing=false (the default): a supplied context must stay empty —
+  // the guarantee behind "zero overhead when tracing is off" (no spans, no
+  // clock reads on the match path).
+  auto server = MakeSqlServer(/*tracing=*/false);
+  ASSERT_TRUE(server.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  TraceContext trace;
+  ASSERT_TRUE(
+      server.value()->MatchUri(pref.value(), "/catalog/specials", &trace).ok());
+  EXPECT_EQ(trace.root(), nullptr);
+}
+
+TEST(ObservabilityTest, ServerMetricsCountMatches) {
+  auto server = MakeSqlServer(/*tracing=*/false);
+  ASSERT_TRUE(server.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        server.value()->MatchUri(pref.value(), "/catalog/specials").ok());
+  }
+
+  obs::MetricsSnapshot snap = server.value()->MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("p3p_matches_total"), 3u);
+  EXPECT_EQ(snap.counters.at("p3p_match_errors_total"), 0u);
+  EXPECT_EQ(snap.counters.at("p3p_preference_compiles_total"), 1u);
+  EXPECT_GE(snap.counters.at("p3p_rule_queries_total"), 3u);
+  EXPECT_EQ(snap.gauges.at("p3p_policies_installed"), 1);
+  EXPECT_EQ(snap.histograms.at("p3p_match_duration_us").count, 3u);
+
+  // Both renderings carry the same counter.
+  EXPECT_NE(
+      server.value()->RenderMetricsText().find("p3p_matches_total 3"),
+      std::string::npos);
+  EXPECT_NE(
+      server.value()->RenderMetricsJson().find("\"p3p_matches_total\": 3"),
+      std::string::npos);
+}
+
+TEST(ObservabilityTest, MetricsCanBeDisabled) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kSql;
+  options.collect_metrics = false;
+  auto server = PolicyServer::Create(options);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  ASSERT_TRUE(server.value()
+                  ->InstallReferenceFile(workload::VolgaReferenceFile())
+                  .ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  ASSERT_TRUE(
+      server.value()->MatchUri(pref.value(), "/catalog/specials").ok());
+  obs::MetricsSnapshot snap = server.value()->MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("p3p_matches_total"), 0u);
+  EXPECT_EQ(snap.histograms.at("p3p_match_duration_us").count, 0u);
+}
+
+TEST(ObservabilityTest, ProxyCountsRequestsAndForwardsTrace) {
+  PolicyServer::Options site_options;
+  site_options.engine = EngineKind::kSql;
+  site_options.enable_tracing = true;
+  ProxyService proxy(site_options);
+  auto site = proxy.AddSite("books.example");
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE(site.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  ASSERT_TRUE(
+      site.value()->InstallReferenceFile(workload::VolgaReferenceFile()).ok());
+  ASSERT_TRUE(proxy.Subscribe("jane", workload::JanePreference()).ok());
+
+  TraceContext trace;
+  auto result = proxy.HandleRequest("jane", "books.example",
+                                    "/catalog/specials", &trace);
+  ASSERT_TRUE(result.ok());
+  ASSERT_NE(trace.root(), nullptr);
+  EXPECT_EQ(trace.root()->name, "proxy-request");
+  // The site server honored the forwarded context: its match span nests
+  // under the proxy's.
+  EXPECT_NE(trace.FindSpan("match"), nullptr) << trace.RenderText();
+
+  auto missing = proxy.HandleRequest("jane", "nowhere.example", "/");
+  EXPECT_FALSE(missing.ok());
+
+  obs::MetricsSnapshot snap = proxy.MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("proxy_requests_total"), 2u);
+  EXPECT_EQ(snap.counters.at("proxy_request_errors_total"), 1u);
+  EXPECT_EQ(snap.histograms.at("proxy_request_duration_us").count, 2u);
+}
+
+}  // namespace
+}  // namespace p3pdb::server

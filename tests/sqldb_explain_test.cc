@@ -1,9 +1,12 @@
-// Tests for EXPLAIN: the plan must reflect the executor's actual
-// access-path choices (index point lookups vs sequential scans) and the
-// subquery nesting of the generated APPEL queries.
+// Tests for EXPLAIN and EXPLAIN ANALYZE: the plan must reflect the
+// executor's actual access-path choices (index point lookups vs sequential
+// scans) and the subquery nesting of the generated APPEL queries; ANALYZE
+// additionally attaches per-node actual rows/loops/elapsed time and bound
+// parameter values.
 
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "sqldb/database.h"
 #include "workload/paper_examples.h"
 
@@ -12,8 +15,8 @@
 namespace p3pdb::sqldb {
 namespace {
 
-std::string Plan(Database* db, const std::string& sql) {
-  auto result = db->Execute("EXPLAIN " + sql);
+std::string PlanText(const Result<QueryResult>& result,
+                     const std::string& sql) {
   EXPECT_TRUE(result.ok()) << result.status() << "\nSQL: " << sql;
   std::string plan;
   if (result.ok()) {
@@ -23,6 +26,44 @@ std::string Plan(Database* db, const std::string& sql) {
     }
   }
   return plan;
+}
+
+std::string Plan(Database* db, const std::string& sql) {
+  return PlanText(db->Execute("EXPLAIN " + sql), sql);
+}
+
+std::string AnalyzePlan(Database* db, const std::string& sql,
+                        const std::vector<Value>& params = {}) {
+  return PlanText(db->Execute("EXPLAIN ANALYZE " + sql, params), sql);
+}
+
+size_t CountOf(const std::string& haystack, const std::string& needle) {
+  size_t count = 0, pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    pos += needle.size();
+  }
+  return count;
+}
+
+/// Strips the ANALYZE decorations so the remaining text is the structural
+/// plan, comparable to plain EXPLAIN output.
+std::string StripActuals(const std::string& plan) {
+  std::string out;
+  for (size_t i = 0; i < plan.size();) {
+    size_t actual = plan.find(" (actual rows=", i);
+    size_t never = plan.find(" (never executed)", i);
+    size_t cut = std::min(actual, never);
+    if (cut == std::string::npos) {
+      out += plan.substr(i);
+      break;
+    }
+    out += plan.substr(i, cut - i);
+    i = plan.find(')', cut);
+    if (i == std::string::npos) break;
+    ++i;
+  }
+  return out;
 }
 
 TEST(ExplainTest, SeqScanWithoutIndex) {
@@ -110,6 +151,139 @@ TEST(ExplainTest, ExplainValidates) {
   Database db;
   EXPECT_FALSE(db.Execute("EXPLAIN SELECT * FROM missing").ok());
   EXPECT_FALSE(db.Execute("EXPLAIN INSERT INTO t VALUES (1)").ok());
+}
+
+TEST(ExplainAnalyzeTest, ReportsActualRowsAndLoops) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript("CREATE TABLE t (a INTEGER);"
+                               "INSERT INTO t VALUES (1);"
+                               "INSERT INTO t VALUES (2);"
+                               "INSERT INTO t VALUES (3);")
+                  .ok());
+  std::string plan = AnalyzePlan(&db, "SELECT * FROM t WHERE a >= 2");
+  EXPECT_NE(plan.find("select (actual rows=2 loops=1"), std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("scan t (seq scan) (actual rows=3 loops=1"),
+            std::string::npos)
+      << plan;
+  // Elapsed time is attached (value not pinned — timings are not
+  // deterministic).
+  EXPECT_NE(plan.find("time="), std::string::npos) << plan;
+}
+
+TEST(ExplainAnalyzeTest, CorrelatedSubqueryShowsLoops) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
+                    "CREATE TABLE s (pid INTEGER);"
+                    "INSERT INTO p VALUES (1); INSERT INTO p VALUES (2);"
+                    "INSERT INTO s VALUES (1);")
+                  .ok());
+  std::string plan = AnalyzePlan(
+      &db,
+      "SELECT * FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)");
+  // The subquery re-executes once per outer row: loops=2.
+  EXPECT_NE(plan.find("loops=2"), std::string::npos) << plan;
+}
+
+TEST(ExplainAnalyzeTest, AnnotatesBoundParameterValues) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE t (a INTEGER, PRIMARY KEY (a));"
+                    "INSERT INTO t VALUES (7);")
+                  .ok());
+  std::string plan =
+      AnalyzePlan(&db, "SELECT * FROM t WHERE a = ?", {Value::Integer(7)});
+  EXPECT_NE(plan.find("index pk_t on a = ?[=7]"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("actual rows=1"), std::string::npos) << plan;
+  // Plain EXPLAIN of the same statement keeps the placeholder abstract.
+  std::string unbound = Plan(&db, "SELECT * FROM t WHERE a = ?");
+  EXPECT_NE(unbound.find("index pk_t on a = ?"), std::string::npos) << unbound;
+  EXPECT_EQ(unbound.find("?[="), std::string::npos) << unbound;
+}
+
+TEST(ExplainAnalyzeTest, MarksNeverExecutedNodes) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE p (id INTEGER);"
+                    "CREATE TABLE s (pid INTEGER);")
+                  .ok());
+  // Outer table empty: the EXISTS subquery is never reached.
+  std::string plan = AnalyzePlan(
+      &db,
+      "SELECT * FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)");
+  EXPECT_NE(plan.find("(never executed)"), std::string::npos) << plan;
+}
+
+TEST(ExplainAnalyzeTest, RequiresExactParameters) {
+  Database db;
+  ASSERT_TRUE(
+      db.ExecuteScript("CREATE TABLE t (a INTEGER, PRIMARY KEY (a));").ok());
+  // ANALYZE executes, so parameter values are mandatory; plain EXPLAIN
+  // renders the plan without them.
+  EXPECT_FALSE(db.Execute("EXPLAIN ANALYZE SELECT * FROM t WHERE a = ?").ok());
+  EXPECT_FALSE(db.Execute("EXPLAIN ANALYZE SELECT * FROM t WHERE a = ?",
+                          {Value::Integer(1), Value::Integer(2)})
+                   .ok());
+  EXPECT_TRUE(db.Execute("EXPLAIN SELECT * FROM t WHERE a = ?").ok());
+}
+
+TEST(ExplainAnalyzeTest, GeneratedAppelQueryStructureMatchesExplain) {
+  // The acceptance case: EXPLAIN ANALYZE on a Figure 15 rule query. Pin the
+  // node structure — every node annotated, the structural plan identical to
+  // plain EXPLAIN — without pinning timings.
+  auto server =
+      server::PolicyServer::Create({.engine = server::EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  auto policy_id = server.value()->InstallPolicy(workload::VolgaPolicy());
+  ASSERT_TRUE(policy_id.ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  const auto& sql = pref.value().sql;
+
+  // Find a parameterized rule query (policy id arrives as a bind value).
+  size_t rule = sql.rule_queries.size();
+  for (size_t i = 0; i < sql.rule_queries.size(); ++i) {
+    if (sql.param_counts[i] > 0) {
+      rule = i;
+      break;
+    }
+  }
+  ASSERT_LT(rule, sql.rule_queries.size());
+  std::vector<Value> params(sql.param_counts[rule],
+                            Value::Integer(policy_id.value()));
+
+  Database* db = server.value()->database();
+  std::string analyzed = AnalyzePlan(db, sql.rule_queries[rule], params);
+
+  // Every plan node line carries actuals (or an explicit never-executed
+  // marker) — count annotations against node lines (subquery header lines
+  // have no annotation of their own).
+  size_t node_lines = 0;
+  for (const std::string& line : Split(analyzed, '\n')) {
+    if (line.empty()) continue;
+    std::string trimmed = Trim(line);
+    if (trimmed.rfind("select", 0) == 0 || trimmed.rfind("scan", 0) == 0) {
+      ++node_lines;
+    }
+  }
+  EXPECT_GT(node_lines, 2u) << analyzed;
+  EXPECT_EQ(CountOf(analyzed, " (actual rows=") +
+                CountOf(analyzed, " (never executed)"),
+            node_lines)
+      << analyzed;
+
+  // The bound policy id is substituted into every index probe on it.
+  EXPECT_NE(analyzed.find("?[=" + std::to_string(policy_id.value()) + "]"),
+            std::string::npos)
+      << analyzed;
+
+  // Stripping the actuals recovers exactly the plain (bound) EXPLAIN plan:
+  // ANALYZE changes annotations, never the plan shape.
+  std::string plain = PlanText(
+      db->Execute("EXPLAIN " + sql.rule_queries[rule], params),
+      sql.rule_queries[rule]);
+  EXPECT_EQ(StripActuals(analyzed), plain);
 }
 
 }  // namespace

@@ -1,0 +1,114 @@
+// Tests for the executor's statistics aggregation: AtomicExecStats must
+// lose nothing under concurrent Merge, and concurrent PreparedStatement
+// executions must tally exactly into the Database aggregate.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "sqldb/database.h"
+#include "sqldb/query_result.h"
+#include "sqldb/value.h"
+
+namespace p3pdb::sqldb {
+namespace {
+
+TEST(AtomicExecStatsTest, MergeAccumulatesEveryField) {
+  AtomicExecStats agg;
+  ExecStats s;
+  s.statements_executed = 1;
+  s.rows_scanned = 2;
+  s.index_lookups = 3;
+  s.full_scans = 4;
+  s.subquery_evals = 5;
+  s.comparisons = 6;
+  agg.Merge(s);
+  agg.Merge(s);
+  ExecStats snap = agg.Snapshot();
+  EXPECT_EQ(snap.statements_executed, 2u);
+  EXPECT_EQ(snap.rows_scanned, 4u);
+  EXPECT_EQ(snap.index_lookups, 6u);
+  EXPECT_EQ(snap.full_scans, 8u);
+  EXPECT_EQ(snap.subquery_evals, 10u);
+  EXPECT_EQ(snap.comparisons, 12u);
+
+  agg.Reset();
+  snap = agg.Snapshot();
+  EXPECT_EQ(snap.statements_executed, 0u);
+  EXPECT_EQ(snap.comparisons, 0u);
+}
+
+TEST(AtomicExecStatsTest, ConcurrentMergesAreExact) {
+  AtomicExecStats agg;
+  constexpr int kThreads = 8;
+  constexpr int kMergesPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      ExecStats s;
+      s.statements_executed = 1;
+      s.rows_scanned = 3;
+      s.index_lookups = 1;
+      s.full_scans = 0;
+      s.subquery_evals = 2;
+      s.comparisons = 7;
+      for (int i = 0; i < kMergesPerThread; ++i) agg.Merge(s);
+    });
+  }
+  for (auto& w : workers) w.join();
+  const uint64_t n = uint64_t{kThreads} * kMergesPerThread;
+  ExecStats snap = agg.Snapshot();
+  EXPECT_EQ(snap.statements_executed, n);
+  EXPECT_EQ(snap.rows_scanned, 3 * n);
+  EXPECT_EQ(snap.index_lookups, n);
+  EXPECT_EQ(snap.full_scans, 0u);
+  EXPECT_EQ(snap.subquery_evals, 2 * n);
+  EXPECT_EQ(snap.comparisons, 7 * n);
+}
+
+TEST(AtomicExecStatsTest, ConcurrentPreparedExecutionsTallyExactly) {
+  // Each Execute fills a private ExecStats and merges it once, so the
+  // database aggregate must come out exact no matter the interleaving.
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE t (id INTEGER, v INTEGER, "
+                    "PRIMARY KEY (id));")
+                  .ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(db.Execute("INSERT INTO t VALUES (" + std::to_string(i) +
+                           ", " + std::to_string(i * i) + ")")
+                    .ok());
+  }
+  auto prepared = db.Prepare("SELECT v FROM t WHERE id = ?");
+  ASSERT_TRUE(prepared.ok());
+  db.ResetStats();
+
+  constexpr int kThreads = 8;
+  constexpr int kExecsPerThread = 500;
+  std::vector<std::thread> workers;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kExecsPerThread; ++i) {
+        std::vector<Value> params = {Value::Integer((t + i) % 16)};
+        auto result = prepared.value().Execute(params);
+        if (!result.ok() || result.value().rows.size() != 1) ++failures[t];
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+
+  const uint64_t n = uint64_t{kThreads} * kExecsPerThread;
+  ExecStats snap = db.stats();
+  EXPECT_EQ(snap.statements_executed, n);
+  // Every lookup is a point probe on the primary key: one index lookup and
+  // one row scanned per execution, never a full scan.
+  EXPECT_EQ(snap.index_lookups, n);
+  EXPECT_EQ(snap.rows_scanned, n);
+  EXPECT_EQ(snap.full_scans, 0u);
+}
+
+}  // namespace
+}  // namespace p3pdb::sqldb
