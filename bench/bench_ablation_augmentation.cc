@@ -34,6 +34,7 @@ Result<TimingStats> MeasureNative(Augmentation augmentation) {
   PolicyServer::Options options;
   options.engine = EngineKind::kNativeAppel;
   options.augmentation = augmentation;
+  options.enable_match_cache = false;  // price the engine, not the memo
   P3PDB_ASSIGN_OR_RETURN(auto server, PolicyServer::Create(options));
   std::vector<int64_t> ids;
   for (const p3p::Policy& policy : workload::FortuneCorpus()) {

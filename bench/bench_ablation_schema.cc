@@ -112,6 +112,7 @@ void PrintPreparedStatementAblation() {
     server::PolicyServer::Options options;
     options.engine = EngineKind::kSql;
     options.use_prepared_statements = prepared;
+    options.enable_match_cache = false;  // price the engine, not the memo
     P3PDB_ASSIGN_OR_RETURN(auto server,
                            server::PolicyServer::Create(options));
     std::vector<int64_t> ids;

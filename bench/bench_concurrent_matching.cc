@@ -37,6 +37,10 @@ struct ThroughputPoint {
   uint64_t matches = 0;
   double elapsed_us = 0.0;
   TimingStats latency_us;  // per-match wall time, merged across threads
+  // Memo-cache counters over the measured region; hit_rate < 0 = uncached.
+  double hit_rate = -1.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 
   double MatchesPerSec() const {
     return elapsed_us <= 0.0 ? 0.0 : matches / (elapsed_us / 1e6);
@@ -46,11 +50,14 @@ struct ThroughputPoint {
   }
 };
 
-Result<std::unique_ptr<PolicyServer>> MakeServer(bool materialize,
-                                                 const std::vector<p3p::Policy>& corpus) {
+Result<std::unique_ptr<PolicyServer>> MakeServer(
+    bool materialize, bool cached, const std::vector<p3p::Policy>& corpus) {
   PolicyServer::Options options;
   options.engine = EngineKind::kSql;
   options.materialize_applicable_policy = materialize;
+  // Figure-reproduction modes price the engine, so the memo cache is off;
+  // the "cached" mode turns it on to price the full deployment.
+  options.enable_match_cache = cached;
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<PolicyServer> server,
                          PolicyServer::Create(options));
   for (const p3p::Policy& policy : corpus) {
@@ -68,9 +75,14 @@ Result<ThroughputPoint> Measure(PolicyServer* server, const char* mode,
       server::CompiledPreference pref,
       server->CompilePreference(JrcPreference(PreferenceLevel::kHigh)));
 
-  // Warm-up (indexes touched, behaviors resolved once).
+  // Warm-up (indexes touched, behaviors resolved once; on a cached server
+  // this is the fill pass, so the measured region is the steady state).
   for (const std::string& path : paths) {
     P3PDB_RETURN_IF_ERROR(server->MatchUri(pref, path).status());
+  }
+  server::MatchCache::Stats cache_before;
+  if (server->match_cache() != nullptr) {
+    cache_before = server->match_cache()->TotalStats();
   }
 
   std::vector<std::thread> workers;
@@ -105,6 +117,14 @@ Result<ThroughputPoint> Measure(PolicyServer* server, const char* mode,
   point.mode = mode;
   point.threads = threads;
   point.matches = static_cast<uint64_t>(threads) * kMatchesPerThread;
+  if (server->match_cache() != nullptr) {
+    server::MatchCache::Stats after = server->match_cache()->TotalStats();
+    point.cache_hits = after.hits - cache_before.hits;
+    point.cache_misses = after.misses - cache_before.misses;
+    uint64_t lookups = point.cache_hits + point.cache_misses;
+    point.hit_rate =
+        lookups == 0 ? 0.0 : static_cast<double>(point.cache_hits) / lookups;
+  }
   return point;
 }
 
@@ -121,9 +141,13 @@ Result<ExperimentOutput> RunExperiment() {
   }
 
   ExperimentOutput out;
-  P3PDB_ASSIGN_OR_RETURN(auto parameterized,
-                         MakeServer(/*materialize=*/false, corpus));
-  P3PDB_ASSIGN_OR_RETURN(auto legacy, MakeServer(/*materialize=*/true, corpus));
+  P3PDB_ASSIGN_OR_RETURN(
+      auto parameterized,
+      MakeServer(/*materialize=*/false, /*cached=*/false, corpus));
+  P3PDB_ASSIGN_OR_RETURN(
+      auto legacy, MakeServer(/*materialize=*/true, /*cached=*/false, corpus));
+  P3PDB_ASSIGN_OR_RETURN(
+      auto cached, MakeServer(/*materialize=*/false, /*cached=*/true, corpus));
   for (int threads : {1, 2, 4, 8}) {
     P3PDB_ASSIGN_OR_RETURN(
         ThroughputPoint p,
@@ -133,6 +157,9 @@ Result<ExperimentOutput> RunExperiment() {
         ThroughputPoint m,
         Measure(legacy.get(), "materialized", paths, threads));
     out.points.push_back(std::move(m));
+    P3PDB_ASSIGN_OR_RETURN(ThroughputPoint c,
+                           Measure(cached.get(), "cached", paths, threads));
+    out.points.push_back(std::move(c));
   }
   // The server kept its own histograms while the harness timed externally —
   // the two views should agree. Emit the registry for eyeballing that.
@@ -152,10 +179,10 @@ void PrintReport(const std::vector<ThroughputPoint>& points) {
         "bounded by the\nhardware, not the locking; the parameterized/"
         "materialized gap is still meaningful.\n");
   }
-  std::vector<int> widths = {14, 8, 12, 14, 10, 10, 10, 10};
+  std::vector<int> widths = {14, 8, 12, 14, 10, 10, 10, 10, 10};
   PrintTableRule(widths);
   PrintTableRow({"Mode", "Threads", "ns/match", "Matches/sec", "Speedup",
-                 "p50", "p90", "p99"},
+                 "p50", "p90", "p99", "Hit rate"},
                 widths);
   PrintTableRule(widths);
   double parameterized_1t = 0.0;
@@ -177,7 +204,9 @@ void PrintReport(const std::vector<ThroughputPoint>& points) {
                                      "x",
                    FormatMicros(p.latency_us.Percentile(50.0)),
                    FormatMicros(p.latency_us.Percentile(90.0)),
-                   FormatMicros(p.latency_us.Percentile(99.0))},
+                   FormatMicros(p.latency_us.Percentile(99.0)),
+                   p.hit_rate < 0.0 ? std::string("-")
+                                    : FormatDouble(p.hit_rate, 3)},
                   widths);
   }
   PrintTableRule(widths);
@@ -217,6 +246,9 @@ int main(int argc, char** argv) {
       record.iters = p.matches;
       record.ns_per_op = p.NsPerOp();
       record.matches_per_sec = p.MatchesPerSec();
+      record.hit_rate = p.hit_rate;
+      record.cache_hits = p.cache_hits;
+      record.cache_misses = p.cache_misses;
       records.push_back(std::move(record));
     }
     auto written = p3pdb::bench::WriteBenchJson(json_path, records);

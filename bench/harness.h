@@ -109,6 +109,12 @@ struct BenchJsonRecord {
   double p50_ns = 0.0;
   double p90_ns = 0.0;
   double p99_ns = 0.0;
+  // Match-cache effectiveness, for benches run against a cached server.
+  // hit_rate < 0 means "not a cached run"; the three fields are then left
+  // out of the JSON so existing tooling sees unchanged records.
+  double hit_rate = -1.0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
 };
 
 /// Builds a record from per-op samples held in microseconds (the unit

@@ -1,0 +1,19 @@
+#include "appel/fingerprint.h"
+
+namespace p3pdb::appel {
+
+uint64_t FingerprintBytes(std::string_view bytes) {
+  // FNV-1a 64-bit (offset basis / prime per the FNV reference).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h == 0 ? 1 : h;
+}
+
+uint64_t RulesetFingerprint(const AppelRuleset& ruleset) {
+  return FingerprintBytes(RulesetToText(ruleset));
+}
+
+}  // namespace p3pdb::appel

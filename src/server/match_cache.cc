@@ -1,0 +1,146 @@
+#include "server/match_cache.h"
+
+namespace p3pdb::server {
+
+namespace {
+
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  // FNV-1a over the value's bytes, word at a time.
+  h ^= v;
+  h *= 0x100000001b3ULL;
+  return h;
+}
+
+}  // namespace
+
+size_t MatchCacheKeyHash::operator()(const MatchCacheKey& key) const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  h = HashCombine(h, key.pref_fingerprint);
+  h = HashCombine(h, static_cast<uint64_t>(key.subject));
+  h = HashCombine(h, static_cast<uint64_t>(key.policy_id));
+  h = HashCombine(h, static_cast<uint64_t>(key.engine));
+  for (unsigned char c : key.path) h = HashCombine(h, c);
+  return static_cast<size_t>(h);
+}
+
+MatchCache::MatchCache(Options options, obs::MetricsRegistry* registry)
+    : capacity_per_shard_(options.capacity_per_shard == 0
+                              ? 1
+                              : options.capacity_per_shard) {
+  size_t shard_count = options.shards == 0 ? 1 : options.shards;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (registry != nullptr) {
+    hits_total_ = registry->GetCounter("p3p_match_cache_hits_total");
+    misses_total_ = registry->GetCounter("p3p_match_cache_misses_total");
+    evictions_total_ = registry->GetCounter("p3p_match_cache_evictions_total");
+    invalidations_total_ =
+        registry->GetCounter("p3p_match_cache_invalidations_total");
+    entries_ = registry->GetGauge("p3p_match_cache_entries");
+  }
+}
+
+size_t MatchCache::ShardIndex(const MatchCacheKey& key) const {
+  return MatchCacheKeyHash{}(key) % shards_.size();
+}
+
+std::optional<MatchResult> MatchCache::Lookup(const MatchCacheKey& key,
+                                              uint64_t version) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (misses_total_ != nullptr) misses_total_->Increment();
+    return std::nullopt;
+  }
+  if (it->second->second.version != version) {
+    // Stale: computed under a superseded catalog version. Erase eagerly so
+    // the slot frees up, and surface the event to the owner's counters.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    shard.invalidations.fetch_add(1, std::memory_order_relaxed);
+    shard.misses.fetch_add(1, std::memory_order_relaxed);
+    if (invalidations_total_ != nullptr) invalidations_total_->Increment();
+    if (misses_total_ != nullptr) misses_total_->Increment();
+    if (entries_ != nullptr) entries_->Add(-1);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  shard.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hits_total_ != nullptr) hits_total_->Increment();
+  return it->second->second.result;
+}
+
+void MatchCache::Insert(const MatchCacheKey& key, uint64_t version,
+                        const MatchResult& result) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = Entry{version, result};
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, Entry{version, result});
+  shard.index.emplace(key, shard.lru.begin());
+  if (entries_ != nullptr) entries_->Add(1);
+  if (shard.lru.size() > capacity_per_shard_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    shard.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (evictions_total_ != nullptr) evictions_total_->Increment();
+    if (entries_ != nullptr) entries_->Add(-1);
+  }
+}
+
+void MatchCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (entries_ != nullptr) {
+      entries_->Add(-static_cast<int64_t>(shard->lru.size()));
+    }
+    shard->index.clear();
+    shard->lru.clear();
+  }
+}
+
+size_t MatchCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+MatchCache::Stats MatchCache::ShardStats(size_t shard_index) const {
+  const Shard& shard = *shards_[shard_index];
+  Stats stats;
+  stats.hits = shard.hits.load(std::memory_order_relaxed);
+  stats.misses = shard.misses.load(std::memory_order_relaxed);
+  stats.evictions = shard.evictions.load(std::memory_order_relaxed);
+  stats.invalidations = shard.invalidations.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.entries = shard.lru.size();
+  }
+  return stats;
+}
+
+MatchCache::Stats MatchCache::TotalStats() const {
+  Stats total;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Stats s = ShardStats(i);
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.invalidations += s.invalidations;
+    total.entries += s.entries;
+  }
+  return total;
+}
+
+}  // namespace p3pdb::server

@@ -1,0 +1,167 @@
+// Sharded, thread-safe LRU memo cache for match results.
+//
+// The server-centric pitch of the paper (§4, Figure 6) is that a site has a
+// handful of policies while millions of users repeat the same (preference,
+// policy) checks. The match outcome is a pure function of the compiled
+// preference, the subject being checked (a policy id, or a URI/cookie path
+// the reference file resolves), the catalog version, and the engine — an
+// ideal memoization target. A warm hit costs one shard mutex and one hash
+// lookup: no reference-file SQL, no rule queries, no policy parse.
+//
+// Key: (preference fingerprint, subject, policy id, engine kind); every
+// entry is stamped with the catalog version it was computed under, so the
+// conceptual key of the ISSUE — (fingerprint, policy id, policy version,
+// engine) — is enforced at lookup time: Lookup(key, version) only returns
+// an entry whose stamp equals `version`.
+//
+// Invalidation is versioned and lazy: installing a policy or reference file
+// bumps the owning server's catalog epoch instead of sweeping the cache.
+// A later lookup that finds an entry with a stale stamp erases it, ticks
+// the shard's invalidation counter, and reports a miss; untouched stale
+// entries age out through normal LRU eviction. Policy-id entries are
+// stamped with the immutable version of that policy id (re-installing a
+// name mints a new id), so they stay valid across installs; URI/cookie
+// entries are stamped with the catalog epoch, since any install may remap
+// what a path resolves to.
+//
+// Sharding: the key hash selects one of N shards, each with its own mutex,
+// LRU list, and hit/miss/eviction/invalidation counters, so concurrent
+// readers under the server's shared lock rarely contend. Aggregate totals
+// are mirrored into an obs::MetricsRegistry as p3p_match_cache_* counters
+// and an entry-count gauge.
+
+#ifndef P3PDB_SERVER_MATCH_CACHE_H_
+#define P3PDB_SERVER_MATCH_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "server/match_result.h"
+
+namespace p3pdb::server {
+
+/// What a cache entry memoizes the answer for.
+enum class MatchSubject : uint8_t {
+  kPolicyId = 0,  // MatchPolicyId: evaluate against one installed policy
+  kUri = 1,       // MatchUri: reference-file path resolution + evaluation
+  kCookie = 2,    // MatchCookie: cookie-pattern resolution + evaluation
+};
+
+struct MatchCacheKey {
+  uint64_t pref_fingerprint = 0;
+  MatchSubject subject = MatchSubject::kPolicyId;
+  int64_t policy_id = -1;  // kPolicyId subjects; -1 otherwise
+  std::string path;        // kUri/kCookie subjects; empty otherwise
+  uint8_t engine = 0;      // EngineKind ordinal
+
+  bool operator==(const MatchCacheKey& other) const = default;
+};
+
+struct MatchCacheKeyHash {
+  size_t operator()(const MatchCacheKey& key) const;
+};
+
+class MatchCache {
+ public:
+  struct Options {
+    size_t shards = 8;              // clamped to >= 1
+    size_t capacity_per_shard = 1024;  // clamped to >= 1
+  };
+
+  /// Point-in-time counters; per shard or summed over all shards.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t invalidations = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      uint64_t lookups = hits + misses;
+      return lookups == 0 ? 0.0 : static_cast<double>(hits) / lookups;
+    }
+  };
+
+  /// `registry` (may be null) receives the aggregate instruments:
+  /// p3p_match_cache_{hits,misses,evictions,invalidations}_total counters
+  /// and the p3p_match_cache_entries gauge. Per-shard counts stay readable
+  /// through ShardStats regardless.
+  MatchCache(Options options, obs::MetricsRegistry* registry);
+
+  MatchCache(const MatchCache&) = delete;
+  MatchCache& operator=(const MatchCache&) = delete;
+
+  /// Returns the memoized result if present AND stamped with `version`.
+  /// A present-but-stale entry is erased (counted as an invalidation) and
+  /// reported as a miss.
+  std::optional<MatchResult> Lookup(const MatchCacheKey& key,
+                                    uint64_t version);
+
+  /// Memoizes `result` under (key, version), refreshing LRU position and
+  /// restamping if the key is already present. Evicts the shard's least
+  /// recently used entry when over capacity.
+  void Insert(const MatchCacheKey& key, uint64_t version,
+              const MatchResult& result);
+
+  /// Drops every entry (counters keep their totals).
+  void Clear();
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t capacity_per_shard() const { return capacity_per_shard_; }
+
+  /// Live entries across all shards.
+  size_t size() const;
+
+  Stats ShardStats(size_t shard) const;
+  Stats TotalStats() const;
+
+  /// Which shard a key lands in (exposed so tests can target one shard).
+  size_t ShardIndex(const MatchCacheKey& key) const;
+
+ private:
+  struct Entry {
+    uint64_t version = 0;
+    MatchResult result;
+  };
+  // LRU list front = most recently used; the map points into the list.
+  using LruList = std::list<std::pair<MatchCacheKey, Entry>>;
+
+  struct Shard {
+    mutable std::mutex mu;
+    LruList lru;
+    std::unordered_map<MatchCacheKey, LruList::iterator, MatchCacheKeyHash>
+        index;
+    // Relaxed atomics so ShardStats can read without the shard mutex.
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> invalidations{0};
+  };
+
+  Shard& ShardFor(const MatchCacheKey& key) {
+    return *shards_[ShardIndex(key)];
+  }
+
+  size_t capacity_per_shard_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Aggregate mirrors in the owning registry; null when no registry given.
+  obs::Counter* hits_total_ = nullptr;
+  obs::Counter* misses_total_ = nullptr;
+  obs::Counter* evictions_total_ = nullptr;
+  obs::Counter* invalidations_total_ = nullptr;
+  obs::Gauge* entries_ = nullptr;
+};
+
+}  // namespace p3pdb::server
+
+#endif  // P3PDB_SERVER_MATCH_CACHE_H_

@@ -1,0 +1,37 @@
+// Engine identity and the result of one preference check — the vocabulary
+// shared by PolicyServer (which computes results), MatchCache (which
+// memoizes them), and the proxy/hybrid front ends (which consume them).
+
+#ifndef P3PDB_SERVER_MATCH_RESULT_H_
+#define P3PDB_SERVER_MATCH_RESULT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p3pdb::server {
+
+// The architecture matrix of Figure 7 and the three variations of §4.
+enum class EngineKind {
+  kNativeAppel,
+  kSql,
+  kSqlSimple,
+  kXQueryNative,
+  kXQueryXTable,
+};
+
+const char* EngineKindName(EngineKind kind);
+
+/// Behavior reported when no installed policy covers the requested URI.
+inline constexpr const char* kNoPolicyBehavior = "no-policy";
+
+/// Result of checking one preference against one request.
+struct MatchResult {
+  std::string behavior;        // fired rule's behavior, or "block" default
+  int64_t policy_id = -1;      // applicable policy; -1 when none covered
+  int fired_rule_index = -1;   // -1 = default behavior
+  bool policy_found = true;    // false when no policy covers the URI
+};
+
+}  // namespace p3pdb::server
+
+#endif  // P3PDB_SERVER_MATCH_RESULT_H_

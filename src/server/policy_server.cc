@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "appel/fingerprint.h"
 #include "common/string_util.h"
 #include "p3p/augment.h"
 #include "p3p/policy_xml.h"
@@ -112,6 +113,15 @@ PolicyServer::PolicyServer(Options options)
   match_us_ = metrics_.GetHistogram("p3p_match_duration_us");
   ref_lookup_us_ = metrics_.GetHistogram("p3p_ref_lookup_duration_us");
   compile_us_ = metrics_.GetHistogram("p3p_preference_compile_duration_us");
+  cache_hit_us_ = metrics_.GetHistogram("p3p_match_cache_hit_duration_us");
+  cache_miss_us_ = metrics_.GetHistogram("p3p_match_cache_miss_duration_us");
+  if (options_.enable_match_cache && !UsesLegacyMaterialization()) {
+    match_cache_ = std::make_unique<MatchCache>(
+        MatchCache::Options{
+            .shards = options_.match_cache_shards,
+            .capacity_per_shard = options_.match_cache_capacity_per_shard},
+        &metrics_);
+  }
 }
 
 Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(Options options) {
@@ -213,6 +223,12 @@ Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
 
   policy_ids_.push_back(policy_id);
   latest_policy_by_name_[name] = policy_id;
+  policy_version_by_id_[policy_id] = version;
+  // Cached URI/cookie results may now be stale (a re-installed name changes
+  // what a path resolves to): bump the catalog version. Stale entries are
+  // invalidated lazily at their next lookup. Policy-id entries are keyed by
+  // this id's immutable (id, version) pair and stay valid.
+  ++catalog_epoch_;
   if (options_.collect_metrics) {
     policies_installed_->Set(static_cast<int64_t>(policy_ids_.size()));
   }
@@ -242,6 +258,9 @@ Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
   }
   reference_file_ = rf;
   has_reference_file_ = true;
+  // The path -> policy mapping changed; cached URI/cookie results computed
+  // under the previous reference file must never be served again.
+  ++catalog_epoch_;
   return Status::OK();
 }
 
@@ -267,6 +286,10 @@ Result<CompiledPreference> PolicyServer::CompilePreference(
 
   P3PDB_RETURN_IF_ERROR(ruleset.Validate());
   CompiledPreference pref;
+  // The fingerprint is the preference's identity in the match cache — over
+  // the canonical serialized ruleset, so it is the same on every server and
+  // engine this preference compiles on.
+  pref.fingerprint = appel::RulesetFingerprint(ruleset);
   pref.ruleset = ruleset;
   {
     obs::ScopedSpan translate_span(t, "translate");
@@ -574,7 +597,24 @@ Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
+  const bool cacheable = match_cache_ != nullptr && pref.fingerprint != 0;
+  bool cache_hit = false;
+  MatchCacheKey key;
   Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    if (cacheable) {
+      key = MatchCacheKey{pref.fingerprint, MatchSubject::kUri, -1,
+                          std::string(local_path),
+                          static_cast<uint8_t>(options_.engine)};
+      if (std::optional<MatchResult> hit =
+              CachedMatch(key, catalog_epoch_, match_span)) {
+        cache_hit = true;
+        if (options_.record_matches) {
+          obs::ScopedSpan record_span(t, "record-match");
+          P3PDB_RETURN_IF_ERROR(RecordMatch(*hit));
+        }
+        return *hit;
+      }
+    }
     P3PDB_ASSIGN_OR_RETURN(
         int64_t policy_id,
         FindApplicablePolicyId(local_path, /*for_cookie=*/false, t));
@@ -586,8 +626,11 @@ Result<MatchResult> PolicyServer::MatchUri(const CompiledPreference& pref,
     }
     return EvaluateAgainstCurrent(pref, policy_id, t);
   }();
+  if (cacheable && !cache_hit) StoreMatch(key, catalog_epoch_, result);
   FinishMatchSpan(match_span, result);
-  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  if (options_.collect_metrics) {
+    TallyMatch(result, MicrosSince(start), cache_hit);
+  }
   return result;
 }
 
@@ -615,7 +658,24 @@ Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
+  const bool cacheable = match_cache_ != nullptr && pref.fingerprint != 0;
+  bool cache_hit = false;
+  MatchCacheKey key;
   Result<MatchResult> result = [&]() -> Result<MatchResult> {
+    if (cacheable) {
+      key = MatchCacheKey{pref.fingerprint, MatchSubject::kCookie, -1,
+                          std::string(cookie_path),
+                          static_cast<uint8_t>(options_.engine)};
+      if (std::optional<MatchResult> hit =
+              CachedMatch(key, catalog_epoch_, match_span)) {
+        cache_hit = true;
+        if (options_.record_matches) {
+          obs::ScopedSpan record_span(t, "record-match");
+          P3PDB_RETURN_IF_ERROR(RecordMatch(*hit));
+        }
+        return *hit;
+      }
+    }
     P3PDB_ASSIGN_OR_RETURN(
         int64_t policy_id,
         FindApplicablePolicyId(cookie_path, /*for_cookie=*/true, t));
@@ -627,8 +687,11 @@ Result<MatchResult> PolicyServer::MatchCookie(const CompiledPreference& pref,
     }
     return EvaluateAgainstCurrent(pref, policy_id, t);
   }();
+  if (cacheable && !cache_hit) StoreMatch(key, catalog_epoch_, result);
   FinishMatchSpan(match_span, result);
-  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  if (options_.collect_metrics) {
+    TallyMatch(result, MicrosSince(start), cache_hit);
+  }
   return result;
 }
 
@@ -655,22 +718,75 @@ Result<MatchResult> PolicyServer::MatchPolicyId(const CompiledPreference& pref,
   } else {
     shared.lock();
   }
+  const bool cacheable = match_cache_ != nullptr && pref.fingerprint != 0;
+  bool cache_hit = false;
+  MatchCacheKey key;
+  uint64_t version = 0;
   Result<MatchResult> result = [&]() -> Result<MatchResult> {
     if (policy_dom_.find(policy_id) == policy_dom_.end()) {
       return Status::NotFound("policy id " + std::to_string(policy_id) +
                               " not installed");
     }
+    if (cacheable) {
+      // Policy ids are immutable (re-installing a name mints a new id), so
+      // the entry is stamped with the id's own version and survives
+      // unrelated catalog changes.
+      auto version_it = policy_version_by_id_.find(policy_id);
+      version = version_it == policy_version_by_id_.end()
+                    ? 0
+                    : static_cast<uint64_t>(version_it->second);
+      key = MatchCacheKey{pref.fingerprint, MatchSubject::kPolicyId,
+                          policy_id, std::string(),
+                          static_cast<uint8_t>(options_.engine)};
+      if (std::optional<MatchResult> hit =
+              CachedMatch(key, version, match_span)) {
+        cache_hit = true;
+        if (options_.record_matches) {
+          obs::ScopedSpan record_span(t, "record-match");
+          P3PDB_RETURN_IF_ERROR(RecordMatch(*hit));
+        }
+        return *hit;
+      }
+    }
     return EvaluateAgainstCurrent(pref, policy_id, t);
   }();
+  if (cacheable && !cache_hit) StoreMatch(key, version, result);
   FinishMatchSpan(match_span, result);
-  if (options_.collect_metrics) TallyMatch(result, MicrosSince(start));
+  if (options_.collect_metrics) {
+    TallyMatch(result, MicrosSince(start), cache_hit);
+  }
   return result;
 }
 
+std::optional<MatchResult> PolicyServer::CachedMatch(
+    const MatchCacheKey& key, uint64_t version, obs::ScopedSpan& match_span) {
+  std::optional<MatchResult> hit = match_cache_->Lookup(key, version);
+  if (match_span.active()) {
+    match_span.SetAttr("cache", hit.has_value() ? "hit" : "miss");
+  }
+  return hit;
+}
+
+void PolicyServer::StoreMatch(const MatchCacheKey& key, uint64_t version,
+                              const Result<MatchResult>& result) {
+  // Errors are not memoized: they describe the attempt, not the catalog.
+  if (!result.ok()) return;
+  match_cache_->Insert(key, version, result.value());
+}
+
+uint64_t PolicyServer::catalog_epoch() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return catalog_epoch_;
+}
+
 void PolicyServer::TallyMatch(const Result<MatchResult>& result,
-                              double elapsed_us) {
+                              double elapsed_us, bool cache_hit) {
   matches_total_->Increment();
   match_us_->Record(static_cast<uint64_t>(elapsed_us));
+  obs::Histogram* bucket = cache_hit ? cache_hit_us_ : cache_miss_us_;
+  if (match_cache_ != nullptr && bucket != nullptr) {
+    bucket->Record(static_cast<uint64_t>(elapsed_us));
+  }
   if (!result.ok()) {
     match_errors_total_->Increment();
   } else if (!result.value().policy_found) {

@@ -36,6 +36,15 @@
 // materialized mode (Options::materialize_applicable_policy, and always
 // kXQueryXTable, whose generated SQL still joins ApplicablePolicy) mutates
 // that table per match and falls back to the exclusive lock.
+//
+// Caching: repeated (preference, subject) checks — the server-centric load
+// of Figure 6 — are memoized in a sharded LRU MatchCache keyed by the
+// preference fingerprint, the subject (policy id or URI/cookie path), the
+// catalog version, and the engine kind. Installs bump the catalog epoch so
+// stale entries are never served (versioned invalidation; see
+// match_cache.h). A warm hit takes the shared lock, one shard lookup, and
+// zero SQL. On by default for read-only engines; the legacy materialized
+// mode (and kXQueryXTable) bypasses it.
 
 #ifndef P3PDB_SERVER_POLICY_SERVER_H_
 #define P3PDB_SERVER_POLICY_SERVER_H_
@@ -55,6 +64,8 @@
 #include "obs/trace.h"
 #include "p3p/policy.h"
 #include "p3p/reference_file.h"
+#include "server/match_cache.h"
+#include "server/match_result.h"
 #include "shredder/optimized_schema.h"
 #include "shredder/reference_schema.h"
 #include "shredder/simple_schema.h"
@@ -66,16 +77,6 @@
 
 namespace p3pdb::server {
 
-enum class EngineKind {
-  kNativeAppel,
-  kSql,
-  kSqlSimple,
-  kXQueryNative,
-  kXQueryXTable,
-};
-
-const char* EngineKindName(EngineKind kind);
-
 /// Where category augmentation (base data schema expansion) happens.
 enum class Augmentation {
   kAtInstall,  // once, while shredding/storing — the server-centric choice
@@ -83,21 +84,15 @@ enum class Augmentation {
   kNone,       // skipped entirely (ablation lower bound)
 };
 
-/// Behavior reported when no installed policy covers the requested URI.
-inline constexpr const char* kNoPolicyBehavior = "no-policy";
-
-/// Result of checking one preference against one request.
-struct MatchResult {
-  std::string behavior;        // fired rule's behavior, or "block" default
-  int64_t policy_id = -1;      // applicable policy; -1 when none covered
-  int fired_rule_index = -1;   // -1 = default behavior
-  bool policy_found = true;    // false when no policy covers the URI
-};
-
 /// A preference compiled for a particular engine. Obtain via
 /// PolicyServer::CompilePreference; reusable across many matches (the
 /// paper's "conversion time" is the cost of building this).
 struct CompiledPreference {
+  /// Canonical ruleset fingerprint (appel::RulesetFingerprint), the
+  /// preference's identity in the match cache. 0 — the value in a
+  /// hand-assembled CompiledPreference — means "unknown" and bypasses the
+  /// cache entirely, so no two distinct preferences can ever alias.
+  uint64_t fingerprint = 0;
   appel::AppelRuleset ruleset;               // always retained
   std::string appel_text;                    // kNativeAppel: the client
                                              // engine re-parses this per
@@ -141,6 +136,16 @@ class PolicyServer {
     /// no-op — the zero-overhead guarantee — even when a caller supplies a
     /// context.
     bool enable_tracing = false;
+    /// Memoize full MatchResults in a sharded LRU keyed by (preference
+    /// fingerprint, subject, catalog version, engine kind); installs bump
+    /// the version so stale entries are never served. On by default for the
+    /// read-only engines; the legacy materialized mode (and kXQueryXTable,
+    /// which always materializes) bypasses the cache even when this is set.
+    /// Benchmarks reproducing the paper's figures turn it off — the paper
+    /// restarted DB2 between preferences precisely to defeat caching.
+    bool enable_match_cache = true;
+    size_t match_cache_shards = 8;
+    size_t match_cache_capacity_per_shard = 1024;
   };
 
   /// Creates a server and installs the engine's schemas.
@@ -241,6 +246,16 @@ class PolicyServer {
   /// The server's registry, for callers that add their own instruments.
   obs::MetricsRegistry* metrics() { return &metrics_; }
 
+  /// The match-result cache, or nullptr when disabled (option off, or the
+  /// legacy materialized mode). Exposed for tests and hit-rate reporting;
+  /// the cache is internally thread-safe.
+  const MatchCache* match_cache() const { return match_cache_.get(); }
+
+  /// Current catalog version. Every InstallPolicy/InstallReferenceFile
+  /// bumps it; cached URI/cookie results from older versions are
+  /// invalidated on their next lookup.
+  uint64_t catalog_epoch() const;
+
   /// The underlying database (for examples, tests, and stats).
   sqldb::Database* database() { return &db_; }
 
@@ -264,6 +279,18 @@ class PolicyServer {
                                              obs::TraceContext* trace);
   Status RecordMatch(const MatchResult& result);
 
+  /// Consults the match cache (when enabled and the preference carries a
+  /// fingerprint). On a hit, performs the per-match bookkeeping a computed
+  /// match would (MatchLog append, span attribute) and returns the result.
+  /// Caller must hold mu_ (shared suffices). `version` is the stamp the
+  /// entry must carry to be served.
+  std::optional<MatchResult> CachedMatch(const MatchCacheKey& key,
+                                         uint64_t version,
+                                         obs::ScopedSpan& match_span);
+  /// Memoizes an ok, fingerprinted result; no-op otherwise.
+  void StoreMatch(const MatchCacheKey& key, uint64_t version,
+                  const Result<MatchResult>& result);
+
   /// The context instrumentation actually sees: null unless
   /// Options::enable_tracing is set (so disabled tracing never reads the
   /// clock, whatever the caller passed).
@@ -272,8 +299,10 @@ class PolicyServer {
   }
 
   /// Tallies one finished match into the counters/histograms (no-op unless
-  /// Options::collect_metrics).
-  void TallyMatch(const Result<MatchResult>& result, double elapsed_us);
+  /// Options::collect_metrics). `cache_hit` routes the latency into the
+  /// p3p_match_cache_{hit,miss}_duration_us histogram as well.
+  void TallyMatch(const Result<MatchResult>& result, double elapsed_us,
+                  bool cache_hit);
 
   int64_t PolicyVersionLocked(std::string_view name);
   std::optional<int64_t> FindPolicyIdByAboutLocked(
@@ -303,6 +332,16 @@ class PolicyServer {
   p3p::ReferenceFile reference_file_;  // native-path URI resolution
   bool has_reference_file_ = false;
 
+  // Versioned invalidation state (guarded by mu_: installs write under the
+  // exclusive lock, matches read under the shared lock). catalog_epoch_
+  // stamps URI/cookie cache entries; policy ids are immutable once
+  // installed, so their entries are stamped with the per-name version the
+  // id was installed as and stay valid across later installs.
+  uint64_t catalog_epoch_ = 1;
+  std::map<int64_t, int64_t> policy_version_by_id_;
+  // Sharded memo cache; internally thread-safe (null when disabled).
+  std::unique_ptr<MatchCache> match_cache_;
+
   // Shredders own their id sequences; ids are unique per server.
   std::unique_ptr<shredder::SimpleShredder> simple_shredder_;
   std::unique_ptr<shredder::OptimizedShredder> optimized_shredder_;
@@ -321,6 +360,8 @@ class PolicyServer {
   obs::Histogram* match_us_ = nullptr;
   obs::Histogram* ref_lookup_us_ = nullptr;
   obs::Histogram* compile_us_ = nullptr;
+  obs::Histogram* cache_hit_us_ = nullptr;
+  obs::Histogram* cache_miss_us_ = nullptr;
 };
 
 }  // namespace p3pdb::server

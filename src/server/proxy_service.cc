@@ -30,7 +30,7 @@ Status ProxyService::Subscribe(std::string user,
   P3PDB_RETURN_IF_ERROR(preference.Validate());
   // A changed preference invalidates every cached compilation.
   for (auto& [host, site] : sites_) {
-    site.compiled.erase(user);
+    DropCompiled(&site, user);
   }
   users_[std::move(user)] = preference;
   return Status::OK();
@@ -43,25 +43,51 @@ Status ProxyService::Unsubscribe(std::string_view user) {
   }
   users_.erase(it);
   for (auto& [host, site] : sites_) {
-    site.compiled.erase(std::string(user));
+    DropCompiled(&site, user);
   }
   return Status::OK();
 }
 
+void ProxyService::DropCompiled(Site* site, std::string_view user) {
+  auto it = site->compiled_index.find(user);
+  if (it == site->compiled_index.end()) return;
+  site->compiled.erase(it->second);
+  site->compiled_index.erase(it);
+  compiled_entries_->Add(-1);
+}
+
+size_t ProxyService::compiled_count(std::string_view host) const {
+  auto it = sites_.find(host);
+  return it == sites_.end() ? 0 : it->second.compiled.size();
+}
+
 Result<const CompiledPreference*> ProxyService::CompiledFor(
     std::string_view user, Site* site) {
-  auto cached = site->compiled.find(user);
-  if (cached != site->compiled.end()) return &cached->second;
+  auto cached = site->compiled_index.find(user);
+  if (cached != site->compiled_index.end()) {
+    site->compiled.splice(site->compiled.begin(), site->compiled,
+                          cached->second);
+    return &cached->second->second;
+  }
   auto account = users_.find(user);
   if (account == users_.end()) {
     return Status::NotFound("no subscriber '" + std::string(user) + "'");
   }
   P3PDB_ASSIGN_OR_RETURN(CompiledPreference compiled,
                          site->server->CompilePreference(account->second));
-  auto [it, inserted] =
-      site->compiled.emplace(std::string(user), std::move(compiled));
-  (void)inserted;
-  return &it->second;
+  site->compiled.emplace_front(std::string(user), std::move(compiled));
+  site->compiled_index.insert_or_assign(std::string(user),
+                                        site->compiled.begin());
+  compiled_entries_->Add(1);
+  if (site->compiled.size() > compiled_capacity_per_site_) {
+    // The least recently active user loses their slot; their preference is
+    // simply recompiled on their next request through this site.
+    site->compiled_index.erase(site->compiled.back().first);
+    site->compiled.pop_back();
+    compiled_evictions_total_->Increment();
+    compiled_entries_->Add(-1);
+  }
+  return &site->compiled.begin()->second;
 }
 
 Result<MatchResult> ProxyService::Handle(std::string_view user,

@@ -13,10 +13,12 @@
 #ifndef P3PDB_SERVER_PROXY_SERVICE_H_
 #define P3PDB_SERVER_PROXY_SERVICE_H_
 
+#include <list>
 #include <map>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "appel/model.h"
 #include "obs/metrics.h"
@@ -29,12 +31,24 @@ class ProxyService {
  public:
   /// `site_options` configures every hosted site's engine (the proxy is a
   /// single deployment; all sites share the engine choice).
+  /// `compiled_capacity_per_site` bounds each site's cache of per-user
+  /// compiled preferences: the proxy serves an open-ended user population,
+  /// so the cache is LRU — the least recently active user's compiled form
+  /// is dropped (and recompiled on their next request) rather than letting
+  /// the map grow with every subscriber who ever touched the site.
   ProxyService() : ProxyService(PolicyServer::Options{}) {}
-  explicit ProxyService(PolicyServer::Options site_options)
-      : site_options_(site_options) {
+  explicit ProxyService(PolicyServer::Options site_options,
+                        size_t compiled_capacity_per_site = 64)
+      : site_options_(site_options),
+        compiled_capacity_per_site_(compiled_capacity_per_site == 0
+                                        ? 1
+                                        : compiled_capacity_per_site) {
     requests_total_ = metrics_.GetCounter("proxy_requests_total");
     cookie_requests_total_ = metrics_.GetCounter("proxy_cookie_requests_total");
     request_errors_total_ = metrics_.GetCounter("proxy_request_errors_total");
+    compiled_evictions_total_ =
+        metrics_.GetCounter("proxy_compiled_evictions_total");
+    compiled_entries_ = metrics_.GetGauge("proxy_compiled_entries");
     request_us_ = metrics_.GetHistogram("proxy_request_duration_us");
   }
 
@@ -87,16 +101,27 @@ class ProxyService {
 
   size_t site_count() const { return sites_.size(); }
   size_t user_count() const { return users_.size(); }
+  size_t compiled_capacity_per_site() const {
+    return compiled_capacity_per_site_;
+  }
+  /// Live compiled-preference entries for one site (for tests/inspection).
+  size_t compiled_count(std::string_view host) const;
 
  private:
+  // Bounded per-site cache of compiled preferences, LRU front = most
+  // recently used, with the index map pointing into the list.
+  using CompiledLru = std::list<std::pair<std::string, CompiledPreference>>;
+
   struct Site {
     std::unique_ptr<PolicyServer> server;
     // user -> preference compiled for this site's engine
-    std::map<std::string, CompiledPreference, std::less<>> compiled;
+    CompiledLru compiled;
+    std::map<std::string, CompiledLru::iterator, std::less<>> compiled_index;
   };
 
   Result<const CompiledPreference*> CompiledFor(std::string_view user,
                                                 Site* site);
+  void DropCompiled(Site* site, std::string_view user);
 
   /// Shared body of HandleRequest/HandleCookie: span + metrics around the
   /// site lookup, compile, and match.
@@ -105,6 +130,7 @@ class ProxyService {
                              obs::TraceContext* trace);
 
   PolicyServer::Options site_options_;
+  size_t compiled_capacity_per_site_;
   std::map<std::string, Site, std::less<>> sites_;
   std::map<std::string, appel::AppelRuleset, std::less<>> users_;
 
@@ -112,6 +138,8 @@ class ProxyService {
   obs::Counter* requests_total_ = nullptr;
   obs::Counter* cookie_requests_total_ = nullptr;
   obs::Counter* request_errors_total_ = nullptr;
+  obs::Counter* compiled_evictions_total_ = nullptr;
+  obs::Gauge* compiled_entries_ = nullptr;
   obs::Histogram* request_us_ = nullptr;
 };
 

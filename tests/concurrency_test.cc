@@ -148,6 +148,87 @@ TEST(ConcurrencyTest, MixedMatchUriAndReinstallLosesNoMatchLogRows) {
   EXPECT_EQ(server.value()->PolicyVersion(corpus[0].name), 11);
 }
 
+// Match-cache stress: matcher threads hammer a cached server while an
+// installer churns the catalog (policy re-versions + reference-file
+// re-installs, each bumping the epoch). Every served result — cached or
+// computed — must equal the single-threaded reference outcome, and the
+// cache's counters must stay coherent.
+TEST(ConcurrencyTest, CachedMatchesStayCorrectUnderCatalogChurn) {
+  auto server = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  ASSERT_NE(server.value()->match_cache(), nullptr);
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  for (const p3p::Policy& policy : corpus) {
+    ASSERT_TRUE(server.value()->InstallPolicy(policy).ok());
+  }
+  ASSERT_TRUE(server.value()
+                  ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+                  .ok());
+  auto pref = server.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(pref.ok());
+
+  std::vector<std::string> paths;
+  for (const p3p::Policy& policy : corpus) {
+    paths.push_back("/" + policy.name + "/index.html");
+  }
+  // Reference outcomes. The installer below re-installs the same policy
+  // contents (new versions, new ids) and the same reference file, so the
+  // behavior for each path is invariant throughout the churn even though
+  // the resolved policy id changes.
+  std::vector<std::string> expected;
+  for (const std::string& path : paths) {
+    auto r = server.value()->MatchUri(pref.value(), path);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().behavior);
+  }
+
+  constexpr int kThreads = 6;
+  constexpr int kMatchesPerThread = 200;
+  std::atomic<int> errors{0};
+  std::atomic<int> mismatches{0};
+  std::thread installer([&] {
+    for (int i = 0; i < 8; ++i) {
+      if (!server.value()->InstallPolicy(corpus[i % corpus.size()]).ok()) {
+        ++errors;
+      }
+      if (!server.value()
+               ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+               .ok()) {
+        ++errors;
+      }
+    }
+  });
+  std::vector<std::thread> matchers;
+  for (int t = 0; t < kThreads; ++t) {
+    matchers.emplace_back([&, t] {
+      for (int i = 0; i < kMatchesPerThread; ++i) {
+        size_t pick = static_cast<size_t>(t * 17 + i) % paths.size();
+        auto r = server.value()->MatchUri(pref.value(), paths[pick]);
+        if (!r.ok()) {
+          ++errors;
+        } else if (r.value().behavior != expected[pick]) {
+          ++mismatches;
+        }
+      }
+    });
+  }
+  installer.join();
+  for (std::thread& t : matchers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Counter coherence: every matcher lookup was either a hit or a miss,
+  // and the live-entry count agrees with the shards' contents.
+  MatchCache::Stats stats = server.value()->match_cache()->TotalStats();
+  EXPECT_GE(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kMatchesPerThread);
+  EXPECT_EQ(stats.entries, server.value()->match_cache()->size());
+  EXPECT_LE(stats.entries,
+            server.value()->match_cache()->shard_count() *
+                server.value()->match_cache()->capacity_per_shard());
+}
+
 TEST(ConcurrencyTest, ParallelCompiles) {
   auto server = PolicyServer::Create({.engine = EngineKind::kSql});
   ASSERT_TRUE(server.ok());

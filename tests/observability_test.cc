@@ -171,9 +171,17 @@ TEST(ObservabilityTest, ServerMetricsCountMatches) {
   EXPECT_EQ(snap.counters.at("p3p_matches_total"), 3u);
   EXPECT_EQ(snap.counters.at("p3p_match_errors_total"), 0u);
   EXPECT_EQ(snap.counters.at("p3p_preference_compiles_total"), 1u);
-  EXPECT_GE(snap.counters.at("p3p_rule_queries_total"), 3u);
+  EXPECT_GE(snap.counters.at("p3p_rule_queries_total"), 1u);
   EXPECT_EQ(snap.gauges.at("p3p_policies_installed"), 1);
   EXPECT_EQ(snap.histograms.at("p3p_match_duration_us").count, 3u);
+
+  // The match cache is on by default: the first identical match misses and
+  // the two repeats are warm hits, mirrored into the registry.
+  EXPECT_EQ(snap.counters.at("p3p_match_cache_hits_total"), 2u);
+  EXPECT_EQ(snap.counters.at("p3p_match_cache_misses_total"), 1u);
+  EXPECT_EQ(snap.gauges.at("p3p_match_cache_entries"), 1);
+  EXPECT_EQ(snap.histograms.at("p3p_match_cache_hit_duration_us").count, 2u);
+  EXPECT_EQ(snap.histograms.at("p3p_match_cache_miss_duration_us").count, 1u);
 
   // Both renderings carry the same counter.
   EXPECT_NE(

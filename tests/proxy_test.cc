@@ -129,6 +129,64 @@ TEST_F(ProxyTest, InvalidPreferenceRejectedAtSubscribe) {
   EXPECT_FALSE(proxy_.Subscribe("x", empty).ok());
 }
 
+TEST(ProxyLruTest, CompiledPreferencesAreBoundedPerSite) {
+  // An open-ended subscriber population must not grow a site's compiled map
+  // without bound: the cache is LRU with a per-site capacity.
+  ProxyService proxy(PolicyServer::Options{},
+                     /*compiled_capacity_per_site=*/3);
+  EXPECT_EQ(proxy.compiled_capacity_per_site(), 3u);
+  auto site = proxy.AddSite("volga.example.com");
+  ASSERT_TRUE(site.ok());
+  ASSERT_TRUE(site.value()->InstallPolicy(VolgaPolicy()).ok());
+  ASSERT_TRUE(
+      site.value()->InstallReferenceFile(VolgaReferenceFile()).ok());
+
+  for (int u = 0; u < 5; ++u) {
+    std::string user = "user" + std::to_string(u);
+    ASSERT_TRUE(proxy.Subscribe(user, JanePreference()).ok());
+    auto r = proxy.HandleRequest(user, "volga.example.com", "/catalog");
+    ASSERT_TRUE(r.ok()) << r.status();
+  }
+  // Five users touched the site; only the three most recent keep a slot.
+  EXPECT_EQ(proxy.compiled_count("volga.example.com"), 3u);
+  obs::MetricsSnapshot snap = proxy.MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("proxy_compiled_evictions_total"), 2u);
+  EXPECT_EQ(snap.gauges.at("proxy_compiled_entries"), 3);
+
+  // An evicted user's next request recompiles (correct result, one more
+  // eviction as the capacity stays full).
+  auto back = proxy.HandleRequest("user0", "volga.example.com", "/catalog");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().behavior, "request");
+  snap = proxy.MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("proxy_compiled_evictions_total"), 3u);
+  EXPECT_EQ(proxy.compiled_count("volga.example.com"), 3u);
+
+  // Recency is tracked through hits, not just inserts: touch the oldest
+  // resident, then add a new user — the untouched one is evicted.
+  auto touched =
+      proxy.HandleRequest("user3", "volga.example.com", "/catalog");
+  ASSERT_TRUE(touched.ok());
+  ASSERT_TRUE(proxy.Subscribe("user5", JanePreference()).ok());
+  auto newest = proxy.HandleRequest("user5", "volga.example.com", "/catalog");
+  ASSERT_TRUE(newest.ok());
+  // user4 (the only resident neither touched nor new) was evicted; user3
+  // kept its slot.
+  auto user3_again =
+      proxy.HandleRequest("user3", "volga.example.com", "/catalog");
+  ASSERT_TRUE(user3_again.ok());
+  snap = proxy.MetricsSnapshot();
+  // user5's insert evicted one; user3's repeat was a cache hit (no change).
+  EXPECT_EQ(snap.counters.at("proxy_compiled_evictions_total"), 4u);
+  EXPECT_EQ(proxy.compiled_count("volga.example.com"), 3u);
+
+  // Unsubscribe drops the user's slot immediately.
+  ASSERT_TRUE(proxy.Unsubscribe("user5").ok());
+  EXPECT_EQ(proxy.compiled_count("volga.example.com"), 2u);
+  snap = proxy.MetricsSnapshot();
+  EXPECT_EQ(snap.gauges.at("proxy_compiled_entries"), 2);
+}
+
 TEST(ProxyEngineTest, WorksOnNativeEngineToo) {
   PolicyServer::Options options;
   options.engine = EngineKind::kNativeAppel;
