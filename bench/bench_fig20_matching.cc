@@ -29,8 +29,92 @@ using server::EngineKind;
 using workload::JanePreference;
 using workload::VolgaPolicy;
 
-void PrintFigure20(const std::string& json_path) {
-  auto experiment = MatchingExperiment::Create();
+/// Planner ablation at scale: the per-match SQL query path against a
+/// 10k-policy corpus, one compiled (Medium) preference, matches sampled
+/// across the corpus. With the planner on, every sampled match after the
+/// first is a plan-cache hit probing cached hash-join key sets; with
+/// `--no-planner` each match re-parses, re-binds, and runs correlated
+/// EXISTS subqueries. The acceptance bar for this PR is >=2x between the
+/// two runs' `fig20/sql_query_10k` records.
+void RunSqlScale10k(bool enable_planner,
+                    std::vector<BenchJsonRecord>* records) {
+  constexpr size_t kPolicyCount = 10000;
+  constexpr size_t kSampleStride = 97;  // ~103 sampled policies
+  constexpr int kRepetitions = 3;
+
+  std::vector<p3p::Policy> corpus = workload::FortuneCorpus(
+      {.seed = 2003, .policy_count = kPolicyCount});
+  auto server = MakeBenchServer(server::EngineKind::kSql, 32, enable_planner);
+  if (!server.ok()) {
+    std::printf("error: %s\n", server.status().ToString().c_str());
+    return;
+  }
+  std::vector<int64_t> ids;
+  ids.reserve(corpus.size());
+  for (const p3p::Policy& policy : corpus) {
+    auto id = server.value()->InstallPolicy(policy);
+    if (!id.ok()) {
+      std::printf("error: %s\n", id.status().ToString().c_str());
+      return;
+    }
+    ids.push_back(id.value());
+  }
+  auto pref = server.value()->CompilePreference(
+      workload::JrcPreference(workload::PreferenceLevel::kMedium));
+  if (!pref.ok()) {
+    std::printf("error: %s\n", pref.status().ToString().c_str());
+    return;
+  }
+
+  std::vector<int64_t> sample;
+  for (size_t i = 0; i < ids.size(); i += kSampleStride) {
+    sample.push_back(ids[i]);
+  }
+  // Warm-up pass (hash-join key-set builds and plan-cache fills land here).
+  for (int64_t id : sample) {
+    auto r = server.value()->MatchPolicyId(pref.value(), id);
+    if (!r.ok()) {
+      std::printf("error: %s\n", r.status().ToString().c_str());
+      return;
+    }
+  }
+  TimingStats query;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (int64_t id : sample) {
+      Stopwatch sw;
+      auto r = server.value()->MatchPolicyId(pref.value(), id);
+      double us = sw.ElapsedMicros();
+      if (!r.ok()) {
+        std::printf("error: %s\n", r.status().ToString().c_str());
+        return;
+      }
+      query.Add(us);
+    }
+  }
+
+  const sqldb::ExecStats stats = server.value()->database()->stats();
+  std::printf(
+      "SQL match at 10k-policy scale (Medium preference, %zu sampled "
+      "policies, planner %s):\n  avg %s  p50 %s  p99 %s per match\n"
+      "  plans built %llu, plan-cache hits %llu, semi-join rewrites %llu, "
+      "anti-join rewrites %llu, hash-join builds %llu, probes %llu\n\n",
+      sample.size(), enable_planner ? "ON" : "OFF (--no-planner)",
+      FormatMicros(query.Average()).c_str(),
+      FormatMicros(query.Percentile(50.0)).c_str(),
+      FormatMicros(query.Percentile(99.0)).c_str(),
+      static_cast<unsigned long long>(stats.plans_built),
+      static_cast<unsigned long long>(stats.plan_cache_hits),
+      static_cast<unsigned long long>(stats.semi_join_rewrites),
+      static_cast<unsigned long long>(stats.anti_join_rewrites),
+      static_cast<unsigned long long>(stats.hash_join_builds),
+      static_cast<unsigned long long>(stats.hash_join_probes));
+  records->push_back(RecordFromTimings("fig20/sql_query_10k", query));
+}
+
+void PrintFigure20(const std::string& json_path, bool enable_planner) {
+  MatchingExperiment::Options exp_options;
+  exp_options.enable_planner = enable_planner;
+  auto experiment = MatchingExperiment::Create(exp_options);
   if (!experiment.ok()) {
     std::printf("error: %s\n", experiment.status().ToString().c_str());
     return;
@@ -100,13 +184,15 @@ void PrintFigure20(const std::string& json_path) {
       "(XQuery column excludes the Medium preference, whose XTABLE "
       "translation exceeds the complexity budget — see Figure 21)\n\n");
 
+  std::vector<BenchJsonRecord> records;
+  records.push_back(RecordFromTimings("fig20/appel_engine", appel));
+  records.push_back(RecordFromTimings("fig20/sql_convert", convert));
+  records.push_back(RecordFromTimings("fig20/sql_query", query));
+  records.push_back(RecordFromTimings("fig20/sql_total", total));
+  records.push_back(RecordFromTimings("fig20/xquery_total", xquery));
+  RunSqlScale10k(enable_planner, &records);
+
   if (!json_path.empty()) {
-    std::vector<BenchJsonRecord> records;
-    records.push_back(RecordFromTimings("fig20/appel_engine", appel));
-    records.push_back(RecordFromTimings("fig20/sql_convert", convert));
-    records.push_back(RecordFromTimings("fig20/sql_query", query));
-    records.push_back(RecordFromTimings("fig20/sql_total", total));
-    records.push_back(RecordFromTimings("fig20/xquery_total", xquery));
     auto written = WriteBenchJson(json_path, records);
     if (!written.ok()) {
       std::printf("error: %s\n", written.ToString().c_str());
@@ -193,7 +279,10 @@ BENCHMARK(BM_MatchXQueryXTable);
 }  // namespace p3pdb::bench
 
 int main(int argc, char** argv) {
-  p3pdb::bench::PrintFigure20(p3pdb::bench::JsonPathFromArgs(argc, argv));
+  const bool enable_planner =
+      !p3pdb::bench::FlagInArgs(argc, argv, "--no-planner");
+  p3pdb::bench::PrintFigure20(p3pdb::bench::JsonPathFromArgs(argc, argv),
+                              enable_planner);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

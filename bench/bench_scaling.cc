@@ -31,10 +31,11 @@ struct ScalePoint {
   uint64_t rows_scanned_per_match;
 };
 
-Result<ScalePoint> Measure(size_t policy_count) {
+Result<ScalePoint> Measure(size_t policy_count, bool enable_planner) {
   ScalePoint point;
   point.policies = policy_count;
-  P3PDB_ASSIGN_OR_RETURN(auto server, MakeBenchServer(EngineKind::kSql));
+  P3PDB_ASSIGN_OR_RETURN(auto server,
+                         MakeBenchServer(EngineKind::kSql, 32, enable_planner));
   std::vector<p3p::Policy> corpus =
       workload::FortuneCorpus({.seed = 2003, .policy_count = policy_count});
   Stopwatch install;
@@ -71,18 +72,19 @@ Result<ScalePoint> Measure(size_t policy_count) {
   return point;
 }
 
-void PrintScalingTable() {
+void PrintScalingTable(bool enable_planner) {
   std::printf(
-      "E6: scaling with corpus size (SQL engine, High preference)\n");
+      "E6: scaling with corpus size (SQL engine, High preference)%s\n",
+      enable_planner ? "" : " [--no-planner]");
   std::vector<int> widths = {10, 14, 14, 18};
   PrintTableRule(widths);
   PrintTableRow({"Policies", "Install total", "Match avg",
                  "Rows scanned/match"},
                 widths);
   PrintTableRule(widths);
-  (void)Measure(10);  // discard one-time static-initialization costs
+  (void)Measure(10, enable_planner);  // discard static-initialization costs
   for (size_t n : {29u, 100u, 250u, 500u}) {
-    auto point = Measure(n);
+    auto point = Measure(n, enable_planner);
     if (!point.ok()) {
       std::printf("error: %s\n", point.status().ToString().c_str());
       return;
@@ -137,7 +139,8 @@ BENCHMARK(BM_MatchAt500Policies);
 }  // namespace p3pdb::bench
 
 int main(int argc, char** argv) {
-  p3pdb::bench::PrintScalingTable();
+  p3pdb::bench::PrintScalingTable(
+      !p3pdb::bench::FlagInArgs(argc, argv, "--no-planner"));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -34,9 +34,10 @@ struct WarmCold {
   TimingStats warm;
 };
 
-Result<WarmCold> Measure(EngineKind kind, int depth) {
+Result<WarmCold> Measure(EngineKind kind, int depth, bool enable_planner) {
   WarmCold out;
-  P3PDB_ASSIGN_OR_RETURN(auto server, MakeBenchServer(kind, depth));
+  P3PDB_ASSIGN_OR_RETURN(auto server,
+                         MakeBenchServer(kind, depth, enable_planner));
   std::vector<int64_t> ids;
   for (const p3p::Policy& policy : workload::FortuneCorpus()) {
     P3PDB_ASSIGN_OR_RETURN(int64_t id, server->InstallPolicy(policy));
@@ -65,10 +66,11 @@ Result<WarmCold> Measure(EngineKind kind, int depth) {
   return out;
 }
 
-void PrintWarmCold() {
+void PrintWarmCold(bool enable_planner) {
   std::printf(
       "Warm vs cold matching (High preference, first match vs steady "
-      "state)\n");
+      "state)%s\n",
+      enable_planner ? "" : " [--no-planner]");
   std::vector<int> widths = {14, 14, 14, 10};
   PrintTableRule(widths);
   PrintTableRow({"Engine", "Cold (first)", "Warm (avg)", "Cold/Warm"},
@@ -85,7 +87,7 @@ void PrintWarmCold() {
         Config{"sql-simple", EngineKind::kSqlSimple, 32},
         Config{"xquery-xtable", EngineKind::kXQueryXTable,
                kXTableDepthBudget}}) {
-    auto wc = Measure(config.kind, config.depth);
+    auto wc = Measure(config.kind, config.depth, enable_planner);
     if (!wc.ok()) {
       std::printf("%s: error: %s\n", config.label,
                   wc.status().ToString().c_str());
@@ -118,14 +120,16 @@ struct CachePhases {
   server::MatchCache::Stats repeat_stats;  // delta over the repeat phase
 };
 
-Result<CachePhases> MeasureCachePhases(const char* label, EngineKind kind) {
+Result<CachePhases> MeasureCachePhases(const char* label, EngineKind kind,
+                                       bool enable_planner) {
   CachePhases out;
   out.engine_label = label;
   std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
 
   // Uncached baseline: MakeBenchServer keeps the paper methodology (memo
   // cache off), so its repeat passes price the engine itself.
-  P3PDB_ASSIGN_OR_RETURN(auto uncached, MakeBenchServer(kind));
+  P3PDB_ASSIGN_OR_RETURN(auto uncached,
+                         MakeBenchServer(kind, 32, enable_planner));
   // Cached server: identical configuration plus the memo cache.
   server::PolicyServer::Options cached_options;
   cached_options.engine = kind;
@@ -133,6 +137,7 @@ Result<CachePhases> MeasureCachePhases(const char* label, EngineKind kind) {
                                     ? server::Augmentation::kPerMatch
                                     : server::Augmentation::kAtInstall;
   cached_options.enable_match_cache = true;
+  cached_options.enable_planner = enable_planner;
   P3PDB_ASSIGN_OR_RETURN(auto cached,
                          server::PolicyServer::Create(cached_options));
 
@@ -256,13 +261,16 @@ int main(int argc, char** argv) {
   using p3pdb::bench::CachePhases;
   using p3pdb::server::EngineKind;
 
-  p3pdb::bench::PrintWarmCold();
+  const bool enable_planner =
+      !p3pdb::bench::FlagInArgs(argc, argv, "--no-planner");
+  p3pdb::bench::PrintWarmCold(enable_planner);
 
   std::vector<CachePhases> cache_results;
   for (auto [label, kind] :
        {std::pair{"sql", EngineKind::kSql},
         std::pair{"native-appel", EngineKind::kNativeAppel}}) {
-    auto phases = p3pdb::bench::MeasureCachePhases(label, kind);
+    auto phases =
+        p3pdb::bench::MeasureCachePhases(label, kind, enable_planner);
     if (!phases.ok()) {
       std::printf("%s: error: %s\n", label,
                   phases.status().ToString().c_str());

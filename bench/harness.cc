@@ -14,13 +14,15 @@ using workload::JrcPreference;
 using workload::PreferenceLevel;
 
 Result<std::unique_ptr<PolicyServer>> MakeBenchServer(EngineKind kind,
-                                                      int max_subquery_depth) {
+                                                      int max_subquery_depth,
+                                                      bool enable_planner) {
   PolicyServer::Options options;
   options.engine = kind;
   options.augmentation = kind == EngineKind::kNativeAppel
                              ? Augmentation::kPerMatch
                              : Augmentation::kAtInstall;
   options.max_subquery_depth = max_subquery_depth;
+  options.enable_planner = enable_planner;
   // The paper's figures measure engine cost per match; its methodology even
   // restarted DB2 between preferences to defeat database caching. Memoizing
   // repeated matches would report the cache, not the engine, so the figure
@@ -43,11 +45,13 @@ Result<std::unique_ptr<MatchingExperiment>> MatchingExperiment::Create(
 
   P3PDB_ASSIGN_OR_RETURN(exp->native_server_,
                          MakeBenchServer(EngineKind::kNativeAppel));
-  P3PDB_ASSIGN_OR_RETURN(exp->sql_server_,
-                         MakeBenchServer(EngineKind::kSql));
   P3PDB_ASSIGN_OR_RETURN(
-      exp->xtable_server_,
-      MakeBenchServer(EngineKind::kXQueryXTable, kXTableDepthBudget));
+      exp->sql_server_,
+      MakeBenchServer(EngineKind::kSql, 32, options.enable_planner));
+  P3PDB_ASSIGN_OR_RETURN(exp->xtable_server_,
+                         MakeBenchServer(EngineKind::kXQueryXTable,
+                                         kXTableDepthBudget,
+                                         options.enable_planner));
 
   for (const p3p::Policy& policy : exp->corpus_) {
     P3PDB_ASSIGN_OR_RETURN(int64_t nid,
@@ -216,6 +220,13 @@ std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records) {
   }
   out += "]\n";
   return out;
+}
+
+bool FlagInArgs(int argc, char** argv, std::string_view flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == flag) return true;
+  }
+  return false;
 }
 
 std::string JsonPathFromArgs(int argc, char** argv) {

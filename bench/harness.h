@@ -14,6 +14,7 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -49,6 +50,9 @@ class MatchingExperiment {
     size_t policy_count = 29;
     /// Matches per (level, policy) pair after one discarded warm-up pass.
     int repetitions = 3;
+    /// Run the SQL servers with the rule-based planner + plan cache
+    /// (`--no-planner` ablation flips this to false).
+    bool enable_planner = sqldb::PlannerEnabledFromEnv();
   };
 
   static Result<std::unique_ptr<MatchingExperiment>> Create(Options options);
@@ -86,8 +90,16 @@ class MatchingExperiment {
 };
 
 /// Creates a server of the given kind with the §6 defaults for it.
+/// `enable_planner` toggles the database's EXISTS-decorrelation planner and
+/// plan cache (the `--no-planner` ablation); the default honors
+/// P3PDB_NO_PLANNER like every other server.
 Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
-    server::EngineKind kind, int max_subquery_depth = 32);
+    server::EngineKind kind, int max_subquery_depth = 32,
+    bool enable_planner = sqldb::PlannerEnabledFromEnv());
+
+/// True when `flag` appears verbatim among the arguments (e.g.
+/// `--no-planner`).
+bool FlagInArgs(int argc, char** argv, std::string_view flag);
 
 /// seconds/milliseconds pretty-printing for the report tables.
 std::string FormatMicros(double micros);

@@ -98,7 +98,9 @@ PolicyServer::PolicyServer(Options options)
     : options_(options),
       db_(sqldb::Database::Options{
           .max_subquery_depth = options.max_subquery_depth,
-          .enforce_foreign_keys = true}),
+          .enforce_foreign_keys = true,
+          .enable_planner = options.enable_planner,
+          .enable_plan_cache = options.enable_planner}),
       native_engine_(appel::NativeEngine::Options{
           .augment_per_match =
               options.augmentation == Augmentation::kPerMatch}) {
@@ -115,6 +117,14 @@ PolicyServer::PolicyServer(Options options)
   compile_us_ = metrics_.GetHistogram("p3p_preference_compile_duration_us");
   cache_hit_us_ = metrics_.GetHistogram("p3p_match_cache_hit_duration_us");
   cache_miss_us_ = metrics_.GetHistogram("p3p_match_cache_miss_duration_us");
+  sql_plans_built_ = metrics_.GetCounter("sqldb_plans_built_total");
+  sql_plan_cache_hits_ = metrics_.GetCounter("sqldb_plan_cache_hits_total");
+  sql_semi_join_rewrites_ =
+      metrics_.GetCounter("sqldb_semi_join_rewrites_total");
+  sql_anti_join_rewrites_ =
+      metrics_.GetCounter("sqldb_anti_join_rewrites_total");
+  sql_hash_join_builds_ = metrics_.GetCounter("sqldb_hash_join_builds_total");
+  sql_hash_join_probes_ = metrics_.GetCounter("sqldb_hash_join_probes_total");
   if (options_.enable_match_cache && !UsesLegacyMaterialization()) {
     match_cache_ = std::make_unique<MatchCache>(
         MatchCache::Options{
@@ -794,15 +804,36 @@ void PolicyServer::TallyMatch(const Result<MatchResult>& result,
   }
 }
 
+void PolicyServer::SyncDatabaseMetrics() const {
+  const sqldb::ExecStats stats = db_.stats();
+  // Counters are monotonic on both sides, so incrementing by the delta
+  // since the last sync makes the registry converge on the database's
+  // cumulative totals regardless of how often (or from how many threads)
+  // the render entry points are hit.
+  const auto sync = [](obs::Counter* counter, uint64_t current) {
+    const uint64_t seen = counter->value();
+    if (current > seen) counter->Increment(current - seen);
+  };
+  sync(sql_plans_built_, stats.plans_built);
+  sync(sql_plan_cache_hits_, stats.plan_cache_hits);
+  sync(sql_semi_join_rewrites_, stats.semi_join_rewrites);
+  sync(sql_anti_join_rewrites_, stats.anti_join_rewrites);
+  sync(sql_hash_join_builds_, stats.hash_join_builds);
+  sync(sql_hash_join_probes_, stats.hash_join_probes);
+}
+
 obs::MetricsSnapshot PolicyServer::MetricsSnapshot() const {
+  SyncDatabaseMetrics();
   return metrics_.Snapshot();
 }
 
 std::string PolicyServer::RenderMetricsText() const {
+  SyncDatabaseMetrics();
   return metrics_.RenderText();
 }
 
 std::string PolicyServer::RenderMetricsJson() const {
+  SyncDatabaseMetrics();
   return metrics_.RenderJson();
 }
 

@@ -112,6 +112,12 @@ class PolicyServer {
     /// Statement complexity budget of the underlying database (models the
     /// fixed budget that made DB2 reject XTABLE's Medium translation).
     int max_subquery_depth = 32;
+    /// Run the database's rule-based planner (EXISTS decorrelation into
+    /// hash semi/anti-joins) and its plan cache. Defaults from the
+    /// P3PDB_NO_PLANNER environment variable so whole harnesses can be
+    /// flipped without code changes; benches pass it explicitly for the
+    /// `--no-planner` ablation.
+    bool enable_planner = sqldb::PlannerEnabledFromEnv();
     /// Log every match into the MatchLog table for site-owner analytics.
     bool record_matches = false;
     /// Bind the translated rule queries once at CompilePreference time and
@@ -304,6 +310,12 @@ class PolicyServer {
   void TallyMatch(const Result<MatchResult>& result, double elapsed_us,
                   bool cache_hit);
 
+  /// Folds the database's cumulative executor counters into the sqldb_*
+  /// metrics (incrementing each by the delta since the previous sync), so
+  /// snapshots and renders always expose current planner/plan-cache
+  /// activity without putting a registry touch on the query hot path.
+  void SyncDatabaseMetrics() const;
+
   int64_t PolicyVersionLocked(std::string_view name);
   std::optional<int64_t> FindPolicyIdByAboutLocked(
       std::string_view about) const;
@@ -362,6 +374,13 @@ class PolicyServer {
   obs::Histogram* compile_us_ = nullptr;
   obs::Histogram* cache_hit_us_ = nullptr;
   obs::Histogram* cache_miss_us_ = nullptr;
+  // Mirrors of the database's planner/plan-cache counters, synced on demand.
+  obs::Counter* sql_plans_built_ = nullptr;
+  obs::Counter* sql_plan_cache_hits_ = nullptr;
+  obs::Counter* sql_semi_join_rewrites_ = nullptr;
+  obs::Counter* sql_anti_join_rewrites_ = nullptr;
+  obs::Counter* sql_hash_join_builds_ = nullptr;
+  obs::Counter* sql_hash_join_probes_ = nullptr;
 };
 
 }  // namespace p3pdb::server

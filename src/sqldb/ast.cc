@@ -55,6 +55,33 @@ std::string ExistsExpr::ToSql() const {
          subquery->ToSql() + ")";
 }
 
+HashJoinExpr::HashJoinExpr(bool anti_join,
+                           std::unique_ptr<SelectStmt> build_select)
+    : Expr(ExprKind::kHashJoin),
+      anti(anti_join),
+      build(std::move(build_select)) {}
+
+HashJoinExpr::~HashJoinExpr() = default;
+
+std::string HashJoinExpr::ToSql() const {
+  // Rendered back as the EXISTS it was rewritten from, with the join
+  // condition re-attached, so debug output stays valid SQL.
+  std::string cond;
+  for (size_t i = 0; i < build_keys.size(); ++i) {
+    if (i > 0) cond += " AND ";
+    cond += build_keys[i]->ToSql() + " = " + probe_keys[i]->ToSql();
+  }
+  std::string sub = build->ToSql();
+  if (build->where != nullptr) {
+    // Splice the join condition in front of the existing WHERE.
+    size_t pos = sub.find(" WHERE ");
+    sub = sub.substr(0, pos + 7) + cond + " AND (" + sub.substr(pos + 7) + ")";
+  } else {
+    sub += " WHERE " + cond;
+  }
+  return std::string(anti ? "NOT EXISTS (" : "EXISTS (") + sub + ")";
+}
+
 std::string InListExpr::ToSql() const {
   std::string out = operand->ToSql();
   out += negated ? " NOT IN (" : " IN (";

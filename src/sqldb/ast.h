@@ -41,6 +41,7 @@ enum class ExprKind {
   kIsNull,
   kLike,
   kAggregate,
+  kHashJoin,
 };
 
 struct Expr {
@@ -140,6 +141,39 @@ struct ExistsExpr : Expr {
 
   bool negated;
   std::unique_ptr<SelectStmt> subquery;
+};
+
+/// Executor-shared runtime state for a HashJoinExpr: the cached build-side
+/// key set plus the table-version stamp it was built at. Defined in
+/// executor.h (it needs table.h's IndexKey); the AST only carries an opaque
+/// shared_ptr so concurrent executions of one cached plan share the build.
+struct HashJoinRuntime;
+
+/// Planner output (never produced by the parser): a decorrelated
+/// `[NOT] EXISTS` rewritten as a hash semi-/anti-join. The build side is the
+/// former subquery with its correlation equalities stripped (local predicates
+/// stay pushed below the build); `build_keys[i] = probe_keys[i]` are the
+/// stripped equalities, with probe-side column-ref levels rebased by -1 so
+/// they evaluate in the scope where this expression now sits. Evaluation
+/// builds the key set over the build side once (cached across executions via
+/// `runtime`, invalidated when any table in `dep_tables` changes) and then
+/// answers each outer row with one hash probe. Keys containing NULL never
+/// match on either side: a NULL build key is excluded from the set and a NULL
+/// probe key yields false for EXISTS / true for NOT EXISTS, matching the
+/// three-valued-logic result of the correlated path.
+struct HashJoinExpr : Expr {
+  HashJoinExpr(bool anti_join, std::unique_ptr<SelectStmt> build_select);
+  ~HashJoinExpr() override;
+  std::string ToSql() const override;
+
+  bool anti;  // true = NOT EXISTS (anti-join), false = EXISTS (semi-join)
+  std::unique_ptr<SelectStmt> build;
+  std::vector<std::unique_ptr<ColumnRefExpr>> build_keys;  // level-0 in build
+  std::vector<ExprPtr> probe_keys;  // evaluated in the enclosing scope
+  /// Every table the build side reads (transitively, nested subqueries
+  /// included); the cached key set is stale once any of their versions move.
+  std::vector<const Table*> dep_tables;
+  std::shared_ptr<HashJoinRuntime> runtime;
 };
 
 struct InListExpr : Expr {

@@ -39,7 +39,8 @@ bool ContainsAggregate(const Expr& expr) {
       const auto& lk = static_cast<const LikeExpr&>(expr);
       return ContainsAggregate(*lk.operand) || ContainsAggregate(*lk.pattern);
     }
-    case ExprKind::kExists:  // subquery boundary
+    case ExprKind::kExists:    // subquery boundary
+    case ExprKind::kHashJoin:  // planner-produced, post-binding
     case ExprKind::kLiteral:
     case ExprKind::kParam:
     case ExprKind::kColumnRef:
@@ -229,6 +230,11 @@ Status Binder::BindExpr(Expr* expr, std::vector<SelectStmt*>* stack,
       }
       return Status::OK();
     }
+    case ExprKind::kHashJoin:
+      // The planner rewrites EXISTS into hash joins only after binding; a
+      // hash join reaching the binder means a plan was re-bound, which the
+      // cache never does.
+      return Status::Internal("hash join encountered during binding");
   }
   return Status::Internal("unhandled expression kind in binder");
 }

@@ -1,24 +1,64 @@
 #include "sqldb/database.h"
 
+#include <cstdlib>
+
 #include "common/string_util.h"
 #include "sqldb/executor.h"
 #include "sqldb/explain.h"
 #include "sqldb/parser.h"
+#include "sqldb/planner.h"
 
 namespace p3pdb::sqldb {
 
+bool PlannerEnabledFromEnv() {
+  const char* v = std::getenv("P3PDB_NO_PLANNER");
+  return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
+}
+
+namespace {
+
+/// Shared ownership of a bound SELECT still owned by its Statement base.
+std::shared_ptr<const SelectStmt> ShareSelect(std::unique_ptr<Statement> stmt,
+                                              const SelectStmt* select) {
+  return std::shared_ptr<const SelectStmt>(
+      std::shared_ptr<Statement>(std::move(stmt)), select);
+}
+
+}  // namespace
+
 Result<QueryResult> Database::Execute(std::string_view sql) {
+  if (std::shared_ptr<const SelectStmt> plan = LookupCachedPlan(sql)) {
+    return RunBoundSelect(*plan, nullptr, nullptr);
+  }
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                          ParseStatement(sql));
+  if (stmt->kind == StatementKind::kSelect) {
+    auto* select = static_cast<SelectStmt*>(stmt.get());
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+    std::shared_ptr<const SelectStmt> plan = ShareSelect(std::move(stmt),
+                                                         select);
+    StoreCachedPlan(sql, plan);
+    return RunBoundSelect(*plan, nullptr, nullptr);
+  }
   return ExecuteParsed(stmt.get());
 }
 
 Result<QueryResult> Database::Execute(std::string_view sql,
                                       const std::vector<Value>& params) {
+  if (std::shared_ptr<const SelectStmt> plan = LookupCachedPlan(sql)) {
+    return RunBoundSelect(*plan, &params, nullptr);
+  }
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                          ParseStatement(sql));
-  if (stmt->kind != StatementKind::kSelect &&
-      stmt->kind != StatementKind::kExplain) {
+  if (stmt->kind == StatementKind::kSelect) {
+    auto* select = static_cast<SelectStmt*>(stmt.get());
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+    std::shared_ptr<const SelectStmt> plan = ShareSelect(std::move(stmt),
+                                                         select);
+    StoreCachedPlan(sql, plan);
+    return RunBoundSelect(*plan, &params, nullptr);
+  }
+  if (stmt->kind != StatementKind::kExplain) {
     return Status::Unsupported(
         "bind parameters are only supported for SELECT statements");
   }
@@ -41,6 +81,11 @@ Result<QueryResult> Database::Execute(std::string_view sql,
 Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
                                             const std::vector<Value>* params,
                                             obs::TraceContext* trace) {
+  // A plan-cache hit skips the parse and bind spans entirely — that absence
+  // in the trace *is* the signal that the cached path ran.
+  if (std::shared_ptr<const SelectStmt> plan = LookupCachedPlan(sql)) {
+    return RunBoundSelect(*plan, params, trace);
+  }
   obs::ScopedSpan parse_span(trace, "sql-parse");
   auto parsed = ParseStatement(sql);
   parse_span.End();
@@ -66,13 +111,42 @@ Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
   }
   {
     obs::ScopedSpan bind_span(trace, "sql-bind");
-    Binder binder(*this, options_.max_subquery_depth);
-    P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+  }
+  std::shared_ptr<const SelectStmt> plan =
+      ShareSelect(std::move(parsed).value(), select);
+  StoreCachedPlan(sql, plan);
+  return RunBoundSelect(*plan, params, trace);
+}
+
+Status Database::BindAndPlan(SelectStmt* select) {
+  Binder binder(*this, options_.max_subquery_depth);
+  P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+  ExecStats local;
+  ++local.plans_built;
+  if (options_.enable_planner) {
+    PlannerStats planner_stats;
+    PlanSelect(select, &planner_stats);
+    local.semi_join_rewrites = planner_stats.semi_join_rewrites;
+    local.anti_join_rewrites = planner_stats.anti_join_rewrites;
+  }
+  stats_.Merge(local);
+  return Status::OK();
+}
+
+Result<QueryResult> Database::RunBoundSelect(const SelectStmt& select,
+                                             const std::vector<Value>* params,
+                                             obs::TraceContext* trace) {
+  const size_t supplied = params == nullptr ? 0 : params->size();
+  if (supplied != select.param_count) {
+    return Status::InvalidArgument(
+        "statement takes " + std::to_string(select.param_count) +
+        " parameter(s) but " + std::to_string(supplied) + " were supplied");
   }
   obs::ScopedSpan exec_span(trace, "sql-execute");
   ExecStats local;
   Executor executor(&local, params);
-  auto result = executor.RunSelect(*select);
+  auto result = executor.RunSelect(select);
   stats_.Merge(local);
   if (result.ok()) {
     exec_span.AddCount("rows", result.value().rows.size());
@@ -82,15 +156,44 @@ Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
   return result;
 }
 
+std::shared_ptr<const SelectStmt> Database::LookupCachedPlan(
+    std::string_view sql) {
+  if (!options_.enable_plan_cache) return nullptr;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  auto it = plan_index_.find(sql);
+  if (it == plan_index_.end()) return nullptr;
+  if (it->second->second.generation != catalog_generation_) {
+    // Stale after DDL: drop and let the caller re-prepare.
+    plan_lru_.erase(it->second);
+    plan_index_.erase(it);
+    return nullptr;
+  }
+  plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
+  stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second.stmt;
+}
+
+void Database::StoreCachedPlan(std::string_view sql,
+                               std::shared_ptr<const SelectStmt> plan) {
+  if (!options_.enable_plan_cache || options_.plan_cache_capacity == 0) return;
+  std::lock_guard<std::mutex> lock(plan_mu_);
+  if (plan_index_.find(sql) != plan_index_.end()) return;  // concurrent store
+  plan_lru_.emplace_front(std::string(sql),
+                          CachedPlan{std::move(plan), catalog_generation_});
+  plan_index_.emplace(plan_lru_.front().first, plan_lru_.begin());
+  if (plan_lru_.size() > options_.plan_cache_capacity) {
+    plan_index_.erase(plan_lru_.back().first);
+    plan_lru_.pop_back();
+  }
+}
+
 Result<PreparedStatement> Database::Prepare(std::string_view sql) {
   P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<Statement> stmt,
                          ParseStatement(sql));
   if (stmt->kind != StatementKind::kSelect) {
     return Status::Unsupported("only SELECT statements can be prepared");
   }
-  Binder binder(*this, options_.max_subquery_depth);
-  P3PDB_RETURN_IF_ERROR(
-      binder.BindSelect(static_cast<SelectStmt*>(stmt.get())));
+  P3PDB_RETURN_IF_ERROR(BindAndPlan(static_cast<SelectStmt*>(stmt.get())));
   PreparedStatement prepared;
   prepared.db_ = this;
   prepared.stmt_ = std::shared_ptr<Statement>(std::move(stmt));
@@ -167,8 +270,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
             " parameter(s) but " + std::to_string(supplied) +
             " were supplied");
       }
-      Binder binder(*this, options_.max_subquery_depth);
-      P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+      P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
       ExecStats local;
       Executor executor(&local, params);
       auto result = executor.RunSelect(*select);
@@ -224,8 +326,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
             " parameter(s) but " + std::to_string(supplied) +
             " were supplied");
       }
-      Binder binder(*this, options_.max_subquery_depth);
-      P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
+      P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
       ExplainOptions explain_options;
       explain_options.params = params;
       PlanProfile profile;

@@ -9,10 +9,15 @@
 #ifndef P3PDB_SQLDB_DATABASE_H_
 #define P3PDB_SQLDB_DATABASE_H_
 
+#include <cstddef>
+#include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -25,6 +30,13 @@
 namespace p3pdb::sqldb {
 
 class Database;
+
+/// Planner default: on, unless the environment sets P3PDB_NO_PLANNER to a
+/// non-empty value other than "0". Read at Database construction time, so
+/// harnesses (the cross-engine differential, the `--no-planner` bench
+/// ablations) can flip the whole executor path without threading a flag
+/// through every layer.
+bool PlannerEnabledFromEnv();
 
 /// A parsed-and-bound SELECT that can be executed repeatedly without
 /// re-preparing — what the generated rule queries become after the
@@ -75,6 +87,16 @@ class Database : public CatalogView {
     int max_subquery_depth = 32;
     /// Verify FOREIGN KEY references on INSERT (parents must exist).
     bool enforce_foreign_keys = true;
+    /// Run the rule-based planner (EXISTS decorrelation into hash
+    /// semi/anti-joins, see planner.h) after binding every SELECT.
+    bool enable_planner = PlannerEnabledFromEnv();
+    /// Cache parsed+bound+planned SELECTs keyed by SQL text, so repeated
+    /// executions of the same statement (the server's per-match rule
+    /// queries) skip parse/bind/plan entirely. Entries are stamped with the
+    /// catalog generation and lazily re-prepared after DDL.
+    bool enable_plan_cache = PlannerEnabledFromEnv();
+    /// Bounded LRU capacity of the plan cache.
+    size_t plan_cache_capacity = 256;
   };
 
   Database() : Database(Options{}) {}
@@ -132,6 +154,20 @@ class Database : public CatalogView {
   Result<QueryResult> ExecuteTraced(std::string_view sql,
                                     const std::vector<Value>* params,
                                     obs::TraceContext* trace);
+
+  /// Binds (and, when enabled, plans) a freshly parsed SELECT, counting the
+  /// work in the stats aggregate.
+  Status BindAndPlan(SelectStmt* select);
+  /// Runs a bound SELECT: param-count check, private-stats execution,
+  /// merge. Shared by the plan-cache hit path and the fresh-parse path.
+  Result<QueryResult> RunBoundSelect(const SelectStmt& select,
+                                     const std::vector<Value>* params,
+                                     obs::TraceContext* trace);
+  /// Plan-cache lookup; returns null on miss or stale generation (the
+  /// stale entry is dropped). Hits are counted and moved to the LRU front.
+  std::shared_ptr<const SelectStmt> LookupCachedPlan(std::string_view sql);
+  void StoreCachedPlan(std::string_view sql,
+                       std::shared_ptr<const SelectStmt> plan);
   Result<QueryResult> ExecuteInsert(InsertStmt* stmt);
   Result<QueryResult> ExecuteUpdate(UpdateStmt* stmt);
   Result<QueryResult> ExecuteDelete(DeleteStmt* stmt);
@@ -144,6 +180,20 @@ class Database : public CatalogView {
   // Bumped on every DDL change; prepared statements from an older
   // generation refuse to run rather than touch stale table pointers.
   uint64_t catalog_generation_ = 0;
+
+  /// Plan cache: SQL text -> bound+planned SELECT, stamped with the catalog
+  /// generation it was prepared under. LRU-bounded; the mutex guards only
+  /// the map/list bookkeeping — execution of a cached plan is read-only
+  /// over the shared AST (the PreparedStatement concurrency contract), so
+  /// hits from many threads proceed in parallel.
+  struct CachedPlan {
+    std::shared_ptr<const SelectStmt> stmt;
+    uint64_t generation = 0;
+  };
+  using PlanLruList = std::list<std::pair<std::string, CachedPlan>>;
+  mutable std::mutex plan_mu_;
+  PlanLruList plan_lru_;  // front = most recent
+  std::unordered_map<std::string_view, PlanLruList::iterator> plan_index_;
 };
 
 }  // namespace p3pdb::sqldb

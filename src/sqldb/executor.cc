@@ -21,6 +21,11 @@ const PlanNodeStats* PlanProfile::FindScan(const SelectStmt* stmt,
   return it == scans_.end() ? nullptr : &it->second;
 }
 
+const PlanNodeStats* PlanProfile::FindHashJoin(const Expr* join) const {
+  auto it = hash_joins_.find(join);
+  return it == hash_joins_.end() ? nullptr : &it->second;
+}
+
 namespace {
 
 /// Flattens nested ANDs into a conjunct list.
@@ -269,6 +274,8 @@ Result<Value> Executor::Eval(const Expr& expr, ScopeStack& stack) {
       P3PDB_ASSIGN_OR_RETURN(bool found, ExistsAnyRow(*e.subquery, stack));
       return Value::Boolean(e.negated ? !found : found);
     }
+    case ExprKind::kHashJoin:
+      return EvalHashJoin(static_cast<const HashJoinExpr&>(expr), stack);
     case ExprKind::kInList: {
       const auto& in = static_cast<const InListExpr&>(expr);
       P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*in.operand, stack));
@@ -360,6 +367,107 @@ Result<bool> Executor::ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack) {
   return found;
 }
 
+Result<Value> Executor::EvalHashJoin(const HashJoinExpr& join,
+                                     ScopeStack& stack) {
+  PlanNodeStats* node = nullptr;
+  std::chrono::steady_clock::time_point profile_start{};
+  if (profile_ != nullptr) {
+    node = profile_->HashJoin(&join);
+    ++node->loops;  // loops = probes
+    profile_start = std::chrono::steady_clock::now();
+  }
+  // Evaluate the probe key in the enclosing scope first: a NULL component
+  // can never equal anything, so the subquery's correlation equality is
+  // UNKNOWN for every inner row — EXISTS is false, NOT EXISTS is true —
+  // without needing the key set at all.
+  IndexKey key;
+  key.values.reserve(join.probe_keys.size());
+  bool null_key = false;
+  for (const ExprPtr& pk : join.probe_keys) {
+    P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*pk, stack));
+    if (v.is_null()) {
+      null_key = true;
+      break;
+    }
+    key.values.push_back(std::move(v));
+  }
+  bool found = false;
+  if (!null_key) {
+    P3PDB_ASSIGN_OR_RETURN(std::shared_ptr<const HashJoinRuntime::KeySet> keys,
+                           HashJoinKeySet(join));
+    found = keys->count(key) != 0;
+  }
+  ++stats_->hash_join_probes;
+  if (node != nullptr) {
+    node->elapsed_us += std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - profile_start)
+                            .count();
+    if (found) ++node->rows;  // rows = probe hits
+  }
+  return Value::Boolean(join.anti ? !found : found);
+}
+
+Result<std::shared_ptr<const HashJoinRuntime::KeySet>> Executor::HashJoinKeySet(
+    const HashJoinExpr& join) {
+  uint64_t version = 0;
+  for (const Table* t : join.dep_tables) version += t->version();
+  HashJoinRuntime& rt = *join.runtime;
+  std::lock_guard<std::mutex> lock(rt.mu);
+  if (rt.keys != nullptr && rt.built_at_version == version) {
+    return std::shared_ptr<const HashJoinRuntime::KeySet>(rt.keys);
+  }
+
+  // (Re)build. The planner guarantees the build side references nothing
+  // outside itself, so it enumerates under a fresh scope stack — which also
+  // means the resulting set is independent of the probing context and safe
+  // to cache. Building under the runtime mutex serializes concurrent
+  // first-probers; all later executions take the cached branch above.
+  const SelectStmt& build = *join.build;
+  PlanNodeStats* node = nullptr;
+  if (profile_ != nullptr) {
+    node = profile_->Select(&build);
+    ++node->loops;
+  }
+  Stopwatch sw;
+  auto keys = std::make_shared<HashJoinRuntime::KeySet>();
+  Scope scope;
+  scope.stmt = &build;
+  scope.rows.assign(build.from.size(), nullptr);
+  ScopeStack build_stack;
+  build_stack.push_back(&scope);
+  uint64_t build_rows = 0;
+  bool stopped = false;
+  Status st = EnumerateRows(
+      build, build_stack, scope, 0,
+      [&]() -> Result<bool> {
+        ++build_rows;
+        IndexKey k;
+        k.values.reserve(join.build_keys.size());
+        bool has_null = false;
+        for (const auto& bk : join.build_keys) {
+          P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*bk, build_stack));
+          if (v.is_null()) {
+            has_null = true;  // NULL keys can never match a probe
+            break;
+          }
+          k.values.push_back(std::move(v));
+        }
+        if (!has_null) keys->insert(std::move(k));
+        return false;  // enumerate every row
+      },
+      &stopped);
+  if (node != nullptr) {
+    node->elapsed_us += sw.ElapsedMicros();
+    node->rows += build_rows;
+  }
+  P3PDB_RETURN_IF_ERROR(st);
+  ++stats_->hash_join_builds;
+  stats_->hash_join_build_rows += build_rows;
+  rt.keys = keys;
+  rt.built_at_version = version;
+  return std::shared_ptr<const HashJoinRuntime::KeySet>(std::move(keys));
+}
+
 Status Executor::EnumerateRows(
     const SelectStmt& stmt, ScopeStack& stack, Scope& scope, size_t slot,
     const std::function<Result<bool>()>& on_row, bool* stopped) {
@@ -420,9 +528,10 @@ Status Executor::ScanSlot(const SelectStmt& stmt, ScopeStack& stack,
     }
     const std::vector<size_t>* row_ids = index->Lookup(key);
     if (row_ids == nullptr) return Status::OK();
-    // Copy: callbacks must not be invalidated by concurrent structure churn
-    // (none today, but cheap insurance for tiny id lists).
-    std::vector<size_t> ids = *row_ids;
+    // By reference: execution is read-only over the tables (DML never runs
+    // concurrently with or within a SELECT), so the id list is stable and
+    // copying it would tax every probe of the hot match path.
+    const std::vector<size_t>& ids = *row_ids;
     for (size_t row_id : ids) {
       if (!table->IsLive(row_id)) continue;
       ++stats_->rows_scanned;

@@ -14,6 +14,9 @@
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -23,6 +26,21 @@
 #include "sqldb/table.h"
 
 namespace p3pdb::sqldb {
+
+/// Shared runtime state of one planner-produced hash join (see planner.h):
+/// the build-side key set, cached across executions of the same bound plan
+/// and across the concurrent executors sharing it. `built_at_version` is
+/// the sum of the dep tables' modification counters at build time; any
+/// mismatch means a table changed and the set is rebuilt. Probers copy the
+/// shared_ptr under the mutex and then probe lock-free, so a rebuild never
+/// invalidates a set another thread is still reading.
+struct HashJoinRuntime {
+  using KeySet = std::unordered_set<IndexKey, IndexKeyHash>;
+
+  std::mutex mu;
+  std::shared_ptr<const KeySet> keys;  // null until first build
+  uint64_t built_at_version = 0;
+};
 
 /// Runtime counters for one plan node, accumulated across loops (EXPLAIN
 /// ANALYZE). `elapsed_us` is inclusive of child nodes, Postgres-style.
@@ -43,14 +61,20 @@ class PlanProfile {
   PlanNodeStats* Scan(const SelectStmt* stmt, size_t slot) {
     return &scans_[{stmt, slot}];
   }
+  /// Hash-join nodes are keyed by expression identity; `loops` counts
+  /// probes, `rows` counts probe hits. Build-side actuals live on the build
+  /// SelectStmt's own node.
+  PlanNodeStats* HashJoin(const Expr* join) { return &hash_joins_[join]; }
 
   /// nullptr when the node never executed (e.g. short-circuited subquery).
   const PlanNodeStats* FindSelect(const SelectStmt* stmt) const;
   const PlanNodeStats* FindScan(const SelectStmt* stmt, size_t slot) const;
+  const PlanNodeStats* FindHashJoin(const Expr* join) const;
 
  private:
   std::map<const SelectStmt*, PlanNodeStats> selects_;
   std::map<std::pair<const SelectStmt*, size_t>, PlanNodeStats> scans_;
+  std::map<const Expr*, PlanNodeStats> hash_joins_;
 };
 
 /// Executes bound SELECT statements. Stateless apart from the stats sink,
@@ -92,6 +116,14 @@ class Executor {
   /// (NULL and FALSE both reject — SQL three-valued filter semantics).
   Result<bool> EvalFilter(const Expr& expr, ScopeStack& stack);
   Result<bool> ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack);
+
+  /// Semi/anti-join probe: evaluates the probe keys in the current scope
+  /// and answers from the (possibly cached) build-side key set.
+  Result<Value> EvalHashJoin(const HashJoinExpr& join, ScopeStack& stack);
+  /// Returns the current key set for `join`, building (and caching) it if
+  /// the cache is empty or stale.
+  Result<std::shared_ptr<const HashJoinRuntime::KeySet>> HashJoinKeySet(
+      const HashJoinExpr& join);
 
   /// Depth-first enumeration of FROM-row combinations that satisfy WHERE.
   /// `on_row` returns true to stop early (EXISTS).

@@ -51,6 +51,23 @@ void ExplainSubqueries(const Expr& expr, int depth,
       ExplainSelect(*e.subquery, depth + 1, options, out);
       return;
     }
+    case ExprKind::kHashJoin: {
+      const auto& j = static_cast<const HashJoinExpr&>(expr);
+      Indent(depth, out);
+      out->append(j.anti ? "hash-anti-join" : "hash-semi-join");
+      std::vector<std::string> conds;
+      for (size_t i = 0; i < j.build_keys.size(); ++i) {
+        conds.push_back(j.build_keys[i]->ToSql() + " = " +
+                        RenderKeyExpr(*j.probe_keys[i], options));
+      }
+      out->append(" on " + Join(conds, ", "));
+      if (options.profile != nullptr) {
+        AppendActuals(options.profile->FindHashJoin(&j), options, out);
+      }
+      out->push_back('\n');
+      ExplainSelect(*j.build, depth + 1, options, out);
+      return;
+    }
     case ExprKind::kLogical:
       for (const ExprPtr& op :
            static_cast<const LogicalExpr&>(expr).operands) {

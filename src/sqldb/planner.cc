@@ -1,0 +1,397 @@
+#include "sqldb/planner.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sqldb/executor.h"
+#include "sqldb/table.h"
+
+namespace p3pdb::sqldb {
+namespace {
+
+bool RefsEscape(const Expr& e, int depth);
+
+/// True when any part of `s` references a scope more than `depth` SELECTs
+/// above it.
+bool SelectRefsEscape(const SelectStmt& s, int depth) {
+  for (const SelectItem& item : s.items) {
+    if (!item.is_star && RefsEscape(*item.expr, depth)) return true;
+  }
+  if (s.where != nullptr && RefsEscape(*s.where, depth)) return true;
+  for (const ExprPtr& g : s.group_by) {
+    if (RefsEscape(*g, depth)) return true;
+  }
+  for (const OrderByItem& ob : s.order_by) {
+    if (RefsEscape(*ob.expr, depth)) return true;
+  }
+  return false;
+}
+
+/// True when `e` contains a column reference that resolves more than
+/// `depth` SELECT levels above where `e` sits.
+bool RefsEscape(const Expr& e, int depth) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParam:
+      return false;
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr&>(e).level > depth;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      return RefsEscape(*c.left, depth) || RefsEscape(*c.right, depth);
+    }
+    case ExprKind::kLogical: {
+      for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
+        if (RefsEscape(*op, depth)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kNot:
+      return RefsEscape(*static_cast<const NotExpr&>(e).operand, depth);
+    case ExprKind::kExists:
+      return SelectRefsEscape(*static_cast<const ExistsExpr&>(e).subquery,
+                              depth + 1);
+    case ExprKind::kHashJoin: {
+      const auto& hj = static_cast<const HashJoinExpr&>(e);
+      for (const ExprPtr& pk : hj.probe_keys) {
+        if (RefsEscape(*pk, depth)) return true;
+      }
+      return SelectRefsEscape(*hj.build, depth + 1);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      if (RefsEscape(*in.operand, depth)) return true;
+      for (const ExprPtr& item : in.items) {
+        if (RefsEscape(*item, depth)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return RefsEscape(*static_cast<const IsNullExpr&>(e).operand, depth);
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(e);
+      return RefsEscape(*lk.operand, depth) || RefsEscape(*lk.pattern, depth);
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(e);
+      return agg.arg != nullptr && RefsEscape(*agg.arg, depth);
+    }
+  }
+  return true;  // unknown kind: assume the worst
+}
+
+bool SelectContainsParam(const SelectStmt& s);
+
+bool ContainsParam(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kColumnRef:
+      return false;
+    case ExprKind::kParam:
+      return true;
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      return ContainsParam(*c.left) || ContainsParam(*c.right);
+    }
+    case ExprKind::kLogical: {
+      for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
+        if (ContainsParam(*op)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kNot:
+      return ContainsParam(*static_cast<const NotExpr&>(e).operand);
+    case ExprKind::kExists:
+      return SelectContainsParam(*static_cast<const ExistsExpr&>(e).subquery);
+    case ExprKind::kHashJoin: {
+      const auto& hj = static_cast<const HashJoinExpr&>(e);
+      for (const ExprPtr& pk : hj.probe_keys) {
+        if (ContainsParam(*pk)) return true;
+      }
+      return SelectContainsParam(*hj.build);
+    }
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      if (ContainsParam(*in.operand)) return true;
+      for (const ExprPtr& item : in.items) {
+        if (ContainsParam(*item)) return true;
+      }
+      return false;
+    }
+    case ExprKind::kIsNull:
+      return ContainsParam(*static_cast<const IsNullExpr&>(e).operand);
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(e);
+      return ContainsParam(*lk.operand) || ContainsParam(*lk.pattern);
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(e);
+      return agg.arg != nullptr && ContainsParam(*agg.arg);
+    }
+  }
+  return true;
+}
+
+bool SelectContainsParam(const SelectStmt& s) {
+  for (const SelectItem& item : s.items) {
+    if (!item.is_star && ContainsParam(*item.expr)) return true;
+  }
+  if (s.where != nullptr && ContainsParam(*s.where)) return true;
+  for (const ExprPtr& g : s.group_by) {
+    if (ContainsParam(*g)) return true;
+  }
+  for (const OrderByItem& ob : s.order_by) {
+    if (ContainsParam(*ob.expr)) return true;
+  }
+  return false;
+}
+
+void CollectTablesExpr(const Expr& e, std::vector<const Table*>* out);
+
+/// Every table the select reads, FROM lists of nested subqueries included.
+void CollectTables(const SelectStmt& s, std::vector<const Table*>* out) {
+  for (const TableRef& tr : s.from) {
+    if (tr.table != nullptr) out->push_back(tr.table);
+  }
+  if (s.where != nullptr) CollectTablesExpr(*s.where, out);
+}
+
+void CollectTablesExpr(const Expr& e, std::vector<const Table*>* out) {
+  switch (e.kind) {
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      CollectTablesExpr(*c.left, out);
+      CollectTablesExpr(*c.right, out);
+      return;
+    }
+    case ExprKind::kLogical:
+      for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
+        CollectTablesExpr(*op, out);
+      }
+      return;
+    case ExprKind::kNot:
+      CollectTablesExpr(*static_cast<const NotExpr&>(e).operand, out);
+      return;
+    case ExprKind::kExists:
+      CollectTables(*static_cast<const ExistsExpr&>(e).subquery, out);
+      return;
+    case ExprKind::kHashJoin:
+      CollectTables(*static_cast<const HashJoinExpr&>(e).build, out);
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      CollectTablesExpr(*in.operand, out);
+      for (const ExprPtr& item : in.items) CollectTablesExpr(*item, out);
+      return;
+    }
+    case ExprKind::kIsNull:
+      CollectTablesExpr(*static_cast<const IsNullExpr&>(e).operand, out);
+      return;
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(e);
+      CollectTablesExpr(*lk.operand, out);
+      CollectTablesExpr(*lk.pattern, out);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+/// Owning counterpart of the executor's FlattenAnd: dismantles a tree of
+/// nested ANDs into its conjuncts, preserving left-to-right order.
+void FlattenAndOwned(ExprPtr e, std::vector<ExprPtr>* out) {
+  if (e->kind == ExprKind::kLogical) {
+    auto* l = static_cast<LogicalExpr*>(e.get());
+    if (l->is_and) {
+      for (ExprPtr& op : l->operands) FlattenAndOwned(std::move(op), out);
+      return;
+    }
+  }
+  out->push_back(std::move(e));
+}
+
+/// Read-only view of the same flattening, for the eligibility check.
+void FlattenAndView(const Expr* e, std::vector<const Expr*>* out) {
+  if (e->kind == ExprKind::kLogical) {
+    const auto* l = static_cast<const LogicalExpr*>(e);
+    if (l->is_and) {
+      for (const ExprPtr& op : l->operands) FlattenAndView(op.get(), out);
+      return;
+    }
+  }
+  out->push_back(e);
+}
+
+class Planner {
+ public:
+  explicit Planner(PlannerStats* stats) : stats_(stats) {}
+
+  void Plan(SelectStmt* stmt) {
+    path_.push_back(stmt);
+    if (stmt->where != nullptr) PlanExpr(&stmt->where);
+    path_.pop_back();
+  }
+
+ private:
+  /// How one top-level conjunct of a candidate subquery classifies.
+  struct Conjunct {
+    bool is_correlation = false;
+    bool left_is_inner = false;  // for correlations: which side is level 0
+  };
+
+  void PlanExpr(ExprPtr* slot) {
+    switch ((*slot)->kind) {
+      case ExprKind::kLogical: {
+        auto* l = static_cast<LogicalExpr*>(slot->get());
+        for (ExprPtr& op : l->operands) PlanExpr(&op);
+        return;
+      }
+      case ExprKind::kNot:
+        PlanExpr(&static_cast<NotExpr*>(slot->get())->operand);
+        return;
+      case ExprKind::kExists: {
+        auto* exists = static_cast<ExistsExpr*>(slot->get());
+        if (std::unique_ptr<HashJoinExpr> join = TryRewrite(exists)) {
+          *slot = std::move(join);
+          // Nested EXISTS travelled into the build as local conjuncts;
+          // give them their own rewrite pass.
+          Plan(static_cast<HashJoinExpr*>(slot->get())->build.get());
+        } else {
+          // Not eligible here; deeper levels may still be.
+          Plan(exists->subquery.get());
+        }
+        return;
+      }
+      default:
+        return;  // no subqueries below other kinds in this dialect
+    }
+  }
+
+  /// Resolves the schema column type of a bound reference, or nullopt when
+  /// the scope chain cannot be resolved (bail out rather than guess).
+  std::optional<ColumnType> RefType(const ColumnRefExpr& ref,
+                                    const SelectStmt* sub) const {
+    const SelectStmt* scope = nullptr;
+    if (ref.level == 0) {
+      scope = sub;
+    } else {
+      // level 1 = innermost enclosing select = path_.back().
+      if (static_cast<size_t>(ref.level) > path_.size()) return std::nullopt;
+      scope = path_[path_.size() - static_cast<size_t>(ref.level)];
+    }
+    if (ref.table_slot >= scope->from.size()) return std::nullopt;
+    const Table* table = scope->from[ref.table_slot].table;
+    if (table == nullptr) return std::nullopt;
+    const auto& columns = table->schema().columns();
+    if (ref.column_ordinal >= columns.size()) return std::nullopt;
+    return columns[ref.column_ordinal].type;
+  }
+
+  std::unique_ptr<HashJoinExpr> TryRewrite(ExistsExpr* exists) {
+    SelectStmt* sub = exists->subquery.get();
+    if (sub->from.empty() || sub->where == nullptr) return nullptr;
+    if (SelectContainsParam(*sub)) return nullptr;
+
+    // Phase 1: classify every top-level conjunct without touching the tree.
+    std::vector<const Expr*> view;
+    FlattenAndView(sub->where.get(), &view);
+    std::vector<Conjunct> classes(view.size());
+    size_t correlations = 0;
+    for (size_t i = 0; i < view.size(); ++i) {
+      const Expr* c = view[i];
+      if (!RefsEscape(*c, 0)) continue;  // local conjunct
+      // Escaping conjuncts must be `inner_col = outer_col` exactly.
+      if (c->kind != ExprKind::kComparison) return nullptr;
+      const auto* cmp = static_cast<const ComparisonExpr*>(c);
+      if (cmp->op != CompareOp::kEq) return nullptr;
+      if (cmp->left->kind != ExprKind::kColumnRef ||
+          cmp->right->kind != ExprKind::kColumnRef) {
+        return nullptr;
+      }
+      const auto* l = static_cast<const ColumnRefExpr*>(cmp->left.get());
+      const auto* r = static_cast<const ColumnRefExpr*>(cmp->right.get());
+      const ColumnRefExpr* inner = nullptr;
+      const ColumnRefExpr* outer = nullptr;
+      if (l->level == 0 && r->level >= 1) {
+        inner = l;
+        outer = r;
+        classes[i].left_is_inner = true;
+      } else if (r->level == 0 && l->level >= 1) {
+        inner = r;
+        outer = l;
+      } else {
+        return nullptr;  // e.g. outer_a = outer_b, or deeper-level pairs
+      }
+      std::optional<ColumnType> inner_type = RefType(*inner, sub);
+      std::optional<ColumnType> outer_type = RefType(*outer, sub);
+      if (!inner_type.has_value() || !outer_type.has_value() ||
+          *inner_type != *outer_type) {
+        return nullptr;
+      }
+      classes[i].is_correlation = true;
+      ++correlations;
+    }
+    if (correlations == 0) return nullptr;
+
+    // Phase 2: eligible — dismantle the WHERE and assemble the join node.
+    std::vector<ExprPtr> conjuncts;
+    FlattenAndOwned(std::move(sub->where), &conjuncts);
+    auto join = std::make_unique<HashJoinExpr>(exists->negated,
+                                               std::move(exists->subquery));
+    std::vector<ExprPtr> locals;
+    for (size_t i = 0; i < conjuncts.size(); ++i) {
+      if (!classes[i].is_correlation) {
+        locals.push_back(std::move(conjuncts[i]));
+        continue;
+      }
+      auto* cmp = static_cast<ComparisonExpr*>(conjuncts[i].get());
+      ExprPtr inner_side = classes[i].left_is_inner ? std::move(cmp->left)
+                                                    : std::move(cmp->right);
+      ExprPtr outer_side = classes[i].left_is_inner ? std::move(cmp->right)
+                                                    : std::move(cmp->left);
+      join->build_keys.emplace_back(
+          static_cast<ColumnRefExpr*>(inner_side.release()));
+      // The probe expression now evaluates one scope closer to its target.
+      static_cast<ColumnRefExpr*>(outer_side.get())->level -= 1;
+      join->probe_keys.push_back(std::move(outer_side));
+    }
+    SelectStmt* build = join->build.get();
+    if (locals.size() == 1) {
+      build->where = std::move(locals[0]);
+    } else if (!locals.empty()) {
+      build->where =
+          std::make_unique<LogicalExpr>(/*and_op=*/true, std::move(locals));
+    }  // else: no residual predicate; build enumerates the whole table
+
+    std::vector<const Table*> deps;
+    CollectTables(*build, &deps);
+    std::sort(deps.begin(), deps.end());
+    deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+    join->dep_tables = std::move(deps);
+    join->runtime = std::make_shared<HashJoinRuntime>();
+
+    if (stats_ != nullptr) {
+      if (join->anti) {
+        ++stats_->anti_join_rewrites;
+      } else {
+        ++stats_->semi_join_rewrites;
+      }
+    }
+    return join;
+  }
+
+  PlannerStats* stats_;
+  std::vector<const SelectStmt*> path_;  // enclosing selects, innermost last
+};
+
+}  // namespace
+
+void PlanSelect(SelectStmt* stmt, PlannerStats* stats) {
+  Planner planner(stats);
+  planner.Plan(stmt);
+}
+
+}  // namespace p3pdb::sqldb

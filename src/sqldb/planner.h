@@ -1,0 +1,58 @@
+// Rule-based query planner: EXISTS decorrelation.
+//
+// The translators emit one predicate shape for nesting — `[NOT] EXISTS
+// (SELECT * FROM child WHERE child.fk = outer.pk AND <locals>)` — which the
+// executor evaluates as a correlated nested loop (re-run per outer row).
+// This is exactly the shape a cost-based optimizer like DB2's (the engine
+// the paper measured against) decorrelates: the planner rewrites it into a
+// hash semi-join (EXISTS) or anti-join (NOT EXISTS) that builds the
+// subquery's key set once and answers every outer row with one O(1) probe,
+// with the remaining local predicates pushed below the build.
+//
+// Rewrite preconditions (anything else falls back to the correlated path):
+//   - every top-level AND conjunct of the subquery's WHERE is either
+//       (a) a correlation equality `inner_col = outer_col` — one side a
+//           column of the subquery's own FROM (level 0), the other a plain
+//           column reference from an enclosing scope (level >= 1) of the
+//           same column type (the executor's `=` errors on mixed types
+//           while hash equality would not, so mixed types are not
+//           rewritten), or
+//       (b) a local conjunct referencing nothing outside the subquery at
+//           any nesting depth;
+//   - at least one correlation equality exists;
+//   - the subquery contains no `?` bind parameters (a cached key set must
+//     not depend on per-execution values).
+//
+// NULL join keys (the classic decorrelation bug) keep their three-valued
+// semantics: a NULL build key never enters the set and a NULL probe key
+// matches nothing, so EXISTS yields false and NOT EXISTS yields true —
+// identical to the correlated path, where `col = NULL` rejects every row.
+//
+// The rewrite recurses into the build side, so the translators' EXISTS
+// chains (Policy -> Statement -> Purpose/Recipient/Retention/Data) become
+// nested hash joins whose builds amortize across outer rows, and into
+// non-rewritten subqueries, so deeper eligible levels are still planned.
+
+#ifndef P3PDB_SQLDB_PLANNER_H_
+#define P3PDB_SQLDB_PLANNER_H_
+
+#include <cstdint>
+
+#include "sqldb/ast.h"
+
+namespace p3pdb::sqldb {
+
+/// Rewrite tallies, merged into the database's ExecStats by the caller.
+struct PlannerStats {
+  uint64_t semi_join_rewrites = 0;  // EXISTS -> hash semi-join
+  uint64_t anti_join_rewrites = 0;  // NOT EXISTS -> hash anti-join
+};
+
+/// Rewrites eligible [NOT] EXISTS predicates of a *bound* SELECT into
+/// HashJoinExpr nodes, in place. Idempotent-safe to skip: an unplanned
+/// statement executes identically (modulo speed) on the correlated path.
+void PlanSelect(SelectStmt* stmt, PlannerStats* stats = nullptr);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_PLANNER_H_

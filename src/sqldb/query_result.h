@@ -36,6 +36,16 @@ struct ExecStats {
   uint64_t full_scans = 0;        // table scans (no usable index)
   uint64_t subquery_evals = 0;    // EXISTS subquery evaluations
   uint64_t comparisons = 0;       // predicate comparisons evaluated
+
+  // Planner counters (see planner.h). Rewrite counters tick at plan time;
+  // the hash-join counters tick at execution time.
+  uint64_t plans_built = 0;           // SELECTs bound + planned
+  uint64_t plan_cache_hits = 0;       // plan-cache hits (parse/bind skipped)
+  uint64_t semi_join_rewrites = 0;    // EXISTS -> hash semi-join
+  uint64_t anti_join_rewrites = 0;    // NOT EXISTS -> hash anti-join
+  uint64_t hash_join_builds = 0;      // key-set builds (cache misses)
+  uint64_t hash_join_build_rows = 0;  // rows enumerated by builds
+  uint64_t hash_join_probes = 0;      // O(1) probes answered from a key set
 };
 
 /// Database-level stats aggregate safe under concurrent executions.
@@ -48,6 +58,13 @@ struct AtomicExecStats {
   std::atomic<uint64_t> full_scans{0};
   std::atomic<uint64_t> subquery_evals{0};
   std::atomic<uint64_t> comparisons{0};
+  std::atomic<uint64_t> plans_built{0};
+  std::atomic<uint64_t> plan_cache_hits{0};
+  std::atomic<uint64_t> semi_join_rewrites{0};
+  std::atomic<uint64_t> anti_join_rewrites{0};
+  std::atomic<uint64_t> hash_join_builds{0};
+  std::atomic<uint64_t> hash_join_build_rows{0};
+  std::atomic<uint64_t> hash_join_probes{0};
 
   void Merge(const ExecStats& s) {
     statements_executed.fetch_add(s.statements_executed,
@@ -57,6 +74,16 @@ struct AtomicExecStats {
     full_scans.fetch_add(s.full_scans, std::memory_order_relaxed);
     subquery_evals.fetch_add(s.subquery_evals, std::memory_order_relaxed);
     comparisons.fetch_add(s.comparisons, std::memory_order_relaxed);
+    plans_built.fetch_add(s.plans_built, std::memory_order_relaxed);
+    plan_cache_hits.fetch_add(s.plan_cache_hits, std::memory_order_relaxed);
+    semi_join_rewrites.fetch_add(s.semi_join_rewrites,
+                                 std::memory_order_relaxed);
+    anti_join_rewrites.fetch_add(s.anti_join_rewrites,
+                                 std::memory_order_relaxed);
+    hash_join_builds.fetch_add(s.hash_join_builds, std::memory_order_relaxed);
+    hash_join_build_rows.fetch_add(s.hash_join_build_rows,
+                                   std::memory_order_relaxed);
+    hash_join_probes.fetch_add(s.hash_join_probes, std::memory_order_relaxed);
   }
 
   ExecStats Snapshot() const {
@@ -67,6 +94,14 @@ struct AtomicExecStats {
     s.full_scans = full_scans.load(std::memory_order_relaxed);
     s.subquery_evals = subquery_evals.load(std::memory_order_relaxed);
     s.comparisons = comparisons.load(std::memory_order_relaxed);
+    s.plans_built = plans_built.load(std::memory_order_relaxed);
+    s.plan_cache_hits = plan_cache_hits.load(std::memory_order_relaxed);
+    s.semi_join_rewrites = semi_join_rewrites.load(std::memory_order_relaxed);
+    s.anti_join_rewrites = anti_join_rewrites.load(std::memory_order_relaxed);
+    s.hash_join_builds = hash_join_builds.load(std::memory_order_relaxed);
+    s.hash_join_build_rows =
+        hash_join_build_rows.load(std::memory_order_relaxed);
+    s.hash_join_probes = hash_join_probes.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -77,6 +112,13 @@ struct AtomicExecStats {
     full_scans.store(0, std::memory_order_relaxed);
     subquery_evals.store(0, std::memory_order_relaxed);
     comparisons.store(0, std::memory_order_relaxed);
+    plans_built.store(0, std::memory_order_relaxed);
+    plan_cache_hits.store(0, std::memory_order_relaxed);
+    semi_join_rewrites.store(0, std::memory_order_relaxed);
+    anti_join_rewrites.store(0, std::memory_order_relaxed);
+    hash_join_builds.store(0, std::memory_order_relaxed);
+    hash_join_build_rows.store(0, std::memory_order_relaxed);
+    hash_join_probes.store(0, std::memory_order_relaxed);
   }
 };
 

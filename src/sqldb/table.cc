@@ -79,6 +79,7 @@ Status Table::Insert(Row row) {
   rows_.push_back(std::move(row));
   live_.push_back(true);
   ++live_count_;
+  version_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -87,6 +88,7 @@ void Table::Delete(size_t row_id) {
   for (auto& index : indexes_) index->Erase(rows_[row_id], row_id);
   live_[row_id] = false;
   --live_count_;
+  version_.fetch_add(1, std::memory_order_relaxed);
 }
 
 Status Table::CreateIndex(const std::string& index_name,

@@ -9,6 +9,7 @@
 #ifndef P3PDB_SQLDB_TABLE_H_
 #define P3PDB_SQLDB_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -118,12 +119,21 @@ class Table {
     return indexes_;
   }
 
+  /// Monotonic modification counter, bumped on every Insert/Delete. The
+  /// planner's cached hash-join key sets stamp the versions of the tables
+  /// they read and rebuild when any of them move. Relaxed ordering suffices:
+  /// writes happen under the server's exclusive install lock, reads under
+  /// its shared lock, so the counter is a staleness tally, not a
+  /// synchronization point.
+  uint64_t version() const { return version_.load(std::memory_order_relaxed); }
+
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
   std::vector<bool> live_;
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace p3pdb::sqldb

@@ -316,6 +316,29 @@ TEST(DifferentialTest, EnginesAndCachedPathAgreeOnRandomPairs) {
       << "sweep degenerated: too many draws were rejected";
 }
 
+TEST(DifferentialTest, EnginesAgreeWithPlannerDisabled) {
+  // The same cross-engine sweep with the EXISTS-decorrelation planner and
+  // plan cache globally disabled. P3PDB_NO_PLANNER is read when each
+  // Database's options are constructed, so setting it before the fixtures
+  // are built inside Sweep() turns the planner off for every SQL engine in
+  // the matrix; the correlated fallback path must agree with the native and
+  // XQuery engines pair for pair.
+  ASSERT_EQ(setenv("P3PDB_NO_PLANNER", "1", /*overwrite=*/1), 0);
+  const uint64_t seed = SeedFromEnv();
+  size_t pairs_checked = 0;
+  std::optional<Disagreement> disagreement =
+      Sweep(seed, /*preference_count=*/10, /*perturb=*/nullptr,
+            &pairs_checked);
+  unsetenv("P3PDB_NO_PLANNER");
+  if (disagreement.has_value()) {
+    std::string report = RenderDisagreement(*disagreement, seed);
+    WriteFailureArtifact(report);
+    FAIL() << report;
+  }
+  EXPECT_GE(pairs_checked, 250u)
+      << "sweep degenerated: too many draws were rejected";
+}
+
 TEST(DifferentialTest, PerturbedEngineFailsLoudlyWithMinimizedRepro) {
   // Fault injection at the harness layer: misreport one engine's behavior
   // on a slice of the pairs and require the sweep to catch it, minimize

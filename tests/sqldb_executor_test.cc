@@ -353,6 +353,34 @@ TEST_F(SqldbTest, IndexAcceleratesEqualityLookups) {
 }
 
 TEST_F(SqldbTest, SecondaryIndexUsedForCorrelatedSubquery) {
+  // The planner decorrelates this EXISTS into a hash semi-join; turn it off
+  // to pin the correlated access path itself (one index probe per outer
+  // row), which remains the fallback for non-rewritable subqueries.
+  Database db(Database::Options{.enable_planner = false,
+                                .enable_plan_cache = false});
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
+                    "CREATE TABLE s (pid INTEGER, v INTEGER);"
+                    "CREATE INDEX s_pid ON s (pid);")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO p VALUES (" + std::to_string(i) + ")").ok());
+    ASSERT_TRUE(
+        db.Execute("INSERT INTO s VALUES (" + std::to_string(i) + ", 1)")
+            .ok());
+  }
+  db.ResetStats();
+  auto r = db.Execute(
+      "SELECT id FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().rows.size(), 50u);
+  // The inner probe uses the secondary index; only the outer scan is full.
+  EXPECT_EQ(db.stats().full_scans, 1u);
+  EXPECT_EQ(db.stats().index_lookups, 50u);
+}
+
+TEST_F(SqldbTest, PlannerRewritesCorrelatedExistsToSemiJoin) {
   MustScript(
       "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
       "CREATE TABLE s (pid INTEGER, v INTEGER);"
@@ -360,17 +388,40 @@ TEST_F(SqldbTest, SecondaryIndexUsedForCorrelatedSubquery) {
   for (int i = 0; i < 50; ++i) {
     ASSERT_TRUE(
         db_.Execute("INSERT INTO p VALUES (" + std::to_string(i) + ")").ok());
-    ASSERT_TRUE(db_.Execute("INSERT INTO s VALUES (" + std::to_string(i) +
-                            ", 1)")
-                    .ok());
+    // Key every other outer row so the probe answers both ways.
+    if (i % 2 == 0) {
+      ASSERT_TRUE(db_.Execute("INSERT INTO s VALUES (" + std::to_string(i) +
+                              ", 1)")
+                      .ok());
+    }
   }
   db_.ResetStats();
-  QueryResult r = MustExecute(
-      "SELECT id FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)");
-  EXPECT_EQ(r.rows.size(), 50u);
-  // The inner probe uses the secondary index; only the outer scan is full.
-  EXPECT_EQ(db_.stats().full_scans, 1u);
-  EXPECT_EQ(db_.stats().index_lookups, 50u);
+  const std::string sql =
+      "SELECT id FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)";
+  QueryResult r = MustExecute(sql);
+  EXPECT_EQ(r.rows.size(), 25u);
+  ExecStats stats = db_.stats();
+  EXPECT_EQ(stats.semi_join_rewrites, 1u);
+  EXPECT_EQ(stats.hash_join_builds, 1u);
+  EXPECT_EQ(stats.hash_join_probes, 50u);
+  EXPECT_EQ(stats.plans_built, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 0u);
+
+  // Same text again: served from the plan cache, key set reused (no new
+  // build), same answer.
+  QueryResult again = MustExecute(sql);
+  EXPECT_EQ(again.rows.size(), 25u);
+  stats = db_.stats();
+  EXPECT_EQ(stats.plans_built, 1u);
+  EXPECT_EQ(stats.plan_cache_hits, 1u);
+  EXPECT_EQ(stats.hash_join_builds, 1u);
+
+  // A write to the build side invalidates the cached key set.
+  ASSERT_TRUE(db_.Execute("INSERT INTO s VALUES (1, 1)").ok());
+  QueryResult after = MustExecute(sql);
+  EXPECT_EQ(after.rows.size(), 26u);
+  stats = db_.stats();
+  EXPECT_EQ(stats.hash_join_builds, 2u);
 }
 
 TEST_F(SqldbTest, SubqueryDepthLimitEnforced) {

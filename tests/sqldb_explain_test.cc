@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "appel/model.h"
 #include "common/string_util.h"
 #include "sqldb/database.h"
 #include "workload/paper_examples.h"
@@ -92,7 +93,10 @@ TEST(ExplainTest, NonEqualityPredicateCannotUseIndex) {
 }
 
 TEST(ExplainTest, CorrelatedSubqueryShowsIndexProbe) {
-  Database db;
+  // Planner off: pins the correlated fallback plan (re-executed subquery
+  // probing the secondary index), which non-rewritable EXISTS still use.
+  Database db(Database::Options{.enable_planner = false,
+                                .enable_plan_cache = false});
   ASSERT_TRUE(db.ExecuteScript(
                     "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
                     "CREATE TABLE s (pid INTEGER);"
@@ -104,6 +108,35 @@ TEST(ExplainTest, CorrelatedSubqueryShowsIndexProbe) {
   EXPECT_NE(plan.find("scan p (seq scan)"), std::string::npos) << plan;
   EXPECT_NE(plan.find("exists-subquery"), std::string::npos) << plan;
   EXPECT_NE(plan.find("index s_pid on pid"), std::string::npos) << plan;
+}
+
+TEST(ExplainTest, PlannerRewritesExistsToHashSemiJoin) {
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
+                    "CREATE TABLE s (pid INTEGER);"
+                    "CREATE INDEX s_pid ON s (pid);")
+                  .ok());
+  std::string plan = Plan(
+      &db,
+      "SELECT * FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)");
+  EXPECT_NE(plan.find("hash-semi-join on s.pid = p.id"), std::string::npos)
+      << plan;
+  EXPECT_EQ(plan.find("exists-subquery"), std::string::npos) << plan;
+
+  std::string anti = Plan(
+      &db,
+      "SELECT * FROM p WHERE NOT EXISTS "
+      "(SELECT * FROM s WHERE s.pid = p.id)");
+  EXPECT_NE(anti.find("hash-anti-join on s.pid = p.id"), std::string::npos)
+      << anti;
+
+  // A non-equality correlation is not decorrelated: correlated fallback.
+  std::string fallback = Plan(
+      &db,
+      "SELECT * FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid < p.id)");
+  EXPECT_NE(fallback.find("exists-subquery"), std::string::npos) << fallback;
+  EXPECT_EQ(fallback.find("hash-semi-join"), std::string::npos) << fallback;
 }
 
 TEST(ExplainTest, DecorationsAppear) {
@@ -120,9 +153,11 @@ TEST(ExplainTest, DecorationsAppear) {
 TEST(ExplainTest, GeneratedAppelQueryPlanIsFullyIndexed) {
   // The paper's core performance claim visualized: every parent-child join
   // in the translated Jane rule is served by an index; the only sequential
-  // scan is the one-row ApplicablePolicy table.
-  auto server =
-      server::PolicyServer::Create({.engine = server::EngineKind::kSql});
+  // scan is the one-row ApplicablePolicy table. Planner off: hash-join
+  // builds deliberately full-scan their table once, so this correlated
+  // plan shape only exists on the fallback path.
+  auto server = server::PolicyServer::Create(
+      {.engine = server::EngineKind::kSql, .enable_planner = false});
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(
       server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
@@ -145,6 +180,81 @@ TEST(ExplainTest, GeneratedAppelQueryPlanIsFullyIndexed) {
   EXPECT_NE(plan.find("index idx_statement_policy"), std::string::npos)
       << plan;
   EXPECT_NE(plan.find("index idx_purpose_stmt"), std::string::npos) << plan;
+}
+
+// -- plan goldens: the planner must decorrelate the translated rule
+// queries of both schema generations into hash joins. The outermost EXISTS
+// stays correlated by design: its subquery carries the `?` policy-id
+// parameter, and cached key sets must be parameter-independent.
+
+TEST(ExplainTest, Fig15RuleQueryPlanUsesHashSemiJoins) {
+  auto server =
+      server::PolicyServer::Create({.engine = server::EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  std::string plan =
+      Plan(server.value()->database(), pref.value().sql.rule_queries[0]);
+  EXPECT_NE(plan.find("hash-semi-join on Statement.policy_id = "
+                      "Policy.policy_id"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("hash-semi-join on Purpose.policy_id = "
+                      "Statement.policy_id, Purpose.statement_id = "
+                      "Statement.statement_id"),
+            std::string::npos)
+      << plan;
+  // Only the parameterized outer subquery keeps the correlated form.
+  EXPECT_EQ(CountOf(plan, "exists-subquery"), 1u) << plan;
+}
+
+TEST(ExplainTest, Fig11RuleQueryPlanUsesHashSemiJoins) {
+  auto server = server::PolicyServer::Create(
+      {.engine = server::EngineKind::kSqlSimple});
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  auto pref = server.value()->CompilePreference(workload::JanePreference());
+  ASSERT_TRUE(pref.ok());
+  std::string plan =
+      Plan(server.value()->database(), pref.value().sql.rule_queries[0]);
+  // The simple schema's one-table-per-vocabulary-value shape: Statement,
+  // Purpose, and every per-value table (Admin, Contact, ...) decorrelate.
+  EXPECT_NE(plan.find("hash-semi-join on Statement.policy_id = "
+                      "Policy.policy_id"),
+            std::string::npos)
+      << plan;
+  EXPECT_GE(CountOf(plan, "hash-semi-join"), 4u) << plan;
+  EXPECT_EQ(CountOf(plan, "exists-subquery"), 1u) << plan;
+}
+
+TEST(ExplainTest, OrExactRuleQueryPlanUsesHashAntiJoin) {
+  // The or-exact connective adds the closure clause — "no purpose row
+  // OTHER than the listed ones" — a correlated NOT EXISTS the planner
+  // turns into a hash anti-join.
+  appel::AppelRule rule = workload::JaneSimplifiedFirstRule();
+  ASSERT_EQ(rule.expressions.size(), 1u);        // POLICY
+  ASSERT_EQ(rule.expressions[0].children.size(), 1u);  // STATEMENT
+  appel::AppelExpr& purpose = rule.expressions[0].children[0].children[0];
+  ASSERT_EQ(purpose.name, "PURPOSE");
+  purpose.connective = appel::Connective::kOrExact;
+  appel::AppelRuleset ruleset;
+  ruleset.rules.push_back(std::move(rule));
+
+  auto server =
+      server::PolicyServer::Create({.engine = server::EngineKind::kSql});
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server.value()->InstallPolicy(workload::VolgaPolicy()).ok());
+  auto pref = server.value()->CompilePreference(ruleset);
+  ASSERT_TRUE(pref.ok()) << pref.status();
+  std::string plan =
+      Plan(server.value()->database(), pref.value().sql.rule_queries[0]);
+  EXPECT_NE(plan.find("hash-anti-join on Purpose.policy_id = "
+                      "Statement.policy_id, Purpose.statement_id = "
+                      "Statement.statement_id"),
+            std::string::npos)
+      << plan;
+  EXPECT_NE(plan.find("hash-semi-join"), std::string::npos) << plan;
 }
 
 TEST(ExplainTest, ExplainValidates) {
@@ -263,7 +373,8 @@ TEST(ExplainAnalyzeTest, GeneratedAppelQueryStructureMatchesExplain) {
   for (const std::string& line : Split(analyzed, '\n')) {
     if (line.empty()) continue;
     std::string trimmed = Trim(line);
-    if (trimmed.rfind("select", 0) == 0 || trimmed.rfind("scan", 0) == 0) {
+    if (trimmed.rfind("select", 0) == 0 || trimmed.rfind("scan", 0) == 0 ||
+        trimmed.rfind("hash-", 0) == 0) {
       ++node_lines;
     }
   }
