@@ -93,9 +93,17 @@ class MatchingExperiment {
 /// `enable_planner` toggles the database's EXISTS-decorrelation planner and
 /// plan cache (the `--no-planner` ablation); the default honors
 /// P3PDB_NO_PLANNER like every other server.
+///
+/// `steady_state` configures the server the way a deployed matcher runs
+/// between policy updates: rule queries are prepared once at preference
+/// compile time (conversion cost, reported separately by fig20) and the
+/// server's own metrics registry is off, so per-match timings measure the
+/// engine rather than text re-submission and counter upkeep. The default
+/// keeps the paper methodology (SQL text submitted per match).
 Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
     server::EngineKind kind, int max_subquery_depth = 32,
-    bool enable_planner = sqldb::PlannerEnabledFromEnv());
+    bool enable_planner = sqldb::PlannerEnabledFromEnv(),
+    bool steady_state = false);
 
 /// True when `flag` appears verbatim among the arguments (e.g.
 /// `--no-planner`).

@@ -100,7 +100,8 @@ PolicyServer::PolicyServer(Options options)
           .max_subquery_depth = options.max_subquery_depth,
           .enforce_foreign_keys = true,
           .enable_planner = options.enable_planner,
-          .enable_plan_cache = options.enable_planner}),
+          .enable_plan_cache = options.enable_planner,
+          .enable_vectorized_executor = options.enable_vectorized_executor}),
       native_engine_(appel::NativeEngine::Options{
           .augment_per_match =
               options.augmentation == Augmentation::kPerMatch}) {
@@ -125,6 +126,12 @@ PolicyServer::PolicyServer(Options options)
       metrics_.GetCounter("sqldb_anti_join_rewrites_total");
   sql_hash_join_builds_ = metrics_.GetCounter("sqldb_hash_join_builds_total");
   sql_hash_join_probes_ = metrics_.GetCounter("sqldb_hash_join_probes_total");
+  sql_batches_ = metrics_.GetCounter("sqldb_batches_total");
+  sql_batch_rows_ = metrics_.GetCounter("sqldb_batch_rows_total");
+  sql_vectorized_filters_ =
+      metrics_.GetCounter("sqldb_vectorized_filters_total");
+  sql_vectorized_fallback_rows_ =
+      metrics_.GetCounter("sqldb_vectorized_fallback_rows_total");
   if (options_.enable_match_cache && !UsesLegacyMaterialization()) {
     match_cache_ = std::make_unique<MatchCache>(
         MatchCache::Options{
@@ -499,6 +506,7 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
       }
       const bool prepared = !pref.prepared_sql.empty();
       const size_t rule_count = pref.sql.rule_queries.size();
+      std::vector<Value> params;  // reused across rules (capacity sticks)
       for (size_t i = 0; i < rule_count; ++i) {
         obs::ScopedSpan rule_span(trace, "rule-query");
         if (rule_span.active()) {
@@ -512,11 +520,11 @@ Result<MatchResult> PolicyServer::EvaluateAgainstCurrent(
                                        : 0;
         QueryResult rows;
         if (prepared) {
-          std::vector<Value> params(param_count, Value::Integer(policy_id));
+          params.assign(param_count, Value::Integer(policy_id));
           P3PDB_ASSIGN_OR_RETURN(rows,
                                  pref.prepared_sql[i].Execute(params, trace));
         } else if (param_count > 0) {
-          std::vector<Value> params(param_count, Value::Integer(policy_id));
+          params.assign(param_count, Value::Integer(policy_id));
           P3PDB_ASSIGN_OR_RETURN(
               rows, db_.Execute(pref.sql.rule_queries[i], params, trace));
         } else {
@@ -820,6 +828,10 @@ void PolicyServer::SyncDatabaseMetrics() const {
   sync(sql_anti_join_rewrites_, stats.anti_join_rewrites);
   sync(sql_hash_join_builds_, stats.hash_join_builds);
   sync(sql_hash_join_probes_, stats.hash_join_probes);
+  sync(sql_batches_, stats.batches);
+  sync(sql_batch_rows_, stats.batch_rows);
+  sync(sql_vectorized_filters_, stats.vectorized_filters);
+  sync(sql_vectorized_fallback_rows_, stats.vectorized_fallback_rows);
 }
 
 obs::MetricsSnapshot PolicyServer::MetricsSnapshot() const {

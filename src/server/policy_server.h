@@ -118,6 +118,12 @@ class PolicyServer {
     /// flipped without code changes; benches pass it explicitly for the
     /// `--no-planner` ablation.
     bool enable_planner = sqldb::PlannerEnabledFromEnv();
+    /// Run the database's vectorized batch executor (columnar chunk scans,
+    /// selection-vector predicate kernels, batched hash-join probes).
+    /// Defaults from the P3PDB_NO_VECTORIZE environment variable, so the
+    /// bench/CI ablations flip the whole server stack the way they flip
+    /// the planner. Off = the scalar row-at-a-time executor.
+    bool enable_vectorized_executor = sqldb::VectorizeEnabledFromEnv();
     /// Log every match into the MatchLog table for site-owner analytics.
     bool record_matches = false;
     /// Bind the translated rule queries once at CompilePreference time and
@@ -381,6 +387,10 @@ class PolicyServer {
   obs::Counter* sql_anti_join_rewrites_ = nullptr;
   obs::Counter* sql_hash_join_builds_ = nullptr;
   obs::Counter* sql_hash_join_probes_ = nullptr;
+  obs::Counter* sql_batches_ = nullptr;
+  obs::Counter* sql_batch_rows_ = nullptr;
+  obs::Counter* sql_vectorized_filters_ = nullptr;
+  obs::Counter* sql_vectorized_fallback_rows_ = nullptr;
 };
 
 }  // namespace p3pdb::server

@@ -15,6 +15,11 @@ bool PlannerEnabledFromEnv() {
   return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
 }
 
+bool VectorizeEnabledFromEnv() {
+  const char* v = std::getenv("P3PDB_NO_VECTORIZE");
+  return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
+}
+
 namespace {
 
 /// Shared ownership of a bound SELECT still owned by its Statement base.
@@ -24,7 +29,54 @@ std::shared_ptr<const SelectStmt> ShareSelect(std::unique_ptr<Statement> stmt,
       std::shared_ptr<Statement>(std::move(stmt)), select);
 }
 
+/// Single-writer increment on a stats-shard counter (see LocalStats).
+void BumpRelaxed(std::atomic<uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+
 }  // namespace
+
+uint64_t Database::NextDatabaseId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+AtomicExecStats& Database::LocalStats() const {
+  // Small per-thread cache of (database id, shard) pairs: the common case
+  // (a server thread executing against one or two databases, e.g. the
+  // cross-engine differential harness) resolves with a few integer
+  // compares. Eviction can hand a thread a second shard for the same
+  // database; sums stay exact. A stale entry for a destroyed database is
+  // only ever compared, never dereferenced — ids are process-unique.
+  struct TlsEntry {
+    uint64_t db_id = 0;
+    AtomicExecStats* stats = nullptr;
+  };
+  constexpr size_t kTlsEntries = 4;
+  thread_local TlsEntry tls_cache[kTlsEntries];
+  thread_local size_t tls_next = 0;
+  for (const TlsEntry& e : tls_cache) {
+    if (e.db_id == db_id_) return *e.stats;
+  }
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  shards_.push_back(std::make_unique<StatShard>());
+  AtomicExecStats* stats = &shards_.back()->stats;
+  tls_cache[tls_next] = {db_id_, stats};
+  tls_next = (tls_next + 1) % kTlsEntries;
+  return *stats;
+}
+
+ExecStats Database::stats() const {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  ExecStats total;
+  for (const auto& shard : shards_) total.Accumulate(shard->stats.Snapshot());
+  return total;
+}
+
+void Database::ResetStats() {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  for (const auto& shard : shards_) shard->stats.Reset();
+}
 
 Result<QueryResult> Database::Execute(std::string_view sql) {
   if (std::shared_ptr<const SelectStmt> plan = LookupCachedPlan(sql)) {
@@ -130,7 +182,11 @@ Status Database::BindAndPlan(SelectStmt* select) {
     local.semi_join_rewrites = planner_stats.semi_join_rewrites;
     local.anti_join_rewrites = planner_stats.anti_join_rewrites;
   }
-  stats_.Merge(local);
+  // Annotation must follow planning: the rewrite replaces EXISTS subtrees
+  // with hash joins, and the slot plans point into the final tree.
+  if (options_.enable_vectorized_executor) AnnotateSelect(select);
+  PrecomputeExecHints(select);
+  LocalStats().MergeSingleWriter(local);
   return Status::OK();
 }
 
@@ -145,9 +201,11 @@ Result<QueryResult> Database::RunBoundSelect(const SelectStmt& select,
   }
   obs::ScopedSpan exec_span(trace, "sql-execute");
   ExecStats local;
-  Executor executor(&local, params);
+  Executor executor(&local, params, nullptr,
+                    ExecConfig{options_.enable_vectorized_executor,
+                               options_.vector_chunk_size});
   auto result = executor.RunSelect(select);
-  stats_.Merge(local);
+  LocalStats().MergeSingleWriter(local);
   if (result.ok()) {
     exec_span.AddCount("rows", result.value().rows.size());
     exec_span.AddCount("rows-scanned", local.rows_scanned);
@@ -169,7 +227,7 @@ std::shared_ptr<const SelectStmt> Database::LookupCachedPlan(
     return nullptr;
   }
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
-  stats_.plan_cache_hits.fetch_add(1, std::memory_order_relaxed);
+  BumpRelaxed(LocalStats().plan_cache_hits);
   return it->second->second.stmt;
 }
 
@@ -232,9 +290,11 @@ Result<QueryResult> PreparedStatement::Execute(
   // the only shared-state touch.
   obs::ScopedSpan exec_span(trace, "sql-execute");
   ExecStats local;
-  Executor executor(&local, &params);
+  Executor executor(&local, &params, nullptr,
+                    ExecConfig{db_->options_.enable_vectorized_executor,
+                               db_->options_.vector_chunk_size});
   auto result = executor.RunSelect(*select);
-  db_->stats_.Merge(local);
+  db_->LocalStats().MergeSingleWriter(local);
   if (result.ok()) {
     exec_span.AddCount("rows", result.value().rows.size());
     exec_span.AddCount("rows-scanned", local.rows_scanned);
@@ -272,9 +332,11 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       }
       P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
       ExecStats local;
-      Executor executor(&local, params);
+      Executor executor(&local, params, nullptr,
+                        ExecConfig{options_.enable_vectorized_executor,
+                                   options_.vector_chunk_size});
       auto result = executor.RunSelect(*select);
-      stats_.Merge(local);
+      LocalStats().MergeSingleWriter(local);
       return result;
     }
     case StatementKind::kInsert:
@@ -292,7 +354,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       // CreateTable consumes the schema; copy so re-execution stays valid.
       TableSchema schema = ct->schema;
       P3PDB_RETURN_IF_ERROR(CreateTable(std::move(schema)));
-      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
+      BumpRelaxed(LocalStats().statements_executed);
       return QueryResult{};
     }
     case StatementKind::kCreateIndex: {
@@ -304,13 +366,13 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       }
       P3PDB_RETURN_IF_ERROR(
           table->CreateIndex(ci->index_name, ci->columns, ci->unique));
-      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
+      BumpRelaxed(LocalStats().statements_executed);
       return QueryResult{};
     }
     case StatementKind::kDropTable: {
       auto* dt = static_cast<DropTableStmt*>(stmt);
       P3PDB_RETURN_IF_ERROR(DropTable(dt->table_name, dt->if_exists));
-      stats_.statements_executed.fetch_add(1, std::memory_order_relaxed);
+      BumpRelaxed(LocalStats().statements_executed);
       return QueryResult{};
     }
     case StatementKind::kExplain: {
@@ -332,9 +394,11 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       PlanProfile profile;
       if (explain->analyze) {
         ExecStats local;
-        Executor executor(&local, params, &profile);
+        Executor executor(&local, params, &profile,
+                          ExecConfig{options_.enable_vectorized_executor,
+                                     options_.vector_chunk_size});
         P3PDB_RETURN_IF_ERROR(executor.RunSelect(*select).status());
-        stats_.Merge(local);
+        LocalStats().MergeSingleWriter(local);
         explain_options.profile = &profile;
       }
       QueryResult result;
@@ -546,7 +610,7 @@ Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
     ++inserted;
   }
   ++local.statements_executed;
-  stats_.Merge(local);
+  LocalStats().MergeSingleWriter(local);
   QueryResult result;
   result.rows_affected = inserted;
   return result;
@@ -642,7 +706,7 @@ Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
     }
   }
   ++local.statements_executed;
-  stats_.Merge(local);
+  LocalStats().MergeSingleWriter(local);
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(updates.size());
   return result;
@@ -698,7 +762,7 @@ Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
 
   for (size_t row_id : victims) table->Delete(row_id);
   ++local.statements_executed;
-  stats_.Merge(local);
+  LocalStats().MergeSingleWriter(local);
   QueryResult result;
   result.rows_affected = static_cast<int64_t>(victims.size());
   return result;

@@ -38,6 +38,12 @@ class Database;
 /// through every layer.
 bool PlannerEnabledFromEnv();
 
+/// Vectorized-executor default: on, unless the environment sets
+/// P3PDB_NO_VECTORIZE to a non-empty value other than "0". Same contract as
+/// PlannerEnabledFromEnv, so the bench/CI ablations flip the batch executor
+/// the way they flip the planner.
+bool VectorizeEnabledFromEnv();
+
 /// A parsed-and-bound SELECT that can be executed repeatedly without
 /// re-preparing — what the generated rule queries become after the
 /// "conversion" step, so match-time cost is execution only.
@@ -97,10 +103,18 @@ class Database : public CatalogView {
     bool enable_plan_cache = PlannerEnabledFromEnv();
     /// Bounded LRU capacity of the plan cache.
     size_t plan_cache_capacity = 256;
+    /// Annotate planned SELECTs with per-slot access paths and run them on
+    /// the vectorized batch executor (chunked scans, selection-vector
+    /// predicate kernels, batched hash-join probes; see vectorized.cc).
+    /// Off = the scalar row-at-a-time path, byte-identical to before.
+    bool enable_vectorized_executor = VectorizeEnabledFromEnv();
+    /// Rows per columnar chunk on the vectorized path.
+    uint32_t vector_chunk_size = 1024;
   };
 
   Database() : Database(Options{}) {}
-  explicit Database(Options options) : options_(options) {}
+  explicit Database(Options options)
+      : options_(options), db_id_(NextDatabaseId()) {}
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -141,10 +155,11 @@ class Database : public CatalogView {
   size_t TableCount() const { return tables_.size(); }
 
   const Options& options() const { return options_; }
-  /// Snapshot of the accumulated execution counters. Returned by value:
-  /// the live aggregate is atomic and may be concurrently updated.
-  ExecStats stats() const { return stats_.Snapshot(); }
-  void ResetStats() { stats_.Reset(); }
+  /// Snapshot of the accumulated execution counters (sums the per-thread
+  /// shards). Returned by value: the live shards are atomic and may be
+  /// concurrently updated.
+  ExecStats stats() const;
+  void ResetStats();
 
  private:
   friend class PreparedStatement;
@@ -173,10 +188,28 @@ class Database : public CatalogView {
   Result<QueryResult> ExecuteDelete(DeleteStmt* stmt);
   Status CheckForeignKeys(const Table& table, const Row& row) const;
 
+  static uint64_t NextDatabaseId();
+
+  /// The per-thread stats shard for this database. Each (thread, database)
+  /// pair writes its own cache-line-aligned shard, so the per-query stats
+  /// merge is a handful of relaxed loads+stores instead of locked
+  /// fetch_adds on one contended aggregate (the locked RMWs were a visible
+  /// slice of the per-match profile). Shards are keyed by a process-unique
+  /// database id, so a thread's cached shard pointer can never be revived
+  /// by a later Database allocated at the same address; stats() sums every
+  /// shard under the registry mutex.
+  AtomicExecStats& LocalStats() const;
+
   Options options_;
   // Keyed by lower-cased name for case-insensitive resolution.
   std::map<std::string, std::unique_ptr<Table>> tables_;
-  AtomicExecStats stats_;
+
+  struct alignas(64) StatShard {
+    AtomicExecStats stats;
+  };
+  const uint64_t db_id_;
+  mutable std::mutex shard_mu_;
+  mutable std::vector<std::unique_ptr<StatShard>> shards_;
   // Bumped on every DDL change; prepared statements from an older
   // generation refuse to run rather than touch stale table pointers.
   uint64_t catalog_generation_ = 0;

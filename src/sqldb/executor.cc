@@ -170,7 +170,7 @@ Result<bool> Executor::EvalRowPredicate(const SelectStmt& stmt,
   if (stmt.where == nullptr) return true;
   Scope scope;
   scope.stmt = &stmt;
-  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.Reset(stmt.from.size());
   scope.rows[0] = &row;
   ScopeStack stack;
   stack.push_back(&scope);
@@ -181,7 +181,7 @@ Result<Value> Executor::EvalRowExpression(const SelectStmt& stmt,
                                           const Row& row, const Expr& expr) {
   Scope scope;
   scope.stmt = &stmt;
-  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.Reset(stmt.from.size());
   scope.rows[0] = &row;
   ScopeStack stack;
   stack.push_back(&scope);
@@ -345,7 +345,7 @@ Result<bool> Executor::ExistsAnyRow(const SelectStmt& sub, ScopeStack& stack) {
   }
   Scope scope;
   scope.stmt = &sub;
-  scope.rows.assign(sub.from.size(), nullptr);
+  scope.Reset(sub.from.size());
   stack.push_back(&scope);
   bool found = false;
   bool stopped = false;
@@ -380,22 +380,38 @@ Result<Value> Executor::EvalHashJoin(const HashJoinExpr& join,
   // can never equal anything, so the subquery's correlation equality is
   // UNKNOWN for every inner row — EXISTS is false, NOT EXISTS is true —
   // without needing the key set at all.
-  IndexKey key;
-  key.values.reserve(join.probe_keys.size());
+  // The probe key lives on the stack and is passed as a non-owning view
+  // (heterogeneous lookup): probes run once per outer row on the match
+  // path, and an owned IndexKey would allocate every time.
+  constexpr size_t kInlineKeyCols = 8;
+  Value inline_vals[kInlineKeyCols];
+  const Value* inline_ptrs[kInlineKeyCols];
+  std::vector<Value> spill_vals;
+  std::vector<const Value*> spill_ptrs;
+  Value* vals = inline_vals;
+  const Value** ptrs = inline_ptrs;
+  if (join.probe_keys.size() > kInlineKeyCols) {
+    spill_vals.resize(join.probe_keys.size());
+    spill_ptrs.resize(join.probe_keys.size());
+    vals = spill_vals.data();
+    ptrs = spill_ptrs.data();
+  }
+  size_t nk = 0;
   bool null_key = false;
   for (const ExprPtr& pk : join.probe_keys) {
-    P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*pk, stack));
-    if (v.is_null()) {
+    P3PDB_ASSIGN_OR_RETURN(vals[nk], Eval(*pk, stack));
+    if (vals[nk].is_null()) {
       null_key = true;
       break;
     }
-    key.values.push_back(std::move(v));
+    ptrs[nk] = &vals[nk];
+    ++nk;
   }
   bool found = false;
   if (!null_key) {
-    P3PDB_ASSIGN_OR_RETURN(std::shared_ptr<const HashJoinRuntime::KeySet> keys,
-                           HashJoinKeySet(join));
-    found = keys->count(key) != 0;
+    P3PDB_ASSIGN_OR_RETURN(const HashJoinRuntime::KeySet* keys,
+                           MemoKeySet(join));
+    found = keys->find(IndexKeyView{ptrs, nk}) != keys->end();
   }
   ++stats_->hash_join_probes;
   if (node != nullptr) {
@@ -432,7 +448,7 @@ Result<std::shared_ptr<const HashJoinRuntime::KeySet>> Executor::HashJoinKeySet(
   auto keys = std::make_shared<HashJoinRuntime::KeySet>();
   Scope scope;
   scope.stmt = &build;
-  scope.rows.assign(build.from.size(), nullptr);
+  scope.Reset(build.from.size());
   ScopeStack build_stack;
   build_stack.push_back(&scope);
   uint64_t build_rows = 0;
@@ -468,9 +484,23 @@ Result<std::shared_ptr<const HashJoinRuntime::KeySet>> Executor::HashJoinKeySet(
   return std::shared_ptr<const HashJoinRuntime::KeySet>(std::move(keys));
 }
 
+Result<const HashJoinRuntime::KeySet*> Executor::MemoKeySet(
+    const HashJoinExpr& join) {
+  for (const KeySetMemoEntry& e : keyset_memo_) {
+    if (e.join == &join) return e.keys.get();
+  }
+  P3PDB_ASSIGN_OR_RETURN(std::shared_ptr<const HashJoinRuntime::KeySet> keys,
+                         HashJoinKeySet(join));
+  KeySetMemoEntry& slot = keyset_memo_[keyset_memo_next_];
+  keyset_memo_next_ = (keyset_memo_next_ + 1) % kKeySetMemoSlots;
+  slot.join = &join;
+  slot.keys = std::move(keys);
+  return slot.keys.get();
+}
+
 Status Executor::EnumerateRows(
     const SelectStmt& stmt, ScopeStack& stack, Scope& scope, size_t slot,
-    const std::function<Result<bool>()>& on_row, bool* stopped) {
+    const RowCallback& on_row, bool* stopped) {
   if (*stopped) return Status::OK();
   if (slot == stmt.from.size()) {
     if (stmt.where != nullptr) {
@@ -494,8 +524,15 @@ Status Executor::EnumerateRows(
 
 Status Executor::ScanSlot(const SelectStmt& stmt, ScopeStack& stack,
                           Scope& scope, size_t slot,
-                          const std::function<Result<bool>()>& on_row,
+                          const RowCallback& on_row,
                           bool* stopped, PlanNodeStats* node) {
+  // Annotated statements take the vectorized path when it is enabled; the
+  // scalar path below is byte-identical to the pre-vectorization executor
+  // (it also serves un-annotated statements, e.g. DML probe selects).
+  if (config_.vectorized && !stmt.slot_plans.empty()) {
+    return ScanSlotVectorized(stmt, stack, scope, slot, on_row, stopped, node);
+  }
+
   const Table* table = stmt.from[slot].table;
 
   // Try an index lookup driven by available equality conjuncts.
@@ -561,9 +598,16 @@ Status Executor::ScanSlot(const SelectStmt& stmt, ScopeStack& stack,
 
 Result<QueryResult> Executor::RunSelect(const SelectStmt& stmt) {
   ScopeStack stack;
-  bool aggregate_mode = !stmt.group_by.empty();
-  for (const SelectItem& item : stmt.items) {
-    if (!item.is_star && ContainsAggregate(*item.expr)) aggregate_mode = true;
+  bool aggregate_mode;
+  if (stmt.aggregate_mode >= 0) {
+    aggregate_mode = stmt.aggregate_mode != 0;
+  } else {
+    aggregate_mode = !stmt.group_by.empty();
+    for (const SelectItem& item : stmt.items) {
+      if (!item.is_star && ContainsAggregate(*item.expr)) {
+        aggregate_mode = true;
+      }
+    }
   }
   if (profile_ == nullptr) {
     if (aggregate_mode) return RunAggregateSelect(stmt, stack);
@@ -641,22 +685,27 @@ Result<QueryResult> Executor::RunPlainSelect(const SelectStmt& stmt,
   ++stats_->statements_executed;
   QueryResult result;
 
-  // Column headers.
-  for (const SelectItem& item : stmt.items) {
-    if (item.is_star) {
-      for (const TableRef& tr : stmt.from) {
-        for (const ColumnDef& col : tr.table->schema().columns()) {
-          result.columns.push_back(col.name);
+  // Column headers (precomputed at bind time on the statements that went
+  // through BindAndPlan; re-derived here otherwise).
+  if (stmt.column_headers != nullptr) {
+    result.columns.Borrow(stmt.column_headers);
+  } else {
+    for (const SelectItem& item : stmt.items) {
+      if (item.is_star) {
+        for (const TableRef& tr : stmt.from) {
+          for (const ColumnDef& col : tr.table->schema().columns()) {
+            result.columns.push_back(col.name);
+          }
         }
+      } else {
+        result.columns.push_back(ItemColumnName(item));
       }
-    } else {
-      result.columns.push_back(ItemColumnName(item));
     }
   }
 
   Scope scope;
   scope.stmt = &stmt;
-  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.Reset(stmt.from.size());
   stack.push_back(&scope);
 
   std::vector<Row> order_keys;
@@ -770,7 +819,7 @@ Result<QueryResult> Executor::RunAggregateSelect(const SelectStmt& stmt,
 
   Scope scope;
   scope.stmt = &stmt;
-  scope.rows.assign(stmt.from.size(), nullptr);
+  scope.Reset(stmt.from.size());
   stack.push_back(&scope);
 
   struct Group {
@@ -945,6 +994,29 @@ Status Executor::SortAndLimit(const SelectStmt& stmt, QueryResult* result,
     result->rows.resize(static_cast<size_t>(*stmt.limit));
   }
   return Status::OK();
+}
+
+void PrecomputeExecHints(SelectStmt* stmt) {
+  bool aggregate_mode = !stmt->group_by.empty();
+  for (const SelectItem& item : stmt->items) {
+    if (!item.is_star && ContainsAggregate(*item.expr)) aggregate_mode = true;
+  }
+  stmt->aggregate_mode = aggregate_mode ? 1 : 0;
+  // Headers match RunPlainSelect's derivation exactly; the aggregate path
+  // keeps building its own (its header shape differs for star items).
+  auto headers = std::make_shared<std::vector<std::string>>();
+  for (const SelectItem& item : stmt->items) {
+    if (item.is_star) {
+      for (const TableRef& tr : stmt->from) {
+        for (const ColumnDef& col : tr.table->schema().columns()) {
+          headers->push_back(col.name);
+        }
+      }
+    } else {
+      headers->push_back(ItemColumnName(item));
+    }
+  }
+  stmt->column_headers = std::move(headers);
 }
 
 }  // namespace p3pdb::sqldb

@@ -35,7 +35,9 @@ namespace p3pdb::sqldb {
 /// shared_ptr under the mutex and then probe lock-free, so a rebuild never
 /// invalidates a set another thread is still reading.
 struct HashJoinRuntime {
-  using KeySet = std::unordered_set<IndexKey, IndexKeyHash>;
+  // Transparent hash/equality so probes can use IndexKeyView without
+  // materializing an IndexKey per probe (heterogeneous lookup).
+  using KeySet = std::unordered_set<IndexKey, IndexKeyHash, IndexKeyEqual>;
 
   std::mutex mu;
   std::shared_ptr<const KeySet> keys;  // null until first build
@@ -48,6 +50,12 @@ struct PlanNodeStats {
   uint64_t loops = 0;   // times the node was (re)started
   uint64_t rows = 0;    // rows the node produced, summed over loops
   double elapsed_us = 0.0;
+
+  // Vectorized-scan actuals (zero on row-at-a-time nodes): chunks emitted,
+  // rows gathered into them, and rows surviving the chunked filter.
+  uint64_t batches = 0;
+  uint64_t batch_rows_in = 0;
+  uint64_t batch_rows_out = 0;
 };
 
 /// Side table of actual runtime stats keyed by plan-node identity: a
@@ -77,6 +85,38 @@ class PlanProfile {
   std::map<const Expr*, PlanNodeStats> hash_joins_;
 };
 
+/// Execution-mode knobs, passed down from Database::Options. `vectorized`
+/// turns on the batch scan/filter path for annotated statements (see
+/// vectorized.cc); the scalar path is untouched when it is off.
+struct ExecConfig {
+  bool vectorized = false;
+  uint32_t chunk_size = 1024;
+};
+
+struct VecScratch;  // chunk evaluation arenas, defined in vectorized.cc
+
+/// Non-owning view of a `Result<bool>()` callable. The per-row callbacks of
+/// EnumerateRows are constructed once per scan setup, and the match path
+/// sets up several scans per query — a std::function would heap-allocate
+/// its captures every time. The viewed callable must outlive the view; every
+/// use here passes a lambda that lives for the whole enumeration call.
+class RowCallback {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, RowCallback>>>
+  RowCallback(const F& f)  // NOLINT(google-explicit-constructor)
+      : obj_(&f), call_([](const void* o) {
+          return (*static_cast<const F*>(o))();
+        }) {}
+
+  Result<bool> operator()() const { return call_(obj_); }
+
+ private:
+  const void* obj_;
+  Result<bool> (*call_)(const void*);
+};
+
 /// Executes bound SELECT statements. Stateless apart from the stats sink,
 /// the optional bind-parameter values, and the optional plan profile; one
 /// instance can run many queries. `stats` is a per-execution object owned
@@ -84,8 +124,8 @@ class PlanProfile {
 class Executor {
  public:
   explicit Executor(ExecStats* stats, const std::vector<Value>* params = nullptr,
-                    PlanProfile* profile = nullptr)
-      : stats_(stats), params_(params), profile_(profile) {}
+                    PlanProfile* profile = nullptr, ExecConfig config = {})
+      : stats_(stats), params_(params), profile_(profile), config_(config) {}
 
   /// Runs a bound SELECT and materializes the full result.
   Result<QueryResult> RunSelect(const SelectStmt& stmt);
@@ -107,9 +147,57 @@ class Executor {
  private:
   struct Scope {
     const SelectStmt* stmt = nullptr;
-    std::vector<const Row*> rows;  // one slot per FROM entry
+    const Row** rows = nullptr;  // one slot per FROM entry
+
+    /// Points `rows` at cleared storage for `n` slots: inline for the
+    /// common narrow FROM lists (a heap vector per scope showed up in the
+    /// per-match profile), spilling to the heap only for very wide ones.
+    void Reset(size_t n) {
+      if (n > kInlineSlots) {
+        spill_.assign(n, nullptr);
+        rows = spill_.data();
+        return;
+      }
+      rows = inline_rows_;
+      for (size_t i = 0; i < n; ++i) rows[i] = nullptr;
+    }
+
+   private:
+    static constexpr size_t kInlineSlots = 8;
+    const Row* inline_rows_[kInlineSlots];
+    std::vector<const Row*> spill_;
   };
-  using ScopeStack = std::vector<Scope*>;
+
+  /// Stack of enclosing scopes, innermost last. Depth is bounded by the
+  /// binder's subquery budget, so the inline buffer covers every statement
+  /// the stock servers accept; a heap vector per RunSelect was measurable
+  /// on the per-match profile. Deeper stacks (custom budgets) spill.
+  class ScopeStack {
+   public:
+    void push_back(Scope* s) {
+      if (size_ < kInline) {
+        inline_[size_++] = s;
+        return;
+      }
+      spill_.push_back(s);
+      ++size_;
+    }
+    void pop_back() {
+      if (size_ > kInline) spill_.pop_back();
+      --size_;
+    }
+    size_t size() const { return size_; }
+    Scope* operator[](size_t i) const {
+      return i < kInline ? inline_[i] : spill_[i - kInline];
+    }
+    Scope* back() const { return (*this)[size_ - 1]; }
+
+   private:
+    static constexpr size_t kInline = 40;
+    size_t size_ = 0;
+    Scope* inline_[kInline];
+    std::vector<Scope*> spill_;
+  };
 
   Result<Value> Eval(const Expr& expr, ScopeStack& stack);
   /// Evaluates a predicate; the row passes only when the result is TRUE
@@ -124,17 +212,45 @@ class Executor {
   /// the cache is empty or stale.
   Result<std::shared_ptr<const HashJoinRuntime::KeySet>> HashJoinKeySet(
       const HashJoinExpr& join);
+  /// Per-execution memo over HashJoinKeySet: one mutex acquisition and
+  /// version check per (execution, join) instead of per probe row. The
+  /// memo's shared_ptr keeps the snapshot alive for the whole execution —
+  /// the same lock-free-probe guarantee the per-row fetch gave one probe,
+  /// extended to the execution. The pointer is valid until the Executor is
+  /// destroyed.
+  Result<const HashJoinRuntime::KeySet*> MemoKeySet(const HashJoinExpr& join);
 
   /// Depth-first enumeration of FROM-row combinations that satisfy WHERE.
   /// `on_row` returns true to stop early (EXISTS).
   Status EnumerateRows(const SelectStmt& stmt, ScopeStack& stack, Scope& scope,
-                       size_t slot, const std::function<Result<bool>()>& on_row,
+                       size_t slot, const RowCallback& on_row,
                        bool* stopped);
   /// The per-slot body of EnumerateRows (access-path choice and row loop);
   /// `node` collects actuals when profiling, else nullptr.
   Status ScanSlot(const SelectStmt& stmt, ScopeStack& stack, Scope& scope,
-                  size_t slot, const std::function<Result<bool>()>& on_row,
+                  size_t slot, const RowCallback& on_row,
                   bool* stopped, PlanNodeStats* node);
+
+  // --- Vectorized path (vectorized.cc) -------------------------------------
+  // ScanSlot dispatches here when config_.vectorized is set and the
+  // statement carries slot_plans. The annotated access path replaces the
+  // per-scan equality collection; the innermost filtered slot additionally
+  // gathers rows into chunks and evaluates the WHERE clause with the chunk
+  // kernels in EvalPredicateChunk. Semantics are identical to the scalar
+  // path (three-valued logic, NULL join verdicts, error messages).
+  Status ScanSlotVectorized(const SelectStmt& stmt, ScopeStack& stack,
+                            Scope& scope, size_t slot,
+                            const RowCallback& on_row,
+                            bool* stopped, PlanNodeStats* node);
+  /// Evaluates `expr` as a predicate over the active rows of the current
+  /// chunk, writing tri-state verdicts (false/true/null) into `out` at the
+  /// active positions. `active`/`n_active` is a selection vector of chunk
+  /// row indices. `nonbool_error` is the message prefix used when a non-kNot
+  /// context receives a non-boolean operand.
+  Status EvalPredicateChunk(const Expr& expr, size_t slot, ScopeStack& stack,
+                            Scope& scope, const uint32_t* active,
+                            size_t n_active, uint8_t* out,
+                            const char* nonbool_error, VecScratch& scratch);
 
   Result<QueryResult> RunPlainSelect(const SelectStmt& stmt,
                                      ScopeStack& stack);
@@ -150,6 +266,17 @@ class Executor {
   ExecStats* stats_;
   const std::vector<Value>* params_;  // null = statement takes no parameters
   PlanProfile* profile_;  // null = no per-node actuals collected
+  ExecConfig config_;
+
+  // MemoKeySet state: a small direct-scan cache (statements carry at most a
+  // handful of distinct joins; round-robin eviction covers the rest).
+  struct KeySetMemoEntry {
+    const HashJoinExpr* join = nullptr;
+    std::shared_ptr<const HashJoinRuntime::KeySet> keys;
+  };
+  static constexpr size_t kKeySetMemoSlots = 4;
+  KeySetMemoEntry keyset_memo_[kKeySetMemoSlots];
+  size_t keyset_memo_next_ = 0;
 };
 
 /// SQL LIKE with % (any run) and _ (any single char). `escape_char` ('\0'
@@ -170,6 +297,11 @@ struct IndexableEquality {
 /// Extracts the indexable equalities for `slot` from a bound WHERE clause.
 std::vector<IndexableEquality> CollectIndexableEqualities(const Expr* where,
                                                           size_t slot);
+
+/// Fills the bound statement's execution hints (column headers, aggregate
+/// mode) so the per-query hot path does not re-derive them. Called from
+/// Database::BindAndPlan after planning; the hints describe the final tree.
+void PrecomputeExecHints(SelectStmt* stmt);
 
 }  // namespace p3pdb::sqldb
 

@@ -394,4 +394,102 @@ void PlanSelect(SelectStmt* stmt, PlannerStats* stats) {
   planner.Plan(stmt);
 }
 
+namespace {
+
+void AnnotateExpr(const Expr& e);
+
+/// Resolves the access path of every FROM slot of `stmt`, mirroring the
+/// executor's per-scan derivation exactly (same equality collection, same
+/// FindIndexCovering tie-break) so plans and actuals match either way.
+void AnnotateOne(SelectStmt* stmt) {
+  stmt->slot_plans.assign(stmt->from.size(), SlotPlan{});
+  for (size_t slot = 0; slot < stmt->from.size(); ++slot) {
+    SlotPlan& sp = stmt->slot_plans[slot];
+    const Table* table = stmt->from[slot].table;
+    if (table == nullptr) continue;  // unbound (defensive); scalar would fail
+    std::vector<IndexableEquality> equalities =
+        CollectIndexableEqualities(stmt->where.get(), slot);
+    if (!equalities.empty()) {
+      std::vector<size_t> available;
+      available.reserve(equalities.size());
+      for (const IndexableEquality& eq : equalities) {
+        available.push_back(eq.column_ordinal);
+      }
+      sp.index = table->FindIndexCovering(available);
+    }
+    if (sp.index != nullptr) {
+      sp.key_exprs.reserve(sp.index->column_ordinals().size());
+      for (size_t ord : sp.index->column_ordinals()) {
+        const Expr* key_expr = nullptr;
+        for (const IndexableEquality& eq : equalities) {
+          if (eq.column_ordinal == ord) {
+            key_expr = eq.key_expr;
+            break;
+          }
+        }
+        sp.key_exprs.push_back(key_expr);
+      }
+    }
+  }
+  // Only the innermost slot may filter in chunks: outer slots must stay
+  // row-at-a-time so EXISTS early-out never scans rows the scalar path
+  // would not have touched.
+  if (!stmt->from.empty() && stmt->where != nullptr) {
+    stmt->slot_plans.back().vector_filter = true;
+  }
+
+  if (stmt->where != nullptr) AnnotateExpr(*stmt->where);
+  for (const SelectItem& item : stmt->items) {
+    if (!item.is_star) AnnotateExpr(*item.expr);
+  }
+  for (const ExprPtr& g : stmt->group_by) AnnotateExpr(*g);
+  for (const OrderByItem& ob : stmt->order_by) AnnotateExpr(*ob.expr);
+}
+
+void AnnotateExpr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      AnnotateExpr(*c.left);
+      AnnotateExpr(*c.right);
+      return;
+    }
+    case ExprKind::kLogical:
+      for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
+        AnnotateExpr(*op);
+      }
+      return;
+    case ExprKind::kNot:
+      AnnotateExpr(*static_cast<const NotExpr&>(e).operand);
+      return;
+    case ExprKind::kExists:
+      AnnotateOne(static_cast<const ExistsExpr&>(e).subquery.get());
+      return;
+    case ExprKind::kHashJoin:
+      AnnotateOne(static_cast<const HashJoinExpr&>(e).build.get());
+      return;
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      AnnotateExpr(*in.operand);
+      for (const ExprPtr& item : in.items) AnnotateExpr(*item);
+      return;
+    }
+    case ExprKind::kIsNull:
+      AnnotateExpr(*static_cast<const IsNullExpr&>(e).operand);
+      return;
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(e);
+      AnnotateExpr(*lk.operand);
+      AnnotateExpr(*lk.pattern);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace
+
+void AnnotateSelect(SelectStmt* stmt) { AnnotateOne(stmt); }
+
 }  // namespace p3pdb::sqldb

@@ -53,6 +53,14 @@ struct PlannerStats {
 /// statement executes identically (modulo speed) on the correlated path.
 void PlanSelect(SelectStmt* stmt, PlannerStats* stats = nullptr);
 
+/// Fills `slot_plans` on `stmt` and every nested SELECT (EXISTS subqueries,
+/// hash-join build sides): the access path the executor would otherwise
+/// re-derive on every scan (index choice + probe key expressions), plus the
+/// vectorized-filter eligibility of the innermost FROM slot. Must run after
+/// PlanSelect (rewrites change the tree) and only on bound statements.
+/// Statements left un-annotated always execute on the scalar path.
+void AnnotateSelect(SelectStmt* stmt);
+
 }  // namespace p3pdb::sqldb
 
 #endif  // P3PDB_SQLDB_PLANNER_H_

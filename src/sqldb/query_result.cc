@@ -48,7 +48,7 @@ std::string QueryResult::ToString() const {
   };
 
   separator();
-  append_row(columns);
+  append_row({columns.begin(), columns.end()});
   separator();
   for (const auto& line : cells) append_row(line);
   separator();

@@ -5,16 +5,56 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sqldb/schema.h"
 
 namespace p3pdb::sqldb {
 
+/// Result column headers. The hot execute path borrows the header list
+/// precomputed on the bound statement (one shared_ptr copy per execution
+/// instead of a heap vector of string copies); EXPLAIN, the aggregate path,
+/// and statements bound outside BindAndPlan still build their own list
+/// incrementally. Copy-on-write: the first mutation of a borrowed list
+/// detaches it.
+class ResultColumns {
+ public:
+  void push_back(std::string name) { Own().push_back(std::move(name)); }
+  void Borrow(std::shared_ptr<const std::vector<std::string>> cols) {
+    shared_ = std::move(cols);
+    owned_.clear();
+  }
+
+  size_t size() const { return Get().size(); }
+  bool empty() const { return Get().empty(); }
+  const std::string& operator[](size_t i) const { return Get()[i]; }
+  std::vector<std::string>::const_iterator begin() const {
+    return Get().begin();
+  }
+  std::vector<std::string>::const_iterator end() const { return Get().end(); }
+
+ private:
+  const std::vector<std::string>& Get() const {
+    return shared_ != nullptr ? *shared_ : owned_;
+  }
+  std::vector<std::string>& Own() {
+    if (shared_ != nullptr) {
+      owned_ = *shared_;
+      shared_.reset();
+    }
+    return owned_;
+  }
+
+  std::shared_ptr<const std::vector<std::string>> shared_;
+  std::vector<std::string> owned_;
+};
+
 /// Rows and column names for queries; rows_affected for DML/DDL.
 struct QueryResult {
-  std::vector<std::string> columns;
+  ResultColumns columns;
   std::vector<Row> rows;
   int64_t rows_affected = 0;
 
@@ -46,6 +86,37 @@ struct ExecStats {
   uint64_t hash_join_builds = 0;      // key-set builds (cache misses)
   uint64_t hash_join_build_rows = 0;  // rows enumerated by builds
   uint64_t hash_join_probes = 0;      // O(1) probes answered from a key set
+
+  // Vectorized-executor counters (see vectorized.cc). `batches` counts the
+  // columnar chunks emitted by batch scans and `batch_rows` the rows
+  // gathered into them; `vectorized_filters` counts WHERE clauses evaluated
+  // through the chunk kernels, while `vectorized_fallback_rows` counts the
+  // rows a chunk had to route through the per-row scalar evaluator
+  // (correlated EXISTS and other non-kernel operators).
+  uint64_t batches = 0;
+  uint64_t batch_rows = 0;
+  uint64_t vectorized_filters = 0;
+  uint64_t vectorized_fallback_rows = 0;
+
+  void Accumulate(const ExecStats& s) {
+    statements_executed += s.statements_executed;
+    rows_scanned += s.rows_scanned;
+    index_lookups += s.index_lookups;
+    full_scans += s.full_scans;
+    subquery_evals += s.subquery_evals;
+    comparisons += s.comparisons;
+    plans_built += s.plans_built;
+    plan_cache_hits += s.plan_cache_hits;
+    semi_join_rewrites += s.semi_join_rewrites;
+    anti_join_rewrites += s.anti_join_rewrites;
+    hash_join_builds += s.hash_join_builds;
+    hash_join_build_rows += s.hash_join_build_rows;
+    hash_join_probes += s.hash_join_probes;
+    batches += s.batches;
+    batch_rows += s.batch_rows;
+    vectorized_filters += s.vectorized_filters;
+    vectorized_fallback_rows += s.vectorized_fallback_rows;
+  }
 };
 
 /// Database-level stats aggregate safe under concurrent executions.
@@ -65,25 +136,65 @@ struct AtomicExecStats {
   std::atomic<uint64_t> hash_join_builds{0};
   std::atomic<uint64_t> hash_join_build_rows{0};
   std::atomic<uint64_t> hash_join_probes{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> batch_rows{0};
+  std::atomic<uint64_t> vectorized_filters{0};
+  std::atomic<uint64_t> vectorized_fallback_rows{0};
 
   void Merge(const ExecStats& s) {
-    statements_executed.fetch_add(s.statements_executed,
-                                  std::memory_order_relaxed);
-    rows_scanned.fetch_add(s.rows_scanned, std::memory_order_relaxed);
-    index_lookups.fetch_add(s.index_lookups, std::memory_order_relaxed);
-    full_scans.fetch_add(s.full_scans, std::memory_order_relaxed);
-    subquery_evals.fetch_add(s.subquery_evals, std::memory_order_relaxed);
-    comparisons.fetch_add(s.comparisons, std::memory_order_relaxed);
-    plans_built.fetch_add(s.plans_built, std::memory_order_relaxed);
-    plan_cache_hits.fetch_add(s.plan_cache_hits, std::memory_order_relaxed);
-    semi_join_rewrites.fetch_add(s.semi_join_rewrites,
-                                 std::memory_order_relaxed);
-    anti_join_rewrites.fetch_add(s.anti_join_rewrites,
-                                 std::memory_order_relaxed);
-    hash_join_builds.fetch_add(s.hash_join_builds, std::memory_order_relaxed);
-    hash_join_build_rows.fetch_add(s.hash_join_build_rows,
-                                   std::memory_order_relaxed);
-    hash_join_probes.fetch_add(s.hash_join_probes, std::memory_order_relaxed);
+    // Skip zero counters: a typical statement touches a handful of the
+    // fields, and an uncontended atomic RMW still costs a locked cycle the
+    // per-match path pays per execution. A load+branch is ~free.
+    auto add = [](std::atomic<uint64_t>& dst, uint64_t v) {
+      if (v != 0) dst.fetch_add(v, std::memory_order_relaxed);
+    };
+    add(statements_executed, s.statements_executed);
+    add(rows_scanned, s.rows_scanned);
+    add(index_lookups, s.index_lookups);
+    add(full_scans, s.full_scans);
+    add(subquery_evals, s.subquery_evals);
+    add(comparisons, s.comparisons);
+    add(plans_built, s.plans_built);
+    add(plan_cache_hits, s.plan_cache_hits);
+    add(semi_join_rewrites, s.semi_join_rewrites);
+    add(anti_join_rewrites, s.anti_join_rewrites);
+    add(hash_join_builds, s.hash_join_builds);
+    add(hash_join_build_rows, s.hash_join_build_rows);
+    add(hash_join_probes, s.hash_join_probes);
+    add(batches, s.batches);
+    add(batch_rows, s.batch_rows);
+    add(vectorized_filters, s.vectorized_filters);
+    add(vectorized_fallback_rows, s.vectorized_fallback_rows);
+  }
+
+  /// Merge for a single-writer shard (see Database::LocalStats): only the
+  /// owning thread ever writes the shard, so a relaxed load+store — a plain
+  /// add, no locked read-modify-write — replaces fetch_add. Concurrent
+  /// readers (stats snapshots) still see whole atomic field values.
+  void MergeSingleWriter(const ExecStats& s) {
+    auto add = [](std::atomic<uint64_t>& dst, uint64_t v) {
+      if (v != 0) {
+        dst.store(dst.load(std::memory_order_relaxed) + v,
+                  std::memory_order_relaxed);
+      }
+    };
+    add(statements_executed, s.statements_executed);
+    add(rows_scanned, s.rows_scanned);
+    add(index_lookups, s.index_lookups);
+    add(full_scans, s.full_scans);
+    add(subquery_evals, s.subquery_evals);
+    add(comparisons, s.comparisons);
+    add(plans_built, s.plans_built);
+    add(plan_cache_hits, s.plan_cache_hits);
+    add(semi_join_rewrites, s.semi_join_rewrites);
+    add(anti_join_rewrites, s.anti_join_rewrites);
+    add(hash_join_builds, s.hash_join_builds);
+    add(hash_join_build_rows, s.hash_join_build_rows);
+    add(hash_join_probes, s.hash_join_probes);
+    add(batches, s.batches);
+    add(batch_rows, s.batch_rows);
+    add(vectorized_filters, s.vectorized_filters);
+    add(vectorized_fallback_rows, s.vectorized_fallback_rows);
   }
 
   ExecStats Snapshot() const {
@@ -102,6 +213,11 @@ struct AtomicExecStats {
     s.hash_join_build_rows =
         hash_join_build_rows.load(std::memory_order_relaxed);
     s.hash_join_probes = hash_join_probes.load(std::memory_order_relaxed);
+    s.batches = batches.load(std::memory_order_relaxed);
+    s.batch_rows = batch_rows.load(std::memory_order_relaxed);
+    s.vectorized_filters = vectorized_filters.load(std::memory_order_relaxed);
+    s.vectorized_fallback_rows =
+        vectorized_fallback_rows.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -119,6 +235,10 @@ struct AtomicExecStats {
     hash_join_builds.store(0, std::memory_order_relaxed);
     hash_join_build_rows.store(0, std::memory_order_relaxed);
     hash_join_probes.store(0, std::memory_order_relaxed);
+    batches.store(0, std::memory_order_relaxed);
+    batch_rows.store(0, std::memory_order_relaxed);
+    vectorized_filters.store(0, std::memory_order_relaxed);
+    vectorized_fallback_rows.store(0, std::memory_order_relaxed);
   }
 };
 

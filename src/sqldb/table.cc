@@ -9,13 +9,17 @@ Status Index::Insert(const Row& row, size_t row_id) {
   for (const Value& v : key.values) {
     if (v.is_null()) return Status::OK();  // NULL keys are not indexed
   }
-  std::vector<size_t>& ids = map_[key];
+  // Find-then-emplace so the key vector is moved into the map instead of
+  // copied (map_[key] would deep-copy every Value).
+  auto it = map_.find(key);
+  if (it == map_.end()) it = map_.try_emplace(std::move(key)).first;
+  std::vector<size_t>& ids = it->second;
   if (unique_ && !ids.empty()) {
     return Status::AlreadyExists("unique index '" + name_ +
                                  "' violation for key " +
                                  [&] {
                                    std::string s;
-                                   for (const Value& v : key.values) {
+                                   for (const Value& v : it->first.values) {
                                      if (!s.empty()) s += ", ";
                                      s += v.ToString();
                                    }
@@ -43,6 +47,14 @@ const std::vector<size_t>* Index::Lookup(const IndexKey& key) const {
     if (v.is_null()) return nullptr;
   }
   auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+const std::vector<size_t>* Index::Lookup(const IndexKeyView& key) const {
+  for (size_t i = 0; i < key.size; ++i) {
+    if (key.values[i]->is_null()) return nullptr;
+  }
+  auto it = map_.find(key);  // heterogeneous lookup, no IndexKey built
   return it == map_.end() ? nullptr : &it->second;
 }
 
@@ -116,6 +128,19 @@ Status Table::CreateIndex(const std::string& index_name,
   }
   indexes_.push_back(std::move(index));
   return Status::OK();
+}
+
+size_t Table::FetchChunk(size_t* cursor, size_t max,
+                         const Row** out) const {
+  size_t n = 0;
+  size_t slot = *cursor;
+  const size_t end = rows_.size();
+  while (slot < end && n < max) {
+    if (live_[slot]) out[n++] = &rows_[slot];
+    ++slot;
+  }
+  *cursor = slot;
+  return n;
 }
 
 const Index* Table::FindIndexCovering(

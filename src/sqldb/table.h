@@ -36,13 +36,57 @@ struct IndexKey {
   }
 };
 
+/// Non-owning view of a composite key: an array of pointers to Values that
+/// live elsewhere (a chunk scratch arena, an expression result). Lets the
+/// vectorized executor probe indexes and hash-join key sets without
+/// materializing a std::vector<Value> per probe. Hash/equality are kept
+/// consistent with IndexKey via the transparent functors below.
+struct IndexKeyView {
+  const Value* const* values = nullptr;
+  size_t size = 0;
+};
+
 struct IndexKeyHash {
+  using is_transparent = void;
+
   size_t operator()(const IndexKey& k) const {
     size_t h = 0x811C9DC5;
     for (const Value& v : k.values) {
       h = (h ^ v.Hash()) * 0x01000193;
     }
     return h;
+  }
+  size_t operator()(const IndexKeyView& k) const {
+    size_t h = 0x811C9DC5;
+    for (size_t i = 0; i < k.size; ++i) {
+      h = (h ^ k.values[i]->Hash()) * 0x01000193;
+    }
+    return h;
+  }
+};
+
+struct IndexKeyEqual {
+  using is_transparent = void;
+
+  bool operator()(const IndexKey& a, const IndexKey& b) const {
+    return a == b;
+  }
+  bool operator()(const IndexKey& a, const IndexKeyView& b) const {
+    if (a.values.size() != b.size) return false;
+    for (size_t i = 0; i < b.size; ++i) {
+      if (Value::OrderCompare(a.values[i], *b.values[i]) != 0) return false;
+    }
+    return true;
+  }
+  bool operator()(const IndexKeyView& a, const IndexKey& b) const {
+    return operator()(b, a);
+  }
+  bool operator()(const IndexKeyView& a, const IndexKeyView& b) const {
+    if (a.size != b.size) return false;
+    for (size_t i = 0; i < a.size; ++i) {
+      if (Value::OrderCompare(*a.values[i], *b.values[i]) != 0) return false;
+    }
+    return true;
   }
 };
 
@@ -69,13 +113,18 @@ class Index {
   /// match (SQL semantics: NULL = NULL is not true).
   const std::vector<size_t>* Lookup(const IndexKey& key) const;
 
+  /// Same, but from a non-owning key view — no per-probe allocation.
+  const std::vector<size_t>* Lookup(const IndexKeyView& key) const;
+
   IndexKey ExtractKey(const Row& row) const;
 
  private:
   std::string name_;
   std::vector<size_t> column_ordinals_;
   bool unique_;
-  std::unordered_map<IndexKey, std::vector<size_t>, IndexKeyHash> map_;
+  std::unordered_map<IndexKey, std::vector<size_t>, IndexKeyHash,
+                     IndexKeyEqual>
+      map_;
 };
 
 /// A table: schema, rows, and indexes.
@@ -103,6 +152,12 @@ class Table {
 
   bool IsLive(size_t row_id) const { return live_[row_id]; }
   const Row& RowAt(size_t row_id) const { return rows_[row_id]; }
+
+  /// Gathers up to `max` live rows starting at `*cursor` into `out` (row
+  /// pointers; rows are stable while the table holds its shared lock).
+  /// Advances `*cursor` past the slots visited and returns the number of
+  /// rows gathered — 0 means the scan is exhausted.
+  size_t FetchChunk(size_t* cursor, size_t max, const Row** out) const;
 
   /// Creates a named index over the given columns. Existing rows are
   /// indexed immediately.
