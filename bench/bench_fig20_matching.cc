@@ -16,7 +16,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <thread>
 
 #include "bench/harness.h"
 #include "common/string_util.h"
@@ -39,7 +42,8 @@ using workload::VolgaPolicy;
 /// >=2x bar). With `P3PDB_NO_VECTORIZE=1` the same build falls back to the
 /// scalar row-at-a-time executor (this PR's vectorization ablation,
 /// recorded as `bench_fig20_novec.json` in CI).
-void RunSqlScale10k(bool enable_planner,
+void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
+                    int linger_seconds,
                     std::vector<BenchJsonRecord>* records) {
   constexpr size_t kPolicyCount = 10000;
   constexpr size_t kSampleStride = 97;  // ~103 sampled policies
@@ -48,10 +52,17 @@ void RunSqlScale10k(bool enable_planner,
   std::vector<p3p::Policy> corpus = workload::FortuneCorpus(
       {.seed = 2003, .policy_count = kPolicyCount});
   auto server = MakeBenchServer(server::EngineKind::kSql, 32, enable_planner,
-                                /*steady_state=*/true);
+                                /*steady_state=*/true, obs);
   if (!server.ok()) {
     std::printf("error: %s\n", server.status().ToString().c_str());
     return;
+  }
+  if (server.value()->admin_endpoint_running()) {
+    std::printf(
+        "admin endpoint live on http://127.0.0.1:%u — try "
+        "/statements?top=5, /slow, /traces, /metrics while this runs\n\n",
+        server.value()->admin_port());
+    std::fflush(stdout);
   }
   std::vector<int64_t> ids;
   ids.reserve(corpus.size());
@@ -119,9 +130,23 @@ void RunSqlScale10k(bool enable_planner,
       static_cast<unsigned long long>(stats.vectorized_filters),
       static_cast<unsigned long long>(stats.vectorized_fallback_rows));
   records->push_back(RecordFromTimings("fig20/sql_query_10k", query));
+
+  if (server.value()->admin_endpoint_running()) {
+    std::printf("hottest statements (also at /statements?top=5):\n%s\n",
+                server.value()->RenderStatementStatsText(5).c_str());
+    if (linger_seconds > 0) {
+      std::printf(
+          "lingering %d s with the admin endpoint up "
+          "(http://127.0.0.1:%u)...\n\n",
+          linger_seconds, server.value()->admin_port());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(std::chrono::seconds(linger_seconds));
+    }
+  }
 }
 
-void PrintFigure20(const std::string& json_path, bool enable_planner) {
+void PrintFigure20(const std::string& json_path, bool enable_planner,
+                   const BenchObservability& obs, int linger_seconds) {
   MatchingExperiment::Options exp_options;
   exp_options.enable_planner = enable_planner;
   auto experiment = MatchingExperiment::Create(exp_options);
@@ -200,7 +225,7 @@ void PrintFigure20(const std::string& json_path, bool enable_planner) {
   records.push_back(RecordFromTimings("fig20/sql_query", query));
   records.push_back(RecordFromTimings("fig20/sql_total", total));
   records.push_back(RecordFromTimings("fig20/xquery_total", xquery));
-  RunSqlScale10k(enable_planner, &records);
+  RunSqlScale10k(enable_planner, obs, linger_seconds, &records);
 
   if (!json_path.empty()) {
     auto written = WriteBenchJson(json_path, records);
@@ -291,8 +316,39 @@ BENCHMARK(BM_MatchXQueryXTable);
 int main(int argc, char** argv) {
   const bool enable_planner =
       !p3pdb::bench::FlagInArgs(argc, argv, "--no-planner");
+  // `--admin [port]` attaches the embedded HTTP admin endpoint to the
+  // 10k-scale SQL server so the run can be scraped live; `--slow-us N`
+  // tightens the slow-query threshold, `--trace-every N` samples every Nth
+  // execution, and `--linger S` keeps the server (and endpoint) up for S
+  // seconds after the run.
+  p3pdb::bench::BenchObservability obs;
+  if (p3pdb::bench::FlagInArgs(argc, argv, "--admin") ||
+      !p3pdb::bench::FlagValueFromArgs(argc, argv, "--admin").empty()) {
+    obs.enable_admin = true;
+    const std::string port =
+        p3pdb::bench::FlagValueFromArgs(argc, argv, "--admin");
+    // A following flag (e.g. `--admin --slow-us 50`) is not a port.
+    obs.admin_port = port.empty() || port[0] == '-'
+                         ? 0
+                         : static_cast<uint16_t>(std::atoi(port.c_str()));
+  }
+  const std::string slow_us =
+      p3pdb::bench::FlagValueFromArgs(argc, argv, "--slow-us");
+  if (!slow_us.empty()) {
+    obs.slow_query_threshold_us =
+        static_cast<uint64_t>(std::atoll(slow_us.c_str()));
+  }
+  const std::string trace_every =
+      p3pdb::bench::FlagValueFromArgs(argc, argv, "--trace-every");
+  if (!trace_every.empty()) {
+    obs.trace_sample_every =
+        static_cast<uint32_t>(std::atoi(trace_every.c_str()));
+  }
+  const std::string linger =
+      p3pdb::bench::FlagValueFromArgs(argc, argv, "--linger");
   p3pdb::bench::PrintFigure20(p3pdb::bench::JsonPathFromArgs(argc, argv),
-                              enable_planner);
+                              enable_planner, obs,
+                              linger.empty() ? 0 : std::atoi(linger.c_str()));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

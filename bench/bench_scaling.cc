@@ -29,6 +29,7 @@ struct ScalePoint {
   double install_total_ms;
   double match_avg_us;
   uint64_t rows_scanned_per_match;
+  TimingStats match_stats;  // raw per-match samples, for the JSON report
 };
 
 Result<ScalePoint> Measure(size_t policy_count, bool enable_planner) {
@@ -69,10 +70,11 @@ Result<ScalePoint> Measure(size_t policy_count, bool enable_planner) {
   point.match_avg_us = stats.Average();
   point.rows_scanned_per_match =
       matches == 0 ? 0 : server->database()->stats().rows_scanned / matches;
+  point.match_stats = stats;
   return point;
 }
 
-void PrintScalingTable(bool enable_planner) {
+void PrintScalingTable(const std::string& json_path, bool enable_planner) {
   std::printf(
       "E6: scaling with corpus size (SQL engine, High preference)%s\n",
       enable_planner ? "" : " [--no-planner]");
@@ -83,6 +85,7 @@ void PrintScalingTable(bool enable_planner) {
                 widths);
   PrintTableRule(widths);
   (void)Measure(10, enable_planner);  // discard static-initialization costs
+  std::vector<BenchJsonRecord> records;
   for (size_t n : {29u, 100u, 250u, 500u}) {
     auto point = Measure(n, enable_planner);
     if (!point.ok()) {
@@ -94,6 +97,14 @@ void PrintScalingTable(bool enable_planner) {
                    FormatMicros(point.value().match_avg_us),
                    std::to_string(point.value().rows_scanned_per_match)},
                   widths);
+    records.push_back(RecordFromTimings(
+        "scaling/match_" + std::to_string(n), point.value().match_stats));
+    // Install is one aggregate wall-clock measurement per corpus size, not
+    // per-op samples; record it as a single-sample entry.
+    TimingStats install;
+    install.Add(point.value().install_total_ms * 1000.0);
+    records.push_back(RecordFromTimings(
+        "scaling/install_" + std::to_string(n), install));
   }
   PrintTableRule(widths);
   std::printf(
@@ -101,6 +112,16 @@ void PrintScalingTable(bool enable_planner) {
       "flat thanks to\nthe policy-id index joins — the server-centric "
       "design scales with traffic, not with\nhow many policies the site "
       "hosts)\n\n");
+
+  if (!json_path.empty()) {
+    auto written = WriteBenchJson(json_path, records);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.ToString().c_str());
+      return;
+    }
+    std::printf("wrote %zu records to %s\n\n", records.size(),
+                json_path.c_str());
+  }
 }
 
 void BM_MatchAt500Policies(benchmark::State& state) {
@@ -140,6 +161,7 @@ BENCHMARK(BM_MatchAt500Policies);
 
 int main(int argc, char** argv) {
   p3pdb::bench::PrintScalingTable(
+      p3pdb::bench::JsonPathFromArgs(argc, argv),
       !p3pdb::bench::FlagInArgs(argc, argv, "--no-planner"));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();

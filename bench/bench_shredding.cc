@@ -39,7 +39,7 @@ Result<ShredStats> MeasureShredding(EngineKind kind,
   return stats;
 }
 
-void PrintShreddingTable() {
+void PrintShreddingTable(const std::string& json_path) {
   // 29 corpus policies + Volga = the paper's 30.
   std::vector<p3p::Policy> policies = workload::FortuneCorpus();
   policies.push_back(workload::VolgaPolicy());
@@ -52,11 +52,15 @@ void PrintShreddingTable() {
   PrintTableRule(widths);
   struct Config {
     const char* label;
+    const char* record;
     EngineKind kind;
   };
+  std::vector<BenchJsonRecord> records;
   for (const Config& config :
-       {Config{"Optimized (Figure 14)", EngineKind::kSql},
-        Config{"Simple (Figure 8)", EngineKind::kSqlSimple}}) {
+       {Config{"Optimized (Figure 14)", "shredding/optimized_per_policy",
+               EngineKind::kSql},
+        Config{"Simple (Figure 8)", "shredding/simple_per_policy",
+               EngineKind::kSqlSimple}}) {
     auto stats = MeasureShredding(config.kind, policies);
     if (!stats.ok()) {
       std::printf("error: %s\n", stats.status().ToString().c_str());
@@ -68,12 +72,24 @@ void PrintShreddingTable() {
                    FormatMicros(stats.value().per_policy.Min()),
                    FormatMicros(stats.value().total_us)},
                   widths);
+    records.push_back(
+        RecordFromTimings(config.record, stats.value().per_policy));
   }
   PrintTableRule(widths);
   std::printf(
       "(paper, DB2 on 2002 hardware: avg 3.19 s, max 11.94 s, min 1.17 s; "
       "the conclusion is the shape: shredding amortizes to negligible "
       "because a policy changes rarely while matches are frequent)\n\n");
+
+  if (!json_path.empty()) {
+    auto written = WriteBenchJson(json_path, records);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.ToString().c_str());
+      return;
+    }
+    std::printf("wrote %zu records to %s\n\n", records.size(),
+                json_path.c_str());
+  }
 }
 
 void BM_ShredPolicyOptimized(benchmark::State& state) {
@@ -120,7 +136,8 @@ BENCHMARK(BM_ShredPolicySimple)->Arg(0)->Arg(15)->Arg(28);
 }  // namespace p3pdb::bench
 
 int main(int argc, char** argv) {
-  p3pdb::bench::PrintShreddingTable();
+  p3pdb::bench::PrintShreddingTable(
+      p3pdb::bench::JsonPathFromArgs(argc, argv));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -13,10 +13,9 @@ using server::PolicyServer;
 using workload::JrcPreference;
 using workload::PreferenceLevel;
 
-Result<std::unique_ptr<PolicyServer>> MakeBenchServer(EngineKind kind,
-                                                      int max_subquery_depth,
-                                                      bool enable_planner,
-                                                      bool steady_state) {
+Result<std::unique_ptr<PolicyServer>> MakeBenchServer(
+    EngineKind kind, int max_subquery_depth, bool enable_planner,
+    bool steady_state, const BenchObservability& obs) {
   PolicyServer::Options options;
   options.engine = kind;
   options.augmentation = kind == EngineKind::kNativeAppel
@@ -27,11 +26,22 @@ Result<std::unique_ptr<PolicyServer>> MakeBenchServer(EngineKind kind,
   if (steady_state) {
     // Deployed-matcher configuration: preferences compile to prepared rule
     // queries (per-match cost is execution only) and the metrics registry
-    // is off so timings don't include counter upkeep. fig20's 10k-scale
-    // record uses this; the small-scale figures keep the paper's
-    // text-per-match methodology.
+    // and statement telemetry are off so timings don't include counter
+    // upkeep. fig20's 10k-scale record uses this; the small-scale figures
+    // keep the paper's text-per-match methodology.
     options.use_prepared_statements = true;
     options.collect_metrics = false;
+    options.enable_statement_stats = false;
+  }
+  if (obs.enable_admin || obs.slow_query_threshold_us > 0 ||
+      obs.trace_sample_every > 0) {
+    // A flag asked for live introspection: turn telemetry back on (the
+    // run's timings then include it, which the flags' users accept).
+    options.enable_statement_stats = true;
+    options.slow_query_threshold_us = obs.slow_query_threshold_us;
+    options.trace_sample_every = obs.trace_sample_every;
+    options.enable_admin_endpoint = obs.enable_admin;
+    options.admin_port = obs.admin_port;
   }
   // The paper's figures measure engine cost per match; its methodology even
   // restarted DB2 between preferences to defeat database caching. Memoizing
@@ -239,17 +249,20 @@ bool FlagInArgs(int argc, char** argv, std::string_view flag) {
   return false;
 }
 
-std::string JsonPathFromArgs(int argc, char** argv) {
-  constexpr std::string_view kFlag = "--json";
+std::string FlagValueFromArgs(int argc, char** argv, std::string_view flag) {
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
-    if (arg == kFlag && i + 1 < argc) return argv[i + 1];
-    if (arg.size() > kFlag.size() + 1 && arg.substr(0, kFlag.size()) == kFlag &&
-        arg[kFlag.size()] == '=') {
-      return std::string(arg.substr(kFlag.size() + 1));
+    if (arg == flag && i + 1 < argc) return argv[i + 1];
+    if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+        arg[flag.size()] == '=') {
+      return std::string(arg.substr(flag.size() + 1));
     }
   }
   return std::string();
+}
+
+std::string JsonPathFromArgs(int argc, char** argv) {
+  return FlagValueFromArgs(argc, argv, "--json");
 }
 
 Status WriteBenchJson(const std::string& path,

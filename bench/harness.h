@@ -100,14 +100,30 @@ class MatchingExperiment {
 /// server's own metrics registry is off, so per-match timings measure the
 /// engine rather than text re-submission and counter upkeep. The default
 /// keeps the paper methodology (SQL text submitted per match).
+/// Observability add-ons for a bench server, driven by the `--admin`,
+/// `--slow-us`, and `--trace-every` flags: statement telemetry plus the
+/// embedded HTTP admin endpoint, so a run can be scraped live
+/// (`curl :PORT/statements?top=5`) while it matches. All off by default —
+/// the timed records stay free of telemetry unless a flag asks for it.
+struct BenchObservability {
+  bool enable_admin = false;
+  uint16_t admin_port = 0;  // 0 = ephemeral (the chosen port is printed)
+  uint64_t slow_query_threshold_us = 0;
+  uint32_t trace_sample_every = 0;
+};
+
 Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
     server::EngineKind kind, int max_subquery_depth = 32,
     bool enable_planner = sqldb::PlannerEnabledFromEnv(),
-    bool steady_state = false);
+    bool steady_state = false, const BenchObservability& obs = {});
 
 /// True when `flag` appears verbatim among the arguments (e.g.
 /// `--no-planner`).
 bool FlagInArgs(int argc, char** argv, std::string_view flag);
+
+/// Returns the value following `flag` (`--flag <value>` or
+/// `--flag=<value>`); empty string when absent.
+std::string FlagValueFromArgs(int argc, char** argv, std::string_view flag);
 
 /// seconds/milliseconds pretty-printing for the report tables.
 std::string FormatMicros(double micros);

@@ -6,6 +6,50 @@
 
 namespace p3pdb::obs {
 
+namespace {
+
+bool IsValidMetricChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Escapes a label value for exposition (`\`, `"`, newline).
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out += '\\';
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string RenderInfoLine(const std::string& name, const InfoLabels& labels) {
+  std::string out = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i != 0) out += ",";
+    out += SanitizeMetricName(labels[i].first) + "=\"" +
+           EscapeLabelValue(labels[i].second) + "\"";
+  }
+  out += "} 1\n";
+  return out;
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (!name.empty() && name[0] >= '0' && name[0] <= '9') out += '_';
+  for (char c : name) out += IsValidMetricChar(c) ? c : '_';
+  if (out.empty()) out = "_";
+  return out;
+}
+
 uint64_t HistogramBucketUpperBound(size_t i) {
   if (i >= kHistogramBuckets) i = kHistogramBuckets - 1;
   return uint64_t{1} << i;
@@ -49,32 +93,40 @@ HistogramSnapshot Histogram::Snapshot() const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::string key = SanitizeMetricName(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
+  auto it = counters_.find(key);
   if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+    it = counters_.emplace(std::move(key), std::make_unique<Counter>()).first;
   }
   return it->second.get();
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::string key = SanitizeMetricName(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = gauges_.find(name);
+  auto it = gauges_.find(key);
   if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+    it = gauges_.emplace(std::move(key), std::make_unique<Gauge>()).first;
   }
   return it->second.get();
 }
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::string key = SanitizeMetricName(name);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
+  auto it = histograms_.find(key);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+    it = histograms_.emplace(std::move(key), std::make_unique<Histogram>())
              .first;
   }
   return it->second.get();
+}
+
+void MetricsRegistry::SetInfo(std::string_view name, InfoLabels labels) {
+  std::string key = SanitizeMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  infos_[std::move(key)] = std::move(labels);
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -89,12 +141,17 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& [name, histogram] : histograms_) {
     snap.histograms[name] = histogram->Snapshot();
   }
+  for (const auto& [name, labels] : infos_) snap.infos[name] = labels;
   return snap;
 }
 
 std::string MetricsRegistry::RenderText() const {
   MetricsSnapshot snap = Snapshot();
   std::string out;
+  for (const auto& [name, labels] : snap.infos) {
+    out += "# TYPE " + name + " gauge\n";
+    out += RenderInfoLine(name, labels);
+  }
   for (const auto& [name, value] : snap.counters) {
     out += "# TYPE " + name + " counter\n";
     out += name + " " + std::to_string(value) + "\n";
@@ -127,7 +184,26 @@ std::string MetricsRegistry::RenderText() const {
 
 std::string MetricsRegistry::RenderJson() const {
   MetricsSnapshot snap = Snapshot();
-  std::string out = "{\n  \"counters\": {";
+  std::string out = "{\n";
+  // Emitted only when SetInfo was called, so registries without info
+  // metrics render exactly as they always did.
+  if (!snap.infos.empty()) {
+    out += "  \"infos\": {";
+    bool first_info = true;
+    for (const auto& [name, labels] : snap.infos) {
+      out += first_info ? "\n" : ",\n";
+      out += "    \"" + name + "\": {";
+      for (size_t i = 0; i < labels.size(); ++i) {
+        if (i != 0) out += ", ";
+        out += "\"" + SanitizeMetricName(labels[i].first) + "\": \"" +
+               EscapeLabelValue(labels[i].second) + "\"";
+      }
+      out += "}";
+      first_info = false;
+    }
+    out += "\n  },\n";
+  }
+  out += "  \"counters\": {";
   bool first = true;
   for (const auto& [name, value] : snap.counters) {
     out += first ? "\n" : ",\n";

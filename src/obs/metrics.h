@@ -22,8 +22,16 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace p3pdb::obs {
+
+/// Coerces a name into the Prometheus metric-name alphabet
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become `_`, and a leading
+/// digit gets a `_` prefix. Applied by the registry at registration, so an
+/// exposition page never contains an unscrapable line.
+std::string SanitizeMetricName(std::string_view name);
 
 /// Monotonic counter. Lock-free; relaxed ordering (a tally, not a
 /// synchronization point).
@@ -94,17 +102,30 @@ class Histogram {
 
   HistogramSnapshot Snapshot() const;
 
+  /// Zeroes every cell (relaxed stores). Not atomic as a whole: a
+  /// concurrent Record may survive partially; acceptable for the
+  /// test/reset paths that use it.
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets_{};
 };
 
+/// Ordered label set of an info metric (`name{k="v",...} 1`).
+using InfoLabels = std::vector<std::pair<std::string, std::string>>;
+
 /// Everything a registry holds, frozen. Maps are keyed by instrument name.
 struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, InfoLabels> infos;
 };
 
 /// Owns named instruments. Get* registers on first use (mutex-guarded) and
@@ -120,6 +141,11 @@ class MetricsRegistry {
   Counter* GetCounter(std::string_view name);
   Gauge* GetGauge(std::string_view name);
   Histogram* GetHistogram(std::string_view name);
+
+  /// Registers (or replaces) an info metric — the `name{label="value"} 1`
+  /// idiom for constant build/deployment facts (e.g. p3p_build_info with
+  /// git sha and build type). Label values are escaped at render time.
+  void SetInfo(std::string_view name, InfoLabels labels);
 
   MetricsSnapshot Snapshot() const;
 
@@ -138,6 +164,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, InfoLabels, std::less<>> infos_;
 };
 
 }  // namespace p3pdb::obs

@@ -1,0 +1,77 @@
+// Slow-query log: a bounded ring buffer of captured statement executions.
+//
+// Two kinds of entries land here. *Slow* captures are statements whose
+// execution exceeded the configured threshold; they carry the normalized
+// text, the bound parameter values, and a rendered EXPLAIN ANALYZE plan, so
+// the artifact answers "which plan was this, and where did the time go"
+// without a reproduction run. *Trace samples* are every-Nth executions
+// captured the same way regardless of latency, giving a steady drip of
+// representative plans even when nothing is slow.
+//
+// Captures are rare by construction (they sit behind a threshold or a
+// sampling stride), so the ring is guarded by a plain mutex — the
+// lock-free discipline of the metrics/stats hot path is not needed here.
+// The ring overwrites oldest-first; total_captured() keeps counting so a
+// scraper can tell how much history the window dropped.
+
+#ifndef P3PDB_OBS_SLOW_LOG_H_
+#define P3PDB_OBS_SLOW_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace p3pdb::obs {
+
+struct SlowQueryEntry {
+  enum class Kind { kSlow, kTraceSample };
+
+  Kind kind = Kind::kSlow;
+  uint64_t sequence = 0;      // assigned by the log, monotonically increasing
+  uint64_t fingerprint = 0;   // statement fingerprint (0 = unknown)
+  std::string sql;            // normalized statement text
+  std::string params;         // rendered bound parameters ("[]" when none)
+  double elapsed_us = 0.0;    // the triggering execution's latency
+  std::string plan;           // rendered EXPLAIN ANALYZE tree
+  int64_t unix_millis = 0;    // wall-clock capture time
+};
+
+const char* SlowQueryKindName(SlowQueryEntry::Kind kind);
+
+class SlowQueryLog {
+ public:
+  explicit SlowQueryLog(size_t capacity);
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Appends one capture, overwriting the oldest when full. Stamps
+  /// `sequence` and `unix_millis`.
+  void Add(SlowQueryEntry entry);
+
+  /// Entries currently in the window, oldest first; optionally filtered by
+  /// kind.
+  std::vector<SlowQueryEntry> Entries(
+      std::optional<SlowQueryEntry::Kind> kind = std::nullopt) const;
+
+  /// JSON array of Entries(kind), newest first (what `/slow` and `/traces`
+  /// serve — the most recent capture is the interesting one).
+  std::string RenderJson(
+      std::optional<SlowQueryEntry::Kind> kind = std::nullopt) const;
+
+  size_t capacity() const { return capacity_; }
+  /// Captures ever observed, including those the ring has since dropped.
+  uint64_t total_captured() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowQueryEntry> ring_;  // ring_[next_] is the oldest when full
+  size_t next_ = 0;
+  uint64_t total_ = 0;
+};
+
+}  // namespace p3pdb::obs
+
+#endif  // P3PDB_OBS_SLOW_LOG_H_

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "p3p/augment.h"
 #include "p3p/policy_xml.h"
+#include "server/admin_http.h"
 #include "sqldb/parser.h"
 #include "translator/applicable_policy.h"
 #include "translator/sql_optimized.h"
@@ -101,12 +102,28 @@ PolicyServer::PolicyServer(Options options)
           .enforce_foreign_keys = true,
           .enable_planner = options.enable_planner,
           .enable_plan_cache = options.enable_planner,
-          .enable_vectorized_executor = options.enable_vectorized_executor}),
+          .enable_vectorized_executor = options.enable_vectorized_executor,
+          .enable_statement_stats = options.enable_statement_stats,
+          .slow_query_threshold_us = options.slow_query_threshold_us,
+          .trace_sample_every = options.trace_sample_every,
+          .slow_log_capacity = options.slow_log_capacity}),
       native_engine_(appel::NativeEngine::Options{
           .augment_per_match =
-              options.augmentation == Augmentation::kPerMatch}) {
+              options.augmentation == Augmentation::kPerMatch}),
+      start_time_(std::chrono::steady_clock::now()) {
   // Instruments register once here; the match path then touches them
   // through cached pointers only (relaxed atomics, no registry lock).
+  // Build identity and uptime: the `_info` idiom (constant labels, value 1)
+  // plus a gauge refreshed at snapshot time.
+#ifndef P3PDB_GIT_SHA
+#define P3PDB_GIT_SHA "unknown"
+#endif
+#ifndef P3PDB_BUILD_TYPE
+#define P3PDB_BUILD_TYPE "unknown"
+#endif
+  metrics_.SetInfo("p3p_build_info", {{"git_sha", P3PDB_GIT_SHA},
+                                      {"build_type", P3PDB_BUILD_TYPE}});
+  uptime_seconds_ = metrics_.GetGauge("p3p_uptime_seconds");
   matches_total_ = metrics_.GetCounter("p3p_matches_total");
   match_errors_total_ = metrics_.GetCounter("p3p_match_errors_total");
   no_policy_total_ = metrics_.GetCounter("p3p_match_no_policy_total");
@@ -139,6 +156,11 @@ PolicyServer::PolicyServer(Options options)
             .capacity_per_shard = options_.match_cache_capacity_per_shard},
         &metrics_);
   }
+}
+
+PolicyServer::~PolicyServer() {
+  // Stop the admin thread before any member it scrapes is destroyed.
+  admin_.reset();
 }
 
 Result<std::unique_ptr<PolicyServer>> PolicyServer::Create(Options options) {
@@ -195,6 +217,13 @@ Status PolicyServer::Init() {
       }
       P3PDB_RETURN_IF_ERROR(table->Insert({Value::Integer(0)}));
     }
+  }
+  if (options_.enable_admin_endpoint) {
+    P3PDB_ASSIGN_OR_RETURN(
+        admin_, AdminHttpServer::Start(
+                    this, AdminHttpServer::Options{
+                              .host = options_.admin_host,
+                              .port = options_.admin_port}));
   }
   return Status::OK();
 }
@@ -832,6 +861,9 @@ void PolicyServer::SyncDatabaseMetrics() const {
   sync(sql_batch_rows_, stats.batch_rows);
   sync(sql_vectorized_filters_, stats.vectorized_filters);
   sync(sql_vectorized_fallback_rows_, stats.vectorized_fallback_rows);
+  uptime_seconds_->Set(std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count());
 }
 
 obs::MetricsSnapshot PolicyServer::MetricsSnapshot() const {
@@ -847,6 +879,27 @@ std::string PolicyServer::RenderMetricsText() const {
 std::string PolicyServer::RenderMetricsJson() const {
   SyncDatabaseMetrics();
   return metrics_.RenderJson();
+}
+
+std::string PolicyServer::RenderStatementStatsJson(size_t top) const {
+  return db_.statement_stats().RenderJson(top);
+}
+
+std::string PolicyServer::RenderStatementStatsText(size_t top) const {
+  return db_.statement_stats().RenderText(top);
+}
+
+std::string PolicyServer::RenderSlowLogJson(
+    obs::SlowQueryEntry::Kind kind) const {
+  const obs::SlowQueryLog* log = db_.slow_log();
+  if (log == nullptr) return "[]\n";
+  return log->RenderJson(kind);
+}
+
+bool PolicyServer::admin_endpoint_running() const { return admin_ != nullptr; }
+
+uint16_t PolicyServer::admin_port() const {
+  return admin_ == nullptr ? 0 : admin_->port();
 }
 
 Status PolicyServer::RecordMatch(const MatchResult& result) {

@@ -49,6 +49,8 @@
 #ifndef P3PDB_SERVER_POLICY_SERVER_H_
 #define P3PDB_SERVER_POLICY_SERVER_H_
 
+#include <chrono>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -76,6 +78,8 @@
 #include "xquery/translate_appel.h"
 
 namespace p3pdb::server {
+
+class AdminHttpServer;
 
 /// Where category augmentation (base data schema expansion) happens.
 enum class Augmentation {
@@ -158,11 +162,36 @@ class PolicyServer {
     bool enable_match_cache = true;
     size_t match_cache_shards = 8;
     size_t match_cache_capacity_per_shard = 1024;
+    /// Fingerprint every SELECT the database prepares and keep
+    /// per-statement aggregates (calls, rows, cache hits, rewrites,
+    /// latency percentiles) — the pg_stat_statements view of the match
+    /// workload, served at /statements. Off removes even the per-execution
+    /// stopwatch read (the steady-state benches turn it off).
+    bool enable_statement_stats = true;
+    /// Statement executions slower than this (microseconds) are captured
+    /// into the slow-query log with bound params and an EXPLAIN ANALYZE
+    /// plan. 0 disables slow capture. Requires enable_statement_stats.
+    uint64_t slow_query_threshold_us = 0;
+    /// Capture every Nth execution of each statement shape as a trace
+    /// sample regardless of latency. 0 disables sampling.
+    uint32_t trace_sample_every = 0;
+    /// Ring capacity of the slow-query/trace-sample log.
+    size_t slow_log_capacity = 128;
+    /// Serve /metrics, /metrics.json, /statements, /slow, /traces, and
+    /// /healthz over an embedded HTTP endpoint on admin_host:admin_port.
+    /// Off by default: no socket, no thread, no overhead.
+    bool enable_admin_endpoint = false;
+    std::string admin_host = "127.0.0.1";
+    /// 0 = ephemeral; read the bound port back via admin_port().
+    uint16_t admin_port = 0;
   };
 
-  /// Creates a server and installs the engine's schemas.
+  /// Creates a server and installs the engine's schemas. With
+  /// enable_admin_endpoint set, the admin HTTP server is bound and serving
+  /// before Create returns (bind failure fails the Create).
   static Result<std::unique_ptr<PolicyServer>> Create(Options options);
 
+  ~PolicyServer();
   PolicyServer(const PolicyServer&) = delete;
   PolicyServer& operator=(const PolicyServer&) = delete;
 
@@ -254,6 +283,32 @@ class PolicyServer {
 
   /// JSON rendering of the server metrics.
   std::string RenderMetricsJson() const;
+
+  /// JSON array of the top-N statement aggregates, ordered by total time
+  /// (what /statements?top=N serves; top=0 = all, empty array when
+  /// statement stats are off).
+  std::string RenderStatementStatsJson(size_t top) const;
+
+  /// Fixed-width table of the top-N statement aggregates (CI artifacts,
+  /// debugging).
+  std::string RenderStatementStatsText(size_t top) const;
+
+  /// JSON array of slow-query-log entries of one kind (what /slow and
+  /// /traces serve; "[]" when capture is not configured).
+  std::string RenderSlowLogJson(obs::SlowQueryEntry::Kind kind) const;
+
+  /// Per-statement aggregates of the underlying database.
+  const sqldb::StatementStatsRegistry& statement_stats() const {
+    return db_.statement_stats();
+  }
+
+  /// The slow-query/trace-sample ring, or nullptr when capture is off.
+  const obs::SlowQueryLog* slow_log() const { return db_.slow_log(); }
+
+  /// True when the admin endpoint is up; admin_port() is then the bound
+  /// port (the actual one when Options::admin_port was 0).
+  bool admin_endpoint_running() const;
+  uint16_t admin_port() const;
 
   /// The server's registry, for callers that add their own instruments.
   obs::MetricsRegistry* metrics() { return &metrics_; }
@@ -366,9 +421,19 @@ class PolicyServer {
   std::unique_ptr<shredder::ReferenceShredder> reference_shredder_;
   int64_t next_match_id_ = 1;  // guarded by match_log_mu_
 
+  // Admin HTTP endpoint (null unless Options::enable_admin_endpoint).
+  // Started last in Init and stopped first in the destructor, so its
+  // handlers never see a partially built or partially torn-down server.
+  std::unique_ptr<AdminHttpServer> admin_;
+
+  // Uptime baseline for p3p_uptime_seconds (stamped at construction; the
+  // gauge is refreshed on every snapshot/render).
+  std::chrono::steady_clock::time_point start_time_;
+
   // Server instruments. Registered once in the constructor; every update
   // afterwards is a relaxed atomic op, safe under the shared lock.
   obs::MetricsRegistry metrics_;
+  obs::Gauge* uptime_seconds_ = nullptr;
   obs::Counter* matches_total_ = nullptr;
   obs::Counter* match_errors_total_ = nullptr;
   obs::Counter* no_policy_total_ = nullptr;

@@ -329,6 +329,13 @@ struct SelectStmt : Statement {
   /// executor derives both per query, as it always did.
   std::shared_ptr<const std::vector<std::string>> column_headers;
   int8_t aggregate_mode = -1;  // -1 unknown, 0 plain, 1 aggregate
+
+  /// Statement-telemetry entry for this statement's shape, stamped at
+  /// prepare time by Database::BindAndPlan when statement stats are
+  /// enabled. Null = untracked (telemetry off, or bound outside
+  /// BindAndPlan). The entry outlives the plan: the registry never erases
+  /// entries (see StatementStatsRegistry::Reset).
+  class StatementStatsEntry* stats_entry = nullptr;
 };
 
 struct InsertStmt : Statement {

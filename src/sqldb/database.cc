@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "sqldb/executor.h"
 #include "sqldb/explain.h"
@@ -86,7 +87,7 @@ Result<QueryResult> Database::Execute(std::string_view sql) {
                          ParseStatement(sql));
   if (stmt->kind == StatementKind::kSelect) {
     auto* select = static_cast<SelectStmt*>(stmt.get());
-    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select, sql));
     std::shared_ptr<const SelectStmt> plan = ShareSelect(std::move(stmt),
                                                          select);
     StoreCachedPlan(sql, plan);
@@ -104,7 +105,7 @@ Result<QueryResult> Database::Execute(std::string_view sql,
                          ParseStatement(sql));
   if (stmt->kind == StatementKind::kSelect) {
     auto* select = static_cast<SelectStmt*>(stmt.get());
-    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select, sql));
     std::shared_ptr<const SelectStmt> plan = ShareSelect(std::move(stmt),
                                                          select);
     StoreCachedPlan(sql, plan);
@@ -163,7 +164,7 @@ Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
   }
   {
     obs::ScopedSpan bind_span(trace, "sql-bind");
-    P3PDB_RETURN_IF_ERROR(BindAndPlan(select));
+    P3PDB_RETURN_IF_ERROR(BindAndPlan(select, sql));
   }
   std::shared_ptr<const SelectStmt> plan =
       ShareSelect(std::move(parsed).value(), select);
@@ -171,7 +172,7 @@ Result<QueryResult> Database::ExecuteTraced(std::string_view sql,
   return RunBoundSelect(*plan, params, trace);
 }
 
-Status Database::BindAndPlan(SelectStmt* select) {
+Status Database::BindAndPlan(SelectStmt* select, std::string_view sql) {
   Binder binder(*this, options_.max_subquery_depth);
   P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
   ExecStats local;
@@ -186,6 +187,11 @@ Status Database::BindAndPlan(SelectStmt* select) {
   // with hash joins, and the slot plans point into the final tree.
   if (options_.enable_vectorized_executor) AnnotateSelect(select);
   PrecomputeExecHints(select);
+  if (options_.enable_statement_stats && !sql.empty()) {
+    select->stats_entry = statement_stats_.Intern(sql);
+    select->stats_entry->RecordPlanned(local.semi_join_rewrites,
+                                       local.anti_join_rewrites);
+  }
   LocalStats().MergeSingleWriter(local);
   return Status::OK();
 }
@@ -200,18 +206,76 @@ Result<QueryResult> Database::RunBoundSelect(const SelectStmt& select,
         " parameter(s) but " + std::to_string(supplied) + " were supplied");
   }
   obs::ScopedSpan exec_span(trace, "sql-execute");
+  // Telemetry costs one branch when off; when on, a stopwatch read plus a
+  // handful of relaxed fetch_adds on the interned entry.
+  StatementStatsEntry* entry = select.stats_entry;
+  Stopwatch timer;
   ExecStats local;
   Executor executor(&local, params, nullptr,
                     ExecConfig{options_.enable_vectorized_executor,
                                options_.vector_chunk_size});
   auto result = executor.RunSelect(select);
   LocalStats().MergeSingleWriter(local);
+  if (entry != nullptr) {
+    const double elapsed_us = timer.ElapsedMicros();
+    entry->RecordExecution(local,
+                           result.ok() ? result.value().rows.size() : 0,
+                           elapsed_us, result.ok());
+    if (result.ok() && slow_log_ != nullptr) {
+      MaybeCaptureStatement(select, params, elapsed_us);
+    }
+  }
   if (result.ok()) {
     exec_span.AddCount("rows", result.value().rows.size());
     exec_span.AddCount("rows-scanned", local.rows_scanned);
     exec_span.AddCount("index-lookups", local.index_lookups);
   }
   return result;
+}
+
+void Database::MaybeCaptureStatement(const SelectStmt& select,
+                                     const std::vector<Value>* params,
+                                     double elapsed_us) {
+  StatementStatsEntry* entry = select.stats_entry;
+  const bool slow = options_.slow_query_threshold_us > 0 &&
+                    elapsed_us >=
+                        static_cast<double>(options_.slow_query_threshold_us);
+  const bool sampled =
+      options_.trace_sample_every > 0 &&
+      entry->calls() % options_.trace_sample_every == 0;
+  if (!slow && !sampled) return;
+
+  // Re-execute with a profile to render EXPLAIN ANALYZE. The capture pays
+  // for a second run, but only for statements already past the threshold
+  // (or on the sampling stride), and the profiled run's counters go to a
+  // scratch ExecStats so the aggregate tallies are not double-counted.
+  obs::SlowQueryEntry capture;
+  capture.kind = slow ? obs::SlowQueryEntry::Kind::kSlow
+                      : obs::SlowQueryEntry::Kind::kTraceSample;
+  capture.fingerprint = entry->fingerprint();
+  capture.sql = entry->normalized_sql();
+  capture.elapsed_us = elapsed_us;
+  std::string rendered = "[";
+  if (params != nullptr) {
+    for (size_t i = 0; i < params->size(); ++i) {
+      if (i != 0) rendered += ", ";
+      rendered += (*params)[i].ToString();
+    }
+  }
+  rendered += "]";
+  capture.params = std::move(rendered);
+  PlanProfile profile;
+  ExecStats scratch;
+  Executor executor(&scratch, params, &profile,
+                    ExecConfig{options_.enable_vectorized_executor,
+                               options_.vector_chunk_size});
+  if (executor.RunSelect(select).ok()) {
+    ExplainOptions explain_options;
+    explain_options.params = params;
+    explain_options.profile = &profile;
+    capture.plan = ExplainPlan(select, explain_options);
+  }
+  slow_log_->Add(std::move(capture));
 }
 
 std::shared_ptr<const SelectStmt> Database::LookupCachedPlan(
@@ -228,6 +292,9 @@ std::shared_ptr<const SelectStmt> Database::LookupCachedPlan(
   }
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
   BumpRelaxed(LocalStats().plan_cache_hits);
+  if (it->second->second.stmt->stats_entry != nullptr) {
+    it->second->second.stmt->stats_entry->RecordPlanCacheHit();
+  }
   return it->second->second.stmt;
 }
 
@@ -251,7 +318,8 @@ Result<PreparedStatement> Database::Prepare(std::string_view sql) {
   if (stmt->kind != StatementKind::kSelect) {
     return Status::Unsupported("only SELECT statements can be prepared");
   }
-  P3PDB_RETURN_IF_ERROR(BindAndPlan(static_cast<SelectStmt*>(stmt.get())));
+  P3PDB_RETURN_IF_ERROR(
+      BindAndPlan(static_cast<SelectStmt*>(stmt.get()), sql));
   PreparedStatement prepared;
   prepared.db_ = this;
   prepared.stmt_ = std::shared_ptr<Statement>(std::move(stmt));
@@ -280,27 +348,10 @@ Result<QueryResult> PreparedStatement::Execute(
         "prepared statement is stale: the catalog changed since Prepare()");
   }
   const auto* select = static_cast<const SelectStmt*>(stmt_.get());
-  if (params.size() != select->param_count) {
-    return Status::InvalidArgument(
-        "statement takes " + std::to_string(select->param_count) +
-        " parameter(s) but " + std::to_string(params.size()) +
-        " were supplied");
-  }
-  // Per-execution stats keep concurrent executions race-free; the merge is
-  // the only shared-state touch.
-  obs::ScopedSpan exec_span(trace, "sql-execute");
-  ExecStats local;
-  Executor executor(&local, &params, nullptr,
-                    ExecConfig{db_->options_.enable_vectorized_executor,
-                               db_->options_.vector_chunk_size});
-  auto result = executor.RunSelect(*select);
-  db_->LocalStats().MergeSingleWriter(local);
-  if (result.ok()) {
-    exec_span.AddCount("rows", result.value().rows.size());
-    exec_span.AddCount("rows-scanned", local.rows_scanned);
-    exec_span.AddCount("index-lookups", local.index_lookups);
-  }
-  return result;
+  // RunBoundSelect executes with per-call private stats (concurrent
+  // executions stay race-free; the merge is the only shared-state touch)
+  // and applies the same telemetry as the text-execution path.
+  return db_->RunBoundSelect(*select, &params, trace);
 }
 
 size_t PreparedStatement::param_count() const {

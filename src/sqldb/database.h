@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/slow_log.h"
 #include "obs/trace.h"
 #include "sqldb/ast.h"
 #include "sqldb/binder.h"
 #include "sqldb/query_result.h"
+#include "sqldb/statement_stats.h"
 #include "sqldb/table.h"
 
 namespace p3pdb::sqldb {
@@ -110,11 +112,33 @@ class Database : public CatalogView {
     bool enable_vectorized_executor = VectorizeEnabledFromEnv();
     /// Rows per columnar chunk on the vectorized path.
     uint32_t vector_chunk_size = 1024;
+    /// Fingerprint every prepared SELECT (literals normalize to `?`) and
+    /// keep per-fingerprint aggregates — calls, rows, cache hits, rewrites,
+    /// latency distribution (see statement_stats.h). Off by default: the
+    /// raw engine stays exactly as before; the policy server turns it on.
+    bool enable_statement_stats = false;
+    /// With statement stats on, executions slower than this land in the
+    /// slow-query log with their bound params and an EXPLAIN ANALYZE plan.
+    /// 0 disables slow capture.
+    uint64_t slow_query_threshold_us = 0;
+    /// With statement stats on, every Nth execution of a statement shape is
+    /// captured into the slow log as a trace sample regardless of latency.
+    /// 0 disables sampling.
+    uint32_t trace_sample_every = 0;
+    /// Ring capacity of the slow-query log.
+    size_t slow_log_capacity = 128;
   };
 
   Database() : Database(Options{}) {}
   explicit Database(Options options)
-      : options_(options), db_id_(NextDatabaseId()) {}
+      : options_(options), db_id_(NextDatabaseId()) {
+    if (options_.enable_statement_stats &&
+        (options_.slow_query_threshold_us > 0 ||
+         options_.trace_sample_every > 0)) {
+      slow_log_ =
+          std::make_unique<obs::SlowQueryLog>(options_.slow_log_capacity);
+    }
+  }
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -161,6 +185,17 @@ class Database : public CatalogView {
   ExecStats stats() const;
   void ResetStats();
 
+  /// Per-statement aggregates (populated only when
+  /// options().enable_statement_stats; empty otherwise).
+  const StatementStatsRegistry& statement_stats() const {
+    return statement_stats_;
+  }
+  StatementStatsRegistry& mutable_statement_stats() { return statement_stats_; }
+  /// Slow-query/trace-sample ring; nullptr unless statement stats are on
+  /// and a threshold or sampling stride is configured.
+  obs::SlowQueryLog* slow_log() { return slow_log_.get(); }
+  const obs::SlowQueryLog* slow_log() const { return slow_log_.get(); }
+
  private:
   friend class PreparedStatement;
 
@@ -171,8 +206,17 @@ class Database : public CatalogView {
                                     obs::TraceContext* trace);
 
   /// Binds (and, when enabled, plans) a freshly parsed SELECT, counting the
-  /// work in the stats aggregate.
-  Status BindAndPlan(SelectStmt* select);
+  /// work in the stats aggregate. With statement stats on and a non-empty
+  /// `sql`, interns the statement shape and stamps the entry pointer onto
+  /// the bound AST so executions tally without any lookup.
+  Status BindAndPlan(SelectStmt* select, std::string_view sql = {});
+  /// Post-execution telemetry hook: decides whether this execution crossed
+  /// the slow threshold or hit the trace-sampling stride, and if so
+  /// re-executes with a PlanProfile to capture an EXPLAIN ANALYZE plan into
+  /// the slow log. Called only when the statement carries a stats entry.
+  void MaybeCaptureStatement(const SelectStmt& select,
+                             const std::vector<Value>* params,
+                             double elapsed_us);
   /// Runs a bound SELECT: param-count check, private-stats execution,
   /// merge. Shared by the plan-cache hit path and the fresh-parse path.
   Result<QueryResult> RunBoundSelect(const SelectStmt& select,
@@ -227,6 +271,12 @@ class Database : public CatalogView {
   mutable std::mutex plan_mu_;
   PlanLruList plan_lru_;  // front = most recent
   std::unordered_map<std::string_view, PlanLruList::iterator> plan_index_;
+
+  // Statement telemetry. The registry always exists (entries are only
+  // created when enable_statement_stats is set); the slow log exists only
+  // when capture is configured.
+  StatementStatsRegistry statement_stats_;
+  std::unique_ptr<obs::SlowQueryLog> slow_log_;
 };
 
 }  // namespace p3pdb::sqldb

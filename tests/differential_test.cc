@@ -44,6 +44,10 @@ using workload::RandomPreference;
 using workload::RandomPreferenceOptions;
 
 constexpr const char* kFailureArtifact = "differential_failure.txt";
+/// Written next to the repro on failure: each engine's statement-stats
+/// table, so CI shows which rule queries ran (and how hot) when the
+/// engines diverged.
+constexpr const char* kStatementsArtifact = "differential_statements.txt";
 
 // The engines under differential test. kXQueryXTable is exercised by
 // property_test; here the focus is the read-only matrix plus the cache.
@@ -287,6 +291,15 @@ std::optional<Disagreement> Sweep(uint64_t seed, int preference_count,
       }
       ++*pairs_checked;
       if (!Agree(observations)) {
+        // Dump every engine's statement telemetry before minimization
+        // rebuilds servers: the counts describe the sweep that diverged.
+        std::string stats_dump;
+        for (const Fixture& fx : fixtures) {
+          stats_dump += std::string("== ") + fx.config.label + " ==\n";
+          stats_dump += fx.server->RenderStatementStatsText(0);
+          stats_dump += "\n";
+        }
+        std::ofstream(kStatementsArtifact, std::ios::trunc) << stats_dump;
         Disagreement found;
         found.preference = preference;
         found.policy = policies[pol];
@@ -374,6 +387,17 @@ TEST(DifferentialTest, PerturbedEngineFailsLoudlyWithMinimizedRepro) {
                        std::istreambuf_iterator<char>());
   EXPECT_EQ(contents, report);
   std::remove(kFailureArtifact);
+
+  // The injected disagreement also produced the statement-stats dump, with
+  // the translated rule queries the sweep actually executed.
+  std::ifstream stats(kStatementsArtifact);
+  ASSERT_TRUE(stats.good());
+  std::string stats_contents((std::istreambuf_iterator<char>(stats)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(stats_contents.find("== sql-simple =="), std::string::npos);
+  EXPECT_NE(stats_contents.find("fingerprint"), std::string::npos);
+  EXPECT_NE(stats_contents.find("select"), std::string::npos);
+  std::remove(kStatementsArtifact);
 }
 
 }  // namespace
