@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "bench/harness.h"
@@ -43,7 +44,7 @@ using workload::VolgaPolicy;
 /// scalar row-at-a-time executor (this PR's vectorization ablation,
 /// recorded as `bench_fig20_novec.json` in CI).
 void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
-                    int linger_seconds,
+                    int linger_seconds, const std::string& storage_path,
                     std::vector<BenchJsonRecord>* records) {
   constexpr size_t kPolicyCount = 10000;
   constexpr size_t kSampleStride = 97;  // ~103 sampled policies
@@ -52,7 +53,7 @@ void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
   std::vector<p3p::Policy> corpus = workload::FortuneCorpus(
       {.seed = 2003, .policy_count = kPolicyCount});
   auto server = MakeBenchServer(server::EngineKind::kSql, 32, enable_planner,
-                                /*steady_state=*/true, obs);
+                                /*steady_state=*/true, obs, storage_path);
   if (!server.ok()) {
     std::printf("error: %s\n", server.status().ToString().c_str());
     return;
@@ -115,7 +116,11 @@ void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
       "anti-join rewrites %llu, hash-join builds %llu, probes %llu\n"
       "  batches %llu, batch rows %llu, vectorized filters %llu, "
       "fallback rows %llu\n\n",
-      sample.size(), enable_planner ? "ON" : "OFF (--no-planner)",
+      sample.size(),
+      storage_path.empty()
+          ? (enable_planner ? "ON" : "OFF (--no-planner)")
+          : (enable_planner ? "ON, disk-backed storage (--disk)"
+                            : "OFF (--no-planner), disk-backed (--disk)"),
       FormatMicros(query.Average()).c_str(),
       FormatMicros(query.Percentile(50.0)).c_str(),
       FormatMicros(query.Percentile(99.0)).c_str(),
@@ -129,7 +134,22 @@ void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
       static_cast<unsigned long long>(stats.batch_rows),
       static_cast<unsigned long long>(stats.vectorized_filters),
       static_cast<unsigned long long>(stats.vectorized_fallback_rows));
-  records->push_back(RecordFromTimings("fig20/sql_query_10k", query));
+  records->push_back(RecordFromTimings(
+      storage_path.empty() ? "fig20/sql_query_10k" : "fig20/sql_query_10k_disk",
+      query));
+  if (!storage_path.empty()) {
+    const sqldb::StorageStats storage =
+        server.value()->database()->storage_stats();
+    std::printf(
+        "  storage: %llu WAL records (%llu commits, %llu syncs), "
+        "%llu checkpoints, pool %llu hits / %llu misses\n\n",
+        static_cast<unsigned long long>(storage.wal_records),
+        static_cast<unsigned long long>(storage.wal_commits),
+        static_cast<unsigned long long>(storage.wal_syncs),
+        static_cast<unsigned long long>(storage.checkpoints),
+        static_cast<unsigned long long>(storage.pool.hits),
+        static_cast<unsigned long long>(storage.pool.misses));
+  }
 
   if (server.value()->admin_endpoint_running()) {
     std::printf("hottest statements (also at /statements?top=5):\n%s\n",
@@ -146,7 +166,8 @@ void RunSqlScale10k(bool enable_planner, const BenchObservability& obs,
 }
 
 void PrintFigure20(const std::string& json_path, bool enable_planner,
-                   const BenchObservability& obs, int linger_seconds) {
+                   const BenchObservability& obs, int linger_seconds,
+                   bool with_disk) {
   MatchingExperiment::Options exp_options;
   exp_options.enable_planner = enable_planner;
   auto experiment = MatchingExperiment::Create(exp_options);
@@ -225,7 +246,20 @@ void PrintFigure20(const std::string& json_path, bool enable_planner,
   records.push_back(RecordFromTimings("fig20/sql_query", query));
   records.push_back(RecordFromTimings("fig20/sql_total", total));
   records.push_back(RecordFromTimings("fig20/xquery_total", xquery));
-  RunSqlScale10k(enable_planner, obs, linger_seconds, &records);
+  RunSqlScale10k(enable_planner, obs, linger_seconds, /*storage_path=*/"",
+                 &records);
+  if (with_disk) {
+    // Informational disk-backed repeat (`--disk`): same 10k-scale match
+    // workload with the WAL + buffer-pool storage engine underneath,
+    // recorded as fig20/sql_query_10k_disk. Matches are read-only, so this
+    // measures the read-path overhead of running on the storage engine;
+    // CI reports it without gating.
+    const std::string disk_dir = "bench_fig20_disk.tmp";
+    std::filesystem::remove_all(disk_dir);
+    RunSqlScale10k(enable_planner, obs, /*linger_seconds=*/0, disk_dir,
+                   &records);
+    std::filesystem::remove_all(disk_dir);
+  }
 
   if (!json_path.empty()) {
     auto written = WriteBenchJson(json_path, records);
@@ -346,9 +380,10 @@ int main(int argc, char** argv) {
   }
   const std::string linger =
       p3pdb::bench::FlagValueFromArgs(argc, argv, "--linger");
-  p3pdb::bench::PrintFigure20(p3pdb::bench::JsonPathFromArgs(argc, argv),
-                              enable_planner, obs,
-                              linger.empty() ? 0 : std::atoi(linger.c_str()));
+  p3pdb::bench::PrintFigure20(
+      p3pdb::bench::JsonPathFromArgs(argc, argv), enable_planner, obs,
+      linger.empty() ? 0 : std::atoi(linger.c_str()),
+      p3pdb::bench::FlagInArgs(argc, argv, "--disk"));
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

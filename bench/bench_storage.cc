@@ -1,0 +1,163 @@
+// Storage-engine benchmark: what durability costs, and what recovery costs.
+//
+// Three questions, each a record in the --json report:
+//
+//   storage/install_memory     baseline install cost, in-memory engine
+//   storage/install_disk       the same installs with WAL append + fsync
+//                              per install transaction
+//   storage/open_checkpoint    cold open of a checkpointed directory
+//                              (pages through the buffer pool, no replay)
+//   storage/open_wal_replay    cold open of the same corpus left entirely
+//                              in the WAL (two-pass scan + redo)
+//
+// The checkpoint-vs-replay pair is the recovery-cost tradeoff the
+// checkpoint threshold (`storage_checkpoint_wal_bytes`) tunes: a
+// checkpoint is sequential page reads, replay re-executes every committed
+// record. Buffer-pool hit rates for the checkpointed open are printed
+// alongside.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
+#include "workload/corpus.h"
+
+namespace p3pdb::bench {
+namespace {
+
+using server::EngineKind;
+using server::PolicyServer;
+
+constexpr size_t kPolicyCount = 500;
+constexpr int kOpenRepetitions = 10;
+
+Result<std::unique_ptr<PolicyServer>> MakeServer(const std::string& dir,
+                                                 bool checkpoint_on_close) {
+  PolicyServer::Options options;
+  options.engine = EngineKind::kSql;
+  options.collect_metrics = false;
+  options.enable_statement_stats = false;
+  options.storage_path = dir;
+  options.storage_checkpoint_on_close = checkpoint_on_close;
+  // Never checkpoint mid-run: the "wal_replay" directory must keep its
+  // whole history in the log, and the "checkpoint" one gets exactly one
+  // checkpoint, at close.
+  options.storage_checkpoint_wal_bytes = 1ull << 40;
+  return PolicyServer::Create(options);
+}
+
+/// Installs the corpus, timing each install; empty dir = in-memory.
+TimingStats InstallCorpus(const std::vector<p3p::Policy>& corpus,
+                          const std::string& dir, bool checkpoint_on_close) {
+  TimingStats per_install;
+  auto server = dir.empty()
+                    ? PolicyServer::Create({.engine = EngineKind::kSql})
+                    : MakeServer(dir, checkpoint_on_close);
+  if (!server.ok()) {
+    std::printf("error: %s\n", server.status().ToString().c_str());
+    return per_install;
+  }
+  for (const p3p::Policy& policy : corpus) {
+    Stopwatch sw;
+    auto id = server.value()->InstallPolicy(policy);
+    double us = sw.ElapsedMicros();
+    if (!id.ok()) {
+      std::printf("error: %s\n", id.status().ToString().c_str());
+      return per_install;
+    }
+    per_install.Add(us);
+  }
+  return per_install;
+}
+
+/// Times cold opens of an existing directory (destroying the server again
+/// between repetitions). Returns per-open stats; reports the last open's
+/// storage counters through *stats_out.
+TimingStats TimeColdOpens(const std::string& dir,
+                          sqldb::StorageStats* stats_out) {
+  TimingStats per_open;
+  for (int rep = 0; rep < kOpenRepetitions; ++rep) {
+    Stopwatch sw;
+    // Opening must not re-checkpoint, or the replay directory would
+    // silently convert itself to a checkpointed one after the first rep.
+    auto server = MakeServer(dir, /*checkpoint_on_close=*/false);
+    double us = sw.ElapsedMicros();
+    if (!server.ok()) {
+      std::printf("error: %s\n", server.status().ToString().c_str());
+      return per_open;
+    }
+    per_open.Add(us);
+    *stats_out = server.value()->database()->storage_stats();
+  }
+  return per_open;
+}
+
+void Run(const std::string& json_path) {
+  std::vector<p3p::Policy> corpus =
+      workload::FortuneCorpus({.seed = 2003, .policy_count = kPolicyCount});
+
+  std::printf("Storage engine: %zu-policy corpus\n\n", kPolicyCount);
+  TimingStats install_memory = InstallCorpus(corpus, "", false);
+
+  const std::string ckpt_dir = "bench_storage_ckpt.tmp";
+  const std::string wal_dir = "bench_storage_wal.tmp";
+  std::filesystem::remove_all(ckpt_dir);
+  std::filesystem::remove_all(wal_dir);
+  TimingStats install_disk = InstallCorpus(corpus, ckpt_dir, true);
+  InstallCorpus(corpus, wal_dir, /*checkpoint_on_close=*/false);
+
+  std::printf(
+      "install per policy:  memory avg %s p99 %s   disk avg %s p99 %s "
+      "(WAL fsync per install)\n",
+      FormatMicros(install_memory.Average()).c_str(),
+      FormatMicros(install_memory.Percentile(99.0)).c_str(),
+      FormatMicros(install_disk.Average()).c_str(),
+      FormatMicros(install_disk.Percentile(99.0)).c_str());
+
+  sqldb::StorageStats ckpt_stats, wal_stats;
+  TimingStats open_ckpt = TimeColdOpens(ckpt_dir, &ckpt_stats);
+  TimingStats open_wal = TimeColdOpens(wal_dir, &wal_stats);
+  std::printf(
+      "cold open:  checkpoint avg %s   wal-replay avg %s "
+      "(%llu records, %llu txns redone)\n",
+      FormatMicros(open_ckpt.Average()).c_str(),
+      FormatMicros(open_wal.Average()).c_str(),
+      static_cast<unsigned long long>(wal_stats.recovered_records),
+      static_cast<unsigned long long>(wal_stats.recovered_txns));
+  const uint64_t fetches = ckpt_stats.pool.hits + ckpt_stats.pool.misses;
+  std::printf(
+      "checkpoint open pool: %llu fetches, %.1f%% hits, %llu evictions\n\n",
+      static_cast<unsigned long long>(fetches),
+      fetches == 0 ? 0.0 : 100.0 * ckpt_stats.pool.hits / fetches,
+      static_cast<unsigned long long>(ckpt_stats.pool.evictions));
+
+  std::filesystem::remove_all(ckpt_dir);
+  std::filesystem::remove_all(wal_dir);
+
+  if (!json_path.empty()) {
+    std::vector<BenchJsonRecord> records;
+    records.push_back(
+        RecordFromTimings("storage/install_memory", install_memory));
+    records.push_back(RecordFromTimings("storage/install_disk", install_disk));
+    records.push_back(
+        RecordFromTimings("storage/open_checkpoint", open_ckpt));
+    records.push_back(RecordFromTimings("storage/open_wal_replay", open_wal));
+    auto written = WriteBenchJson(json_path, records);
+    if (!written.ok()) {
+      std::printf("error: %s\n", written.ToString().c_str());
+      return;
+    }
+    std::printf("wrote %zu records to %s\n", records.size(),
+                json_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace p3pdb::bench
+
+int main(int argc, char** argv) {
+  p3pdb::bench::Run(p3pdb::bench::JsonPathFromArgs(argc, argv));
+  return 0;
+}

@@ -15,9 +15,11 @@ using workload::PreferenceLevel;
 
 Result<std::unique_ptr<PolicyServer>> MakeBenchServer(
     EngineKind kind, int max_subquery_depth, bool enable_planner,
-    bool steady_state, const BenchObservability& obs) {
+    bool steady_state, const BenchObservability& obs,
+    const std::string& storage_path) {
   PolicyServer::Options options;
   options.engine = kind;
+  options.storage_path = storage_path;  // empty = in-memory (the default)
   options.augmentation = kind == EngineKind::kNativeAppel
                              ? Augmentation::kPerMatch
                              : Augmentation::kAtInstall;

@@ -115,7 +115,8 @@ struct BenchObservability {
 Result<std::unique_ptr<server::PolicyServer>> MakeBenchServer(
     server::EngineKind kind, int max_subquery_depth = 32,
     bool enable_planner = sqldb::PlannerEnabledFromEnv(),
-    bool steady_state = false, const BenchObservability& obs = {});
+    bool steady_state = false, const BenchObservability& obs = {},
+    const std::string& storage_path = {});
 
 /// True when `flag` appears verbatim among the arguments (e.g.
 /// `--no-planner`).

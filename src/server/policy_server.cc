@@ -55,6 +55,11 @@ CREATE TABLE MatchLog (
   fired_rule INTEGER NOT NULL,
   PRIMARY KEY (match_id)
 );
+CREATE TABLE RefFileCatalog (
+  ref_id INTEGER NOT NULL,
+  xml TEXT,
+  PRIMARY KEY (ref_id)
+);
 )sql";
 
 /// Resolves the fragment of a POLICY-REF `about` URI to a policy name:
@@ -106,7 +111,13 @@ PolicyServer::PolicyServer(Options options)
           .enable_statement_stats = options.enable_statement_stats,
           .slow_query_threshold_us = options.slow_query_threshold_us,
           .trace_sample_every = options.trace_sample_every,
-          .slow_log_capacity = options.slow_log_capacity}),
+          .slow_log_capacity = options.slow_log_capacity,
+          .storage_path = options.storage_path,
+          .storage_buffer_pool_pages = options.storage_buffer_pool_pages,
+          .storage_sync_on_commit = options.storage_sync_on_commit,
+          .storage_checkpoint_wal_bytes = options.storage_checkpoint_wal_bytes,
+          .storage_checkpoint_on_close = options.storage_checkpoint_on_close,
+          .storage_backend_factory = options.storage_backend_factory}),
       native_engine_(appel::NativeEngine::Options{
           .augment_per_match =
               options.augmentation == Augmentation::kPerMatch}),
@@ -149,6 +160,22 @@ PolicyServer::PolicyServer(Options options)
       metrics_.GetCounter("sqldb_vectorized_filters_total");
   sql_vectorized_fallback_rows_ =
       metrics_.GetCounter("sqldb_vectorized_fallback_rows_total");
+  if (!options_.storage_path.empty()) {
+    storage_wal_records_ =
+        metrics_.GetCounter("p3p_storage_wal_records_total");
+    storage_wal_commits_ =
+        metrics_.GetCounter("p3p_storage_wal_commits_total");
+    storage_wal_syncs_ = metrics_.GetCounter("p3p_storage_wal_syncs_total");
+    storage_wal_bytes_ = metrics_.GetCounter("p3p_storage_wal_bytes_total");
+    storage_checkpoints_ =
+        metrics_.GetCounter("p3p_storage_checkpoints_total");
+    storage_pool_hits_ =
+        metrics_.GetCounter("p3p_storage_buffer_pool_hits_total");
+    storage_pool_misses_ =
+        metrics_.GetCounter("p3p_storage_buffer_pool_misses_total");
+    storage_recovered_txns_ =
+        metrics_.GetCounter("p3p_storage_recovered_txns_total");
+  }
   if (options_.enable_match_cache && !UsesLegacyMaterialization()) {
     match_cache_ = std::make_unique<MatchCache>(
         MatchCache::Options{
@@ -192,6 +219,35 @@ bool PolicyServer::UsesLegacyMaterialization() const {
 }
 
 Status PolicyServer::Init() {
+  // Disk-backed servers surface open/recovery failures at Create time
+  // rather than on the first statement.
+  P3PDB_RETURN_IF_ERROR(db_.storage_status());
+  if (db_.storage_active() && db_.LookupTable("PolicyCatalog") != nullptr) {
+    // The storage directory already holds a bootstrapped catalog: rebuild
+    // the in-memory server state from it instead of re-installing schemas.
+    P3PDB_RETURN_IF_ERROR(RestoreFromStorage());
+  } else {
+    // Group the bootstrap DDL and the ApplicablePolicy anchor into one WAL
+    // transaction: the anchor insert goes through the table directly (no
+    // per-statement commit), so without the explicit commit it would stay
+    // uncommitted and be dropped by the next recovery.
+    P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
+    Status schema = InitSchema();
+    Status commit = db_.CommitTransaction();
+    P3PDB_RETURN_IF_ERROR(schema);
+    P3PDB_RETURN_IF_ERROR(commit);
+  }
+  if (options_.enable_admin_endpoint) {
+    P3PDB_ASSIGN_OR_RETURN(
+        admin_, AdminHttpServer::Start(
+                    this, AdminHttpServer::Options{
+                              .host = options_.admin_host,
+                              .port = options_.admin_port}));
+  }
+  return Status::OK();
+}
+
+Status PolicyServer::InitSchema() {
   P3PDB_RETURN_IF_ERROR(db_.ExecuteScript(kCatalogDdl));
   if (UsesSqlMatching()) {
     if (UsesSimpleSchema()) {
@@ -218,18 +274,132 @@ Status PolicyServer::Init() {
       P3PDB_RETURN_IF_ERROR(table->Insert({Value::Integer(0)}));
     }
   }
-  if (options_.enable_admin_endpoint) {
-    P3PDB_ASSIGN_OR_RETURN(
-        admin_, AdminHttpServer::Start(
-                    this, AdminHttpServer::Options{
-                              .host = options_.admin_host,
-                              .port = options_.admin_port}));
+  return Status::OK();
+}
+
+Status PolicyServer::RestoreFromStorage() {
+  if (UsesSqlMatching()) {
+    // Guard against reopening a directory that was bootstrapped under a
+    // different engine configuration: the shredded schemas would not match
+    // the SQL this engine generates.
+    for (const char* name :
+         {"Meta", "Policyref", "Include", "Exclude", "CookieInclude",
+          "CookieExclude", translator::kApplicablePolicyTable}) {
+      if (db_.LookupTable(name) == nullptr) {
+        return Status::InvalidArgument(
+            "storage at '" + options_.storage_path + "' lacks table '" +
+            std::string(name) + "'; created under a different engine?");
+      }
+    }
+    if (UsesSimpleSchema()) {
+      for (const sqldb::TableSchema& expected :
+           shredder::GenerateSimpleSchema().tables) {
+        const sqldb::Table* table = db_.LookupTable(expected.name());
+        if (table == nullptr || table->schema().columns().size() !=
+                                    expected.columns().size()) {
+          return Status::InvalidArgument(
+              "storage at '" + options_.storage_path +
+              "' does not carry the simple schema (table '" +
+              expected.name() + "' missing or mismatched)");
+        }
+      }
+      simple_shredder_ = std::make_unique<shredder::SimpleShredder>(&db_);
+      simple_shredder_->ResumeIds();
+    } else {
+      const sqldb::Table* policy_table = db_.LookupTable("Policy");
+      if (policy_table == nullptr ||
+          policy_table->schema().columns().size() != 5) {
+        return Status::InvalidArgument(
+            "storage at '" + options_.storage_path +
+            "' does not carry the optimized schema");
+      }
+      optimized_shredder_ =
+          std::make_unique<shredder::OptimizedShredder>(&db_);
+      optimized_shredder_->ResumeIds();
+    }
+    reference_shredder_ = std::make_unique<shredder::ReferenceShredder>(&db_);
+    reference_shredder_->ResumeIds();
+    if (!UsesLegacyMaterialization()) {
+      // Re-seed the one-row FROM anchor if a legacy-materialized run (which
+      // mutates the table per match) left it empty.
+      sqldb::Table* anchor =
+          db_.GetMutableTable(translator::kApplicablePolicyTable);
+      if (anchor->RowCount() == 0) {
+        P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
+        Status inserted = anchor->Insert({Value::Integer(0)});
+        Status commit = db_.CommitTransaction();
+        P3PDB_RETURN_IF_ERROR(inserted);
+        P3PDB_RETURN_IF_ERROR(commit);
+      }
+    }
+  }
+
+  // Policy catalog -> id list, name/version maps, and native evidence. The
+  // catalog stores the original un-augmented XML, so the DOM each non-SQL
+  // engine evaluates is rebuilt exactly as InstallPolicy built it. Slots
+  // are in install order, so the last row per name is the latest version.
+  const sqldb::Table* catalog = db_.LookupTable("PolicyCatalog");
+  for (size_t slot = 0; slot < catalog->SlotCount(); ++slot) {
+    if (!catalog->IsLive(slot)) continue;
+    const sqldb::Row& row = catalog->RowAt(slot);
+    const int64_t policy_id = row[0].AsInteger();
+    const std::string name = row[1].AsText();
+    P3PDB_ASSIGN_OR_RETURN(p3p::Policy policy,
+                           p3p::PolicyFromText(row[3].AsText()));
+    p3p::Policy canonical = p3p::Canonicalized(policy);
+    if (options_.augmentation == Augmentation::kAtInstall) {
+      p3p::AugmentPolicy(&canonical);
+    }
+    policy_dom_[policy_id] = p3p::PolicyToXml(canonical);
+    if (options_.engine == EngineKind::kNativeAppel) {
+      policy_text_[policy_id] = xml::Write(*policy_dom_[policy_id]);
+    }
+    policy_ids_.push_back(policy_id);
+    latest_policy_by_name_[name] = policy_id;
+    policy_version_by_id_[policy_id] = row[2].AsInteger();
+  }
+
+  // Reference file: every engine keeps the native copy for URI resolution.
+  if (const sqldb::Table* rft = db_.LookupTable("RefFileCatalog")) {
+    for (size_t slot = 0; slot < rft->SlotCount(); ++slot) {
+      if (!rft->IsLive(slot)) continue;
+      P3PDB_ASSIGN_OR_RETURN(
+          reference_file_,
+          p3p::ReferenceFileFromText(rft->RowAt(slot)[1].AsText()));
+      has_reference_file_ = true;
+    }
+  }
+
+  // MatchLog id sequence, so recorded matches never collide.
+  if (const sqldb::Table* log = db_.LookupTable("MatchLog")) {
+    for (size_t slot = 0; slot < log->SlotCount(); ++slot) {
+      if (!log->IsLive(slot)) continue;
+      const int64_t id = log->RowAt(slot)[0].AsInteger();
+      if (id + 1 > next_match_id_) next_match_id_ = id + 1;
+    }
+  }
+
+  if (options_.collect_metrics) {
+    policies_installed_->Set(static_cast<int64_t>(policy_ids_.size()));
   }
   return Status::OK();
 }
 
 Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // One durable unit: every row the shred writes plus the catalog entry
+  // commit together, so a crash mid-install recovers to "not installed".
+  // There is no rollback — a *failed* install keeps its partial in-memory
+  // effects, exactly as before storage existed — so the commit runs on
+  // every path to keep disk and memory identical.
+  P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
+  auto result = InstallPolicyLocked(policy);
+  Status commit = db_.CommitTransaction();
+  if (result.ok() && !commit.ok()) return commit;
+  return result;
+}
+
+Result<int64_t> PolicyServer::InstallPolicyLocked(const p3p::Policy& policy) {
   P3PDB_RETURN_IF_ERROR(policy.Validate());
   p3p::Policy canonical = p3p::Canonicalized(policy);
   if (options_.augmentation == Augmentation::kAtInstall) {
@@ -283,6 +453,16 @@ Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
 
 Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
   std::unique_lock<std::shared_mutex> lock(mu_);
+  // One durable unit, as in InstallPolicy: the old reference rows' deletes,
+  // the reshred, and the RefFileCatalog swap commit together.
+  P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
+  Status result = InstallReferenceFileLocked(rf);
+  Status commit = db_.CommitTransaction();
+  if (result.ok() && !commit.ok()) return commit;
+  return result;
+}
+
+Status PolicyServer::InstallReferenceFileLocked(const p3p::ReferenceFile& rf) {
   // Resolve about -> latest installed policy id by fragment name.
   std::map<std::string, int64_t> resolution;
   for (const p3p::PolicyRef& ref : rf.refs) {
@@ -302,6 +482,13 @@ Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
     auto meta = reference_shredder_->ShredReferenceFile(rf, resolution);
     if (!meta.ok()) return meta.status();
   }
+  // Persist the reference XML itself so a disk-backed reopen can rebuild
+  // the native-path copy (the shredded rows only carry LIKE patterns).
+  auto cleared = db_.Execute("DELETE FROM RefFileCatalog");
+  if (!cleared.ok()) return cleared.status();
+  P3PDB_RETURN_IF_ERROR(db_.InsertRow(
+      "RefFileCatalog",
+      {Value::Integer(0), Value::Text(p3p::ReferenceFileToText(rf))}));
   reference_file_ = rf;
   has_reference_file_ = true;
   // The path -> policy mapping changed; cached URI/cookie results computed
@@ -861,6 +1048,17 @@ void PolicyServer::SyncDatabaseMetrics() const {
   sync(sql_batch_rows_, stats.batch_rows);
   sync(sql_vectorized_filters_, stats.vectorized_filters);
   sync(sql_vectorized_fallback_rows_, stats.vectorized_fallback_rows);
+  if (storage_wal_records_ != nullptr) {
+    const sqldb::StorageStats storage = db_.storage_stats();
+    sync(storage_wal_records_, storage.wal_records);
+    sync(storage_wal_commits_, storage.wal_commits);
+    sync(storage_wal_syncs_, storage.wal_syncs);
+    sync(storage_wal_bytes_, storage.wal_bytes);
+    sync(storage_checkpoints_, storage.checkpoints);
+    sync(storage_pool_hits_, storage.pool.hits);
+    sync(storage_pool_misses_, storage.pool.misses);
+    sync(storage_recovered_txns_, storage.recovered_txns);
+  }
   uptime_seconds_->Set(std::chrono::duration_cast<std::chrono::seconds>(
                            std::chrono::steady_clock::now() - start_time_)
                            .count());

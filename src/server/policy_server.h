@@ -184,6 +184,25 @@ class PolicyServer {
     std::string admin_host = "127.0.0.1";
     /// 0 = ephemeral; read the bound port back via admin_port().
     uint16_t admin_port = 0;
+    /// Directory for the database's disk-backed storage engine (page-based
+    /// checkpoints + write-ahead log; see sqldb/storage.h). Empty — the
+    /// default — keeps the server purely in-memory with zero storage
+    /// overhead. Non-empty either bootstraps a fresh catalog into the
+    /// directory or recovers an existing one: Create() detects a recovered
+    /// PolicyCatalog, skips the schema installs, and rebuilds the in-memory
+    /// maps, policy DOMs, shredder id sequences, and reference file from
+    /// the durable tables. Each InstallPolicy / InstallReferenceFile is one
+    /// WAL transaction, so a crash mid-install recovers to "not installed".
+    std::string storage_path;
+    size_t storage_buffer_pool_pages = 64;
+    /// fsync the WAL on every commit (off trades tail-loss for speed).
+    bool storage_sync_on_commit = true;
+    /// Auto-checkpoint once this many WAL bytes accumulate; 0 disables.
+    uint64_t storage_checkpoint_wal_bytes = 4ull << 20;
+    bool storage_checkpoint_on_close = true;
+    /// File-backend factory for storage files; null = plain POSIX files.
+    /// The kill-and-recover harness injects fault backends here.
+    sqldb::FileBackendFactory storage_backend_factory;
   };
 
   /// Creates a server and installs the engine's schemas. With
@@ -332,6 +351,13 @@ class PolicyServer {
   explicit PolicyServer(Options options);
 
   Status Init();
+  /// Fresh bootstrap: catalog DDL, engine schemas, ApplicablePolicy anchor.
+  Status InitSchema();
+  /// Disk-backed reopen: verifies the recovered tables match this engine
+  /// configuration and rebuilds all in-memory state from them.
+  Status RestoreFromStorage();
+  Result<int64_t> InstallPolicyLocked(const p3p::Policy& policy);
+  Status InstallReferenceFileLocked(const p3p::ReferenceFile& rf);
   bool UsesSqlMatching() const;
   bool UsesSimpleSchema() const;
   /// True when matches mutate the ApplicablePolicy row (compat flag, or the
@@ -456,6 +482,17 @@ class PolicyServer {
   obs::Counter* sql_batch_rows_ = nullptr;
   obs::Counter* sql_vectorized_filters_ = nullptr;
   obs::Counter* sql_vectorized_fallback_rows_ = nullptr;
+  // Mirrors of the storage engine's WAL/buffer-pool counters. Registered
+  // only when Options::storage_path is set, so in-memory servers expose
+  // exactly the metric set they always did; null pointers mean "no storage".
+  obs::Counter* storage_wal_records_ = nullptr;
+  obs::Counter* storage_wal_commits_ = nullptr;
+  obs::Counter* storage_wal_syncs_ = nullptr;
+  obs::Counter* storage_wal_bytes_ = nullptr;
+  obs::Counter* storage_checkpoints_ = nullptr;
+  obs::Counter* storage_pool_hits_ = nullptr;
+  obs::Counter* storage_pool_misses_ = nullptr;
+  obs::Counter* storage_recovered_txns_ = nullptr;
 };
 
 }  // namespace p3pdb::server

@@ -135,4 +135,17 @@ Result<int64_t> OptimizedShredder::ShredPolicy(const p3p::Policy& policy) {
   return policy_id;
 }
 
+void OptimizedShredder::ResumeIds() {
+  int64_t max_id = 0;
+  const sqldb::Table* table = db_->LookupTable("Policy");
+  if (table != nullptr) {
+    for (size_t slot = 0; slot < table->SlotCount(); ++slot) {
+      if (!table->IsLive(slot)) continue;
+      const Value& id = table->RowAt(slot)[0];
+      if (!id.is_null() && id.AsInteger() > max_id) max_id = id.AsInteger();
+    }
+  }
+  next_policy_id_ = max_id + 1;
+}
+
 }  // namespace p3pdb::shredder

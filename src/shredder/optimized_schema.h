@@ -38,6 +38,11 @@ class OptimizedShredder {
   /// SQL path's match-time advantage).
   Result<int64_t> ShredPolicy(const p3p::Policy& policy);
 
+  /// Re-seeds the policy-id sequence to max(Policy.policy_id) + 1. Called
+  /// after disk-backed recovery so new shreds never collide with recovered
+  /// rows (statement/data ids are per-policy and need no resume).
+  void ResumeIds();
+
  private:
   sqldb::Database* db_;
   int64_t next_policy_id_ = 1;

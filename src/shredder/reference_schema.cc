@@ -121,4 +121,21 @@ Result<int64_t> ReferenceShredder::ShredReferenceFile(
   return meta_id;
 }
 
+void ReferenceShredder::ResumeIds() {
+  // One sequence across all six reference tables; the id is always the
+  // first column.
+  int64_t max_id = 0;
+  for (const char* name : {"Meta", "Policyref", "Include", "Exclude",
+                           "CookieInclude", "CookieExclude"}) {
+    const sqldb::Table* table = db_->LookupTable(name);
+    if (table == nullptr) continue;
+    for (size_t slot = 0; slot < table->SlotCount(); ++slot) {
+      if (!table->IsLive(slot)) continue;
+      const Value& id = table->RowAt(slot)[0];
+      if (!id.is_null() && id.AsInteger() > max_id) max_id = id.AsInteger();
+    }
+  }
+  next_id_ = max_id + 1;
+}
+
 }  // namespace p3pdb::shredder

@@ -42,6 +42,10 @@ class ReferenceShredder {
       const p3p::ReferenceFile& rf,
       const std::map<std::string, int64_t>& policy_ids);
 
+  /// Re-seeds the shared id sequence to max(existing id) + 1 across all
+  /// reference tables. Called after disk-backed recovery.
+  void ResumeIds();
+
  private:
   sqldb::Database* db_;
   int64_t next_id_ = 1;

@@ -136,4 +136,20 @@ Status SimpleShredder::Add(
   return Status::OK();
 }
 
+void SimpleShredder::ResumeIds() {
+  // The sequence is shared across all element tables; the id is always the
+  // first column.
+  int64_t max_id = 0;
+  for (const TableSchema& schema : GenerateSimpleSchema().tables) {
+    const sqldb::Table* table = db_->LookupTable(schema.name());
+    if (table == nullptr) continue;
+    for (size_t slot = 0; slot < table->SlotCount(); ++slot) {
+      if (!table->IsLive(slot)) continue;
+      const Value& id = table->RowAt(slot)[0];
+      if (!id.is_null() && id.AsInteger() > max_id) max_id = id.AsInteger();
+    }
+  }
+  next_id_ = max_id + 1;
+}
+
 }  // namespace p3pdb::shredder

@@ -58,6 +58,12 @@ class SimpleShredder {
   /// (the server does this once at install time).
   Result<int64_t> ShredPolicy(const xml::Element& policy_root);
 
+  /// Re-seeds the id sequence to max(existing id) + 1 by scanning every
+  /// simple-schema table (the sequence is shared across all of them).
+  /// Called after disk-backed recovery so new shreds never collide with
+  /// recovered rows.
+  void ResumeIds();
+
  private:
   Status Add(const ElementSpec& spec, const xml::Element& elem,
              const std::vector<std::pair<std::string, int64_t>>& foreign_key);

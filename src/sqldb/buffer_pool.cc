@@ -1,0 +1,106 @@
+#include "sqldb/buffer_pool.h"
+
+#include <cstring>
+
+namespace p3pdb::sqldb {
+
+BufferPool::BufferPool(FileBackend* file, size_t frame_count, size_t k)
+    : file_(file), k_(k == 0 ? 1 : k) {
+  if (frame_count == 0) frame_count = 1;
+  frames_.resize(frame_count);
+  for (Frame& frame : frames_) frame.data.resize(kPageSize);
+}
+
+void BufferPool::RecordAccess(Frame& frame) {
+  frame.history.insert(frame.history.begin(), ++clock_);
+  if (frame.history.size() > k_) frame.history.resize(k_);
+}
+
+Result<size_t> BufferPool::AcquireFrame() {
+  size_t victim = frames_.size();
+  bool victim_infinite = false;
+  uint64_t victim_kth = 0;
+  for (size_t i = 0; i < frames_.size(); ++i) {
+    Frame& frame = frames_[i];
+    if (!frame.valid) return i;
+    if (frame.pins > 0) continue;
+    // Backward k-distance: frames with < k accesses rank as infinite and
+    // are preferred victims, ties broken by oldest most-recent access;
+    // otherwise evict the oldest k-th access.
+    const bool infinite = frame.history.size() < k_;
+    const uint64_t kth = frame.history.empty() ? 0 : frame.history.back();
+    const bool better =
+        victim == frames_.size() ||
+        (infinite && !victim_infinite) ||
+        (infinite == victim_infinite && kth < victim_kth);
+    if (better) {
+      victim = i;
+      victim_infinite = infinite;
+      victim_kth = kth;
+    }
+  }
+  if (victim == frames_.size()) {
+    return Status::LimitExceeded("buffer pool: all frames pinned");
+  }
+  Frame& frame = frames_[victim];
+  if (frame.dirty) {
+    P3PDB_RETURN_IF_ERROR(file_->WriteAt(frame.page_id * kPageSize,
+                                         frame.data.data(), kPageSize));
+    ++stats_.writebacks;
+  }
+  page_table_.erase(frame.page_id);
+  frame.valid = false;
+  frame.dirty = false;
+  frame.history.clear();
+  ++stats_.evictions;
+  return victim;
+}
+
+Result<uint8_t*> BufferPool::FetchPage(PageId page_id) {
+  ++stats_.fetches;
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    ++stats_.hits;
+    ++frame.pins;
+    RecordAccess(frame);
+    return frame.data.data();
+  }
+  ++stats_.misses;
+  P3PDB_ASSIGN_OR_RETURN(size_t slot, AcquireFrame());
+  Frame& frame = frames_[slot];
+  size_t got = 0;
+  P3PDB_RETURN_IF_ERROR(
+      file_->ReadAt(page_id * kPageSize, frame.data.data(), kPageSize, &got));
+  if (got < kPageSize) {
+    std::memset(frame.data.data() + got, 0, kPageSize - got);
+  }
+  frame.page_id = page_id;
+  frame.valid = true;
+  frame.dirty = false;
+  frame.pins = 1;
+  RecordAccess(frame);
+  page_table_[page_id] = slot;
+  return frame.data.data();
+}
+
+void BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return;
+  Frame& frame = frames_[it->second];
+  if (frame.pins > 0) --frame.pins;
+  if (dirty) frame.dirty = true;
+}
+
+Status BufferPool::FlushAll() {
+  for (Frame& frame : frames_) {
+    if (!frame.valid || !frame.dirty) continue;
+    P3PDB_RETURN_IF_ERROR(file_->WriteAt(frame.page_id * kPageSize,
+                                         frame.data.data(), kPageSize));
+    frame.dirty = false;
+    ++stats_.writebacks;
+  }
+  return Status::OK();
+}
+
+}  // namespace p3pdb::sqldb

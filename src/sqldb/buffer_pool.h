@@ -1,0 +1,115 @@
+// Buffer pool: a fixed set of in-memory frames caching 8 KiB file pages,
+// with pin counts and LRU-K (K=2) eviction.
+//
+// The checkpoint reader/writer streams table images through the pool rather
+// than the raw file, so cold opens exercise the same replacement policy a
+// real paged heap would: pages touched twice recently (the "hot" history
+// pages of LRU-K) survive scans that would flush a plain LRU. Pinned frames
+// are never evicted; dirty frames are written back on eviction and on
+// FlushAll.
+
+#ifndef P3PDB_SQLDB_BUFFER_POOL_H_
+#define P3PDB_SQLDB_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "sqldb/file_backend.h"
+
+namespace p3pdb::sqldb {
+
+inline constexpr size_t kPageSize = 8192;
+
+using PageId = uint64_t;
+
+class BufferPool {
+ public:
+  /// `frame_count` pages of capacity over `file`. `k` is the LRU-K history
+  /// depth: eviction prefers frames with fewer than k recorded accesses
+  /// (infinite backward k-distance), then the frame whose k-th most recent
+  /// access is oldest.
+  BufferPool(FileBackend* file, size_t frame_count, size_t k = 2);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins the page and returns its frame bytes (kPageSize long). Pages past
+  /// the current end of file read as zeros. Call Unpin exactly once per
+  /// Fetch.
+  Result<uint8_t*> FetchPage(PageId page_id);
+
+  /// Releases one pin; `dirty` marks the frame for writeback.
+  void UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes back every dirty frame (pinned or not; contents are whatever
+  /// the frame holds now). Does not sync the file.
+  Status FlushAll();
+
+  struct Stats {
+    uint64_t fetches = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t writebacks = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  size_t frame_count() const { return frames_.size(); }
+
+ private:
+  struct Frame {
+    PageId page_id = 0;
+    bool valid = false;
+    bool dirty = false;
+    uint32_t pins = 0;
+    /// Last k access timestamps, most recent first; size < k means the
+    /// frame has infinite backward k-distance (evicted first).
+    std::vector<uint64_t> history;
+    std::vector<uint8_t> data;
+  };
+
+  /// Picks a victim frame (invalid first, then LRU-K), writing back a dirty
+  /// victim. Fails only if every frame is pinned.
+  Result<size_t> AcquireFrame();
+  void RecordAccess(Frame& frame);
+
+  FileBackend* file_;
+  const size_t k_;
+  uint64_t clock_ = 0;
+  std::vector<Frame> frames_;
+  std::unordered_map<PageId, size_t> page_table_;
+  Stats stats_;
+};
+
+/// RAII pin over one fetched page.
+class PageRef {
+ public:
+  PageRef(BufferPool* pool, PageId page_id, uint8_t* data)
+      : pool_(pool), page_id_(page_id), data_(data) {}
+  ~PageRef() {
+    if (pool_ != nullptr) pool_->UnpinPage(page_id_, dirty_);
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+  PageRef(PageRef&& other) noexcept
+      : pool_(other.pool_), page_id_(other.page_id_), data_(other.data_),
+        dirty_(other.dirty_) {
+    other.pool_ = nullptr;
+  }
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  void MarkDirty() { dirty_ = true; }
+
+ private:
+  BufferPool* pool_;
+  PageId page_id_;
+  uint8_t* data_;
+  bool dirty_ = false;
+};
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_BUFFER_POOL_H_

@@ -42,6 +42,73 @@ uint64_t Database::NextDatabaseId() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+Database::~Database() {
+  if (storage_ != nullptr && storage_status_.ok() &&
+      options_.storage_checkpoint_on_close) {
+    // Final checkpoint: the next open loads a compact image instead of
+    // replaying the whole WAL. Close-time failures are unreportable; the
+    // WAL alone is sufficient for recovery, so best-effort is safe.
+    (void)storage_->CommitIfImplicit();
+    (void)storage_->Checkpoint(*this);
+  }
+  for (auto& [key, table] : tables_) table->set_observer(nullptr);
+}
+
+Status Database::OpenStorage() {
+  StorageEngine::Options sopts;
+  sopts.path = options_.storage_path;
+  sopts.buffer_pool_pages = options_.storage_buffer_pool_pages;
+  sopts.sync_on_commit = options_.storage_sync_on_commit;
+  sopts.checkpoint_wal_bytes = options_.storage_checkpoint_wal_bytes;
+  sopts.backend_factory = options_.storage_backend_factory;
+  auto engine = StorageEngine::Open(std::move(sopts));
+  if (!engine.ok()) return engine.status();
+  storage_ = std::move(engine).value();
+  Status st = storage_->RecoverInto(this);
+  if (!st.ok()) {
+    for (auto& [key, table] : tables_) table->set_observer(nullptr);
+    storage_.reset();
+    return st;
+  }
+  return Status::OK();
+}
+
+Table* Database::RestoreTable(TableSchema schema) {
+  std::string key = ToLower(schema.name());
+  if (tables_.count(key) != 0) return nullptr;
+  auto [it, inserted] =
+      tables_.emplace(std::move(key),
+                      std::make_unique<Table>(std::move(schema)));
+  it->second->set_observer(storage_.get());
+  ++catalog_generation_;
+  return it->second.get();
+}
+
+Status Database::StorageStatementEnd() {
+  if (!storage_active() || storage_->replaying()) return Status::OK();
+  P3PDB_RETURN_IF_ERROR(storage_->CommitIfImplicit());
+  return storage_->MaybeCheckpoint(*this);
+}
+
+Status Database::BeginTransaction() {
+  if (!storage_status_.ok()) return storage_status_;
+  if (storage_ == nullptr) return Status::OK();
+  return storage_->Begin();
+}
+
+Status Database::CommitTransaction() {
+  if (!storage_status_.ok()) return storage_status_;
+  if (storage_ == nullptr) return Status::OK();
+  P3PDB_RETURN_IF_ERROR(storage_->Commit());
+  return storage_->MaybeCheckpoint(*this);
+}
+
+Status Database::Checkpoint() {
+  if (!storage_status_.ok()) return storage_status_;
+  if (storage_ == nullptr) return Status::OK();
+  return storage_->Checkpoint(*this);
+}
+
 AtomicExecStats& Database::LocalStats() const {
   // Small per-thread cache of (database id, shard) pairs: the common case
   // (a server thread executing against one or two databases, e.g. the
@@ -390,12 +457,26 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       LocalStats().MergeSingleWriter(local);
       return result;
     }
-    case StatementKind::kInsert:
-      return ExecuteInsert(static_cast<InsertStmt*>(stmt));
-    case StatementKind::kUpdate:
-      return ExecuteUpdate(static_cast<UpdateStmt*>(stmt));
-    case StatementKind::kDelete:
-      return ExecuteDelete(static_cast<DeleteStmt*>(stmt));
+    case StatementKind::kInsert: {
+      auto result = ExecuteInsert(static_cast<InsertStmt*>(stmt));
+      // Commit even a failed statement's partial effects: the in-memory
+      // state keeps them (no rollback), so disk must too.
+      Status st = StorageStatementEnd();
+      if (result.ok() && !st.ok()) return st;
+      return result;
+    }
+    case StatementKind::kUpdate: {
+      auto result = ExecuteUpdate(static_cast<UpdateStmt*>(stmt));
+      Status st = StorageStatementEnd();
+      if (result.ok() && !st.ok()) return st;
+      return result;
+    }
+    case StatementKind::kDelete: {
+      auto result = ExecuteDelete(static_cast<DeleteStmt*>(stmt));
+      Status st = StorageStatementEnd();
+      if (result.ok() && !st.ok()) return st;
+      return result;
+    }
     case StatementKind::kCreateTable: {
       auto* ct = static_cast<CreateTableStmt*>(stmt);
       if (ct->if_not_exists &&
@@ -417,6 +498,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
       }
       P3PDB_RETURN_IF_ERROR(
           table->CreateIndex(ci->index_name, ci->columns, ci->unique));
+      P3PDB_RETURN_IF_ERROR(StorageStatementEnd());
       BumpRelaxed(LocalStats().statements_executed);
       return QueryResult{};
     }
@@ -465,6 +547,7 @@ Result<QueryResult> Database::ExecuteParsed(Statement* stmt,
 }
 
 Status Database::CreateTable(TableSchema schema) {
+  if (!storage_status_.ok()) return storage_status_;
   std::string key = ToLower(schema.name());
   if (tables_.count(key) != 0) {
     return Status::AlreadyExists("table '" + schema.name() +
@@ -504,12 +587,19 @@ Status Database::CreateTable(TableSchema schema) {
       }
     }
   }
-  tables_.emplace(std::move(key), std::make_unique<Table>(std::move(schema)));
+  auto [it, inserted] = tables_.emplace(
+      std::move(key), std::make_unique<Table>(std::move(schema)));
   ++catalog_generation_;
+  if (storage_active()) {
+    storage_->LogCreateTable(it->second->schema());
+    it->second->set_observer(storage_.get());
+    P3PDB_RETURN_IF_ERROR(StorageStatementEnd());
+  }
   return Status::OK();
 }
 
 Status Database::DropTable(std::string_view name, bool if_exists) {
+  if (!storage_status_.ok()) return storage_status_;
   std::string key = ToLower(name);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
@@ -519,10 +609,15 @@ Status Database::DropTable(std::string_view name, bool if_exists) {
   }
   tables_.erase(it);
   ++catalog_generation_;
+  if (storage_active() && !storage_->replaying()) {
+    storage_->LogDropTable(std::string(name));
+    P3PDB_RETURN_IF_ERROR(StorageStatementEnd());
+  }
   return Status::OK();
 }
 
 Status Database::InsertRow(std::string_view table_name, Row row) {
+  if (!storage_status_.ok()) return storage_status_;
   Table* table = GetMutableTable(table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + std::string(table_name) +
@@ -531,7 +626,8 @@ Status Database::InsertRow(std::string_view table_name, Row row) {
   if (options_.enforce_foreign_keys) {
     P3PDB_RETURN_IF_ERROR(CheckForeignKeys(*table, row));
   }
-  return table->Insert(std::move(row));
+  P3PDB_RETURN_IF_ERROR(table->Insert(std::move(row)));
+  return StorageStatementEnd();
 }
 
 const Table* Database::LookupTable(std::string_view name) const {
@@ -618,6 +714,7 @@ Status Database::CheckForeignKeys(const Table& table, const Row& row) const {
 }
 
 Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
+  if (!storage_status_.ok()) return storage_status_;
   Table* table = GetMutableTable(stmt->table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt->table_name +
@@ -668,6 +765,7 @@ Result<QueryResult> Database::ExecuteInsert(InsertStmt* stmt) {
 }
 
 Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
+  if (!storage_status_.ok()) return storage_status_;
   Table* table = GetMutableTable(stmt->table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt->table_name +
@@ -764,6 +862,7 @@ Result<QueryResult> Database::ExecuteUpdate(UpdateStmt* stmt) {
 }
 
 Result<QueryResult> Database::ExecuteDelete(DeleteStmt* stmt) {
+  if (!storage_status_.ok()) return storage_status_;
   Table* table = GetMutableTable(stmt->table_name);
   if (table == nullptr) {
     return Status::NotFound("table '" + stmt->table_name +

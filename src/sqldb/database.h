@@ -27,6 +27,7 @@
 #include "sqldb/binder.h"
 #include "sqldb/query_result.h"
 #include "sqldb/statement_stats.h"
+#include "sqldb/storage.h"
 #include "sqldb/table.h"
 
 namespace p3pdb::sqldb {
@@ -127,6 +128,24 @@ class Database : public CatalogView {
     uint32_t trace_sample_every = 0;
     /// Ring capacity of the slow-query log.
     size_t slow_log_capacity = 128;
+    /// Directory for the disk-backed storage engine (page files + WAL,
+    /// see storage.h). Empty — the default — keeps the database purely
+    /// in-memory with zero storage overhead on any path. Non-empty opens
+    /// (creating or recovering) the directory at construction; check
+    /// storage_status() before use.
+    std::string storage_path;
+    /// Buffer pool capacity, in kPageSize frames, for checkpoint I/O.
+    size_t storage_buffer_pool_pages = 64;
+    /// fsync the WAL on every commit (off trades tail-loss for speed).
+    bool storage_sync_on_commit = true;
+    /// Auto-checkpoint once this many WAL bytes accumulate; 0 disables.
+    uint64_t storage_checkpoint_wal_bytes = 4ull << 20;
+    /// Take a final checkpoint in the destructor so the next open loads a
+    /// compact image instead of replaying the whole WAL.
+    bool storage_checkpoint_on_close = true;
+    /// File-backend factory for storage files; null means plain POSIX
+    /// files. The kill-and-recover harness injects fault backends here.
+    FileBackendFactory storage_backend_factory;
   };
 
   Database() : Database(Options{}) {}
@@ -138,10 +157,38 @@ class Database : public CatalogView {
       slow_log_ =
           std::make_unique<obs::SlowQueryLog>(options_.slow_log_capacity);
     }
+    if (!options_.storage_path.empty()) {
+      storage_status_ = OpenStorage();
+    }
   }
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  /// OK for in-memory databases and for successfully opened/recovered
+  /// disk-backed ones; otherwise the open/recovery error (every mutating
+  /// call then fails with this status rather than diverging from disk).
+  const Status& storage_status() const { return storage_status_; }
+  /// True when this database is disk-backed and healthy.
+  bool storage_active() const {
+    return storage_ != nullptr && storage_status_.ok();
+  }
+  /// WAL/buffer-pool/recovery counters; zeros when not disk-backed.
+  StorageStats storage_stats() const {
+    return storage_ != nullptr ? storage_->stats() : StorageStats{};
+  }
+
+  /// Opens an explicit transaction: subsequent statements share one WAL
+  /// commit, issued by CommitTransaction. No-op (OK) when in-memory.
+  /// Transactions group durability only — there is no rollback; partial
+  /// effects of a failed statement remain, exactly as in-memory.
+  Status BeginTransaction();
+  Status CommitTransaction();
+
+  /// Forces a checkpoint (full catalog image + WAL truncation). No-op when
+  /// in-memory.
+  Status Checkpoint();
 
   /// Parses and executes one SQL statement. Statements containing `?`
   /// placeholders are rejected (use the parameterized overload).
@@ -198,6 +245,17 @@ class Database : public CatalogView {
 
  private:
   friend class PreparedStatement;
+  friend class StorageEngine;
+
+  /// Recovery-only table creation: no PK/FK validation (the definition was
+  /// validated when first created), attaches the storage observer. Returns
+  /// nullptr if the name is already taken.
+  Table* RestoreTable(TableSchema schema);
+  Status OpenStorage();
+  /// Commits the statement-level implicit transaction and runs the
+  /// auto-checkpoint policy. Called at the end of every mutating
+  /// operation; no-op when not disk-backed.
+  Status StorageStatementEnd();
 
   Result<QueryResult> ExecuteParsed(Statement* stmt,
                                     const std::vector<Value>* params = nullptr);
@@ -277,6 +335,10 @@ class Database : public CatalogView {
   // when capture is configured.
   StatementStatsRegistry statement_stats_;
   std::unique_ptr<obs::SlowQueryLog> slow_log_;
+
+  // Disk-backed persistence; null for in-memory databases (the default).
+  std::unique_ptr<StorageEngine> storage_;
+  Status storage_status_ = Status::OK();
 };
 
 }  // namespace p3pdb::sqldb

@@ -1,0 +1,123 @@
+#include "sqldb/file_backend.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace p3pdb::sqldb {
+
+namespace {
+
+class PosixFileBackend : public FileBackend {
+ public:
+  explicit PosixFileBackend(int fd) : fd_(fd) {}
+  ~PosixFileBackend() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status ReadAt(uint64_t offset, void* buf, size_t len,
+                size_t* bytes_read) override {
+    size_t done = 0;
+    auto* out = static_cast<uint8_t*>(buf);
+    while (done < len) {
+      ssize_t n = ::pread(fd_, out + done, len - done,
+                          static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("pread: ") + std::strerror(errno));
+      }
+      if (n == 0) break;  // EOF
+      done += static_cast<size_t>(n);
+    }
+    *bytes_read = done;
+    return Status::OK();
+  }
+
+  Status WriteAt(uint64_t offset, const void* buf, size_t len) override {
+    size_t done = 0;
+    const auto* in = static_cast<const uint8_t*>(buf);
+    while (done < len) {
+      ssize_t n = ::pwrite(fd_, in + done, len - done,
+                           static_cast<off_t>(offset + done));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal(std::string("pwrite: ") + std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal(std::string("fsync: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Status::Internal(std::string("ftruncate: ") +
+                              std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    off_t end = ::lseek(fd_, 0, SEEK_END);
+    if (end < 0) {
+      return Status::Internal(std::string("lseek: ") + std::strerror(errno));
+    }
+    return static_cast<uint64_t>(end);
+  }
+
+ private:
+  int fd_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<FileBackend>> OpenPosixFile(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::Internal("open '" + path + "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<FileBackend>(std::make_unique<PosixFileBackend>(fd));
+}
+
+Status FaultInjectingFileBackend::WriteAt(uint64_t offset, const void* buf,
+                                          size_t len) {
+  const uint64_t op =
+      plan_->op_counter->fetch_add(1, std::memory_order_relaxed) + 1;
+  if (plan_->crash_at_op != 0 && op >= plan_->crash_at_op) {
+    double frac = plan_->partial_fraction;
+    if (frac < 0.0) frac = 0.0;
+    if (frac > 1.0) frac = 1.0;
+    const auto prefix = static_cast<size_t>(static_cast<double>(len) * frac);
+    if (prefix > 0) {
+      (void)inner_->WriteAt(offset, buf, prefix);
+    }
+    (void)inner_->Sync();  // the torn prefix is what recovery will see
+    if (plan_->on_crash) {
+      plan_->on_crash();
+    } else {
+      ::_exit(kCrashExitCode);
+    }
+    return Status::Internal("injected crash at write op " +
+                            std::to_string(op));
+  }
+  return inner_->WriteAt(offset, buf, len);
+}
+
+FileBackendFactory MakeFaultInjectingFactory(std::shared_ptr<FaultPlan> plan) {
+  return [plan](const std::string& path) -> Result<std::unique_ptr<FileBackend>> {
+    P3PDB_ASSIGN_OR_RETURN(std::unique_ptr<FileBackend> inner,
+                           OpenPosixFile(path));
+    return std::unique_ptr<FileBackend>(
+        std::make_unique<FaultInjectingFileBackend>(std::move(inner), plan));
+  };
+}
+
+}  // namespace p3pdb::sqldb

@@ -1,0 +1,107 @@
+// FileBackend: the byte-level I/O seam under the disk-backed storage engine.
+//
+// Everything the storage engine writes to disk — data-file pages, WAL
+// records, meta blocks — goes through this interface, so a test can swap in
+// a FaultInjectingFileBackend that kills the process at the Nth write
+// (optionally after flushing only a prefix of that write, modelling a torn
+// mid-page or mid-WAL-record write). This is what makes the kill-and-recover
+// harness deterministic: a (seed, crash-op) pair names an exact byte
+// position at which the "machine died".
+
+#ifndef P3PDB_SQLDB_FILE_BACKEND_H_
+#define P3PDB_SQLDB_FILE_BACKEND_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace p3pdb::sqldb {
+
+/// Positioned I/O over one file. Implementations need not be thread-safe;
+/// the storage engine serializes all mutations (the server's install lock
+/// already guarantees single-writer).
+class FileBackend {
+ public:
+  virtual ~FileBackend() = default;
+
+  /// Reads up to `len` bytes at `offset`. `*bytes_read` < len means EOF was
+  /// reached; that is not an error.
+  virtual Status ReadAt(uint64_t offset, void* buf, size_t len,
+                        size_t* bytes_read) = 0;
+  /// Writes exactly `len` bytes at `offset`, extending the file if needed.
+  virtual Status WriteAt(uint64_t offset, const void* buf, size_t len) = 0;
+  /// Flushes written data to stable storage (fsync).
+  virtual Status Sync() = 0;
+  /// Truncates (or extends with zeros) the file to `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+  virtual Result<uint64_t> Size() = 0;
+};
+
+/// Opens (creating if absent) a POSIX file for read/write positioned I/O.
+Result<std::unique_ptr<FileBackend>> OpenPosixFile(const std::string& path);
+
+/// Produces the backend for each file the storage engine opens (data file,
+/// WAL). The default factory is OpenPosixFile; tests install one that wraps
+/// the result in a FaultInjectingFileBackend.
+using FileBackendFactory =
+    std::function<Result<std::unique_ptr<FileBackend>>(const std::string&)>;
+
+/// Shared crash schedule for a set of fault-injecting backends. The write-op
+/// counter is shared across every file of one database, so "crash at op N"
+/// addresses the Nth write the engine performs anywhere (page, WAL, meta).
+struct FaultPlan {
+  /// Monotonic count of WriteAt calls across all wrapped backends.
+  std::shared_ptr<std::atomic<uint64_t>> op_counter =
+      std::make_shared<std::atomic<uint64_t>>(0);
+  /// 1-based op index at which to crash; 0 = never crash.
+  uint64_t crash_at_op = 0;
+  /// Fraction of the fatal write's bytes flushed before the crash — 0.0
+  /// drops the write entirely, 0.5 leaves a torn half-record/half-page,
+  /// 1.0 completes the write and crashes just after it.
+  double partial_fraction = 0.0;
+  /// Invoked at the crash point. Defaults to _exit(kCrashExitCode) so the
+  /// child of a fork-based harness dies without running destructors (no
+  /// clean close, no checkpoint — exactly a process kill). If the hook
+  /// returns, the write reports Status::Internal instead.
+  std::function<void()> on_crash;
+};
+
+/// Exit code used by the default FaultPlan crash hook, so a harness parent
+/// can distinguish an injected crash from an ordinary child failure.
+inline constexpr int kCrashExitCode = 87;
+
+/// Wraps another backend and executes the FaultPlan: every WriteAt bumps the
+/// shared op counter; the fatal op writes only its configured prefix, syncs
+/// the inner file (the prefix is what a reopen will observe) and crashes.
+class FaultInjectingFileBackend : public FileBackend {
+ public:
+  FaultInjectingFileBackend(std::unique_ptr<FileBackend> inner,
+                            std::shared_ptr<FaultPlan> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  Status ReadAt(uint64_t offset, void* buf, size_t len,
+                size_t* bytes_read) override {
+    return inner_->ReadAt(offset, buf, len, bytes_read);
+  }
+  Status WriteAt(uint64_t offset, const void* buf, size_t len) override;
+  Status Sync() override { return inner_->Sync(); }
+  Status Truncate(uint64_t size) override { return inner_->Truncate(size); }
+  Result<uint64_t> Size() override { return inner_->Size(); }
+
+ private:
+  std::unique_ptr<FileBackend> inner_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+/// Factory wrapping OpenPosixFile results with the given plan. The plan is
+/// shared: all files opened through one factory count against the same
+/// crash_at_op schedule.
+FileBackendFactory MakeFaultInjectingFactory(std::shared_ptr<FaultPlan> plan);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_FILE_BACKEND_H_

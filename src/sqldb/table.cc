@@ -92,6 +92,7 @@ Status Table::Insert(Row row) {
   live_.push_back(true);
   ++live_count_;
   version_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) observer_->OnInsert(*this, row_id, rows_[row_id]);
   return Status::OK();
 }
 
@@ -101,6 +102,29 @@ void Table::Delete(size_t row_id) {
   live_[row_id] = false;
   --live_count_;
   version_.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) observer_->OnDelete(*this, row_id);
+}
+
+Status Table::RestoreSlot(Row row, bool live) {
+  const size_t row_id = rows_.size();
+  if (live) {
+    P3PDB_RETURN_IF_ERROR(schema_.ValidateRow(row));
+    for (auto& index : indexes_) {
+      Status st = index->Insert(row, row_id);
+      if (!st.ok()) {
+        for (auto& prior : indexes_) {
+          if (prior.get() == index.get()) break;
+          prior->Erase(row, row_id);
+        }
+        return st;
+      }
+    }
+  }
+  rows_.push_back(std::move(row));
+  live_.push_back(live);
+  if (live) ++live_count_;
+  version_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 Status Table::CreateIndex(const std::string& index_name,
@@ -127,6 +151,7 @@ Status Table::CreateIndex(const std::string& index_name,
     P3PDB_RETURN_IF_ERROR(index->Insert(rows_[row_id], row_id));
   }
   indexes_.push_back(std::move(index));
+  if (observer_ != nullptr) observer_->OnCreateIndex(*this, *indexes_.back());
   return Status::OK();
 }
 

@@ -127,6 +127,22 @@ class Index {
       map_;
 };
 
+class Table;
+
+/// Observes physical mutations of a table. The disk-backed storage engine
+/// registers itself here so every row insert/delete and index creation —
+/// whether it came from SQL DML, programmatic InsertRow, or a shredder
+/// writing through the table directly — lands in the write-ahead log.
+/// Callbacks fire after the mutation succeeded, under the same external
+/// serialization as the mutation itself.
+class TableObserver {
+ public:
+  virtual ~TableObserver() = default;
+  virtual void OnInsert(const Table& table, size_t row_id, const Row& row) = 0;
+  virtual void OnDelete(const Table& table, size_t row_id) = 0;
+  virtual void OnCreateIndex(const Table& table, const Index& index) = 0;
+};
+
 /// A table: schema, rows, and indexes.
 class Table {
  public:
@@ -182,6 +198,19 @@ class Table {
   /// synchronization point.
   uint64_t version() const { return version_.load(std::memory_order_relaxed); }
 
+  /// Registers (or clears, with nullptr) the mutation observer. Not
+  /// retroactive: the implicit PK index built by the constructor predates
+  /// any observer, which is exactly right — it is part of the schema, not a
+  /// logged mutation.
+  void set_observer(TableObserver* observer) { observer_ = observer; }
+
+  /// Re-creates one physical slot from a storage checkpoint: appends the
+  /// row at the next id, dead slots as tombstones (placeholder rows,
+  /// never validated or indexed). Bypasses the observer — a restore is not
+  /// a new mutation. Used only by storage recovery; regular writers use
+  /// Insert/Delete.
+  Status RestoreSlot(Row row, bool live);
+
  private:
   TableSchema schema_;
   std::vector<Row> rows_;
@@ -189,6 +218,7 @@ class Table {
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::atomic<uint64_t> version_{0};
+  TableObserver* observer_ = nullptr;
 };
 
 }  // namespace p3pdb::sqldb

@@ -1,0 +1,84 @@
+// Write-ahead log: redo-only, append + fsync on commit, replay on reopen.
+//
+// Record framing on disk:
+//   [u32 payload_len][u64 checksum][u64 txn_id][u8 type][payload bytes]
+// The checksum covers txn_id, type, and payload, so a torn append (partial
+// record at the tail, the fault harness's favourite crash point) is detected
+// and the log is cut cleanly at the last complete record. Recovery is two
+// passes over the same bytes: collect the txn ids that reached a kCommit
+// record, then re-apply every record of those txns in log order — log order
+// plus the table's append-only row-id assignment makes replayed row ids
+// byte-identical to the original run, which is what lets kDelete address
+// rows by id.
+
+#ifndef P3PDB_SQLDB_WAL_H_
+#define P3PDB_SQLDB_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "sqldb/file_backend.h"
+
+namespace p3pdb::sqldb {
+
+enum class WalRecordType : uint8_t {
+  kCommit = 0,
+  kCreateTable = 1,
+  kDropTable = 2,
+  kCreateIndex = 3,
+  kInsert = 4,
+  kDelete = 5,
+};
+
+struct WalRecord {
+  uint64_t txn_id = 0;
+  WalRecordType type = WalRecordType::kCommit;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends framed records to a WAL file. Append buffers nothing: each record
+/// is written immediately (so a crash tears at most the record being
+/// written); Sync makes everything appended so far durable.
+class WalWriter {
+ public:
+  /// `start_offset` is where appends begin — recovery passes the end of the
+  /// last valid record so a torn tail is overwritten, not appended after.
+  WalWriter(FileBackend* file, uint64_t start_offset)
+      : file_(file), offset_(start_offset) {}
+
+  Status Append(const WalRecord& record);
+  Status Sync();
+
+  uint64_t offset() const { return offset_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t records_written() const { return records_written_; }
+  uint64_t syncs() const { return syncs_; }
+
+ private:
+  FileBackend* file_;
+  uint64_t offset_;
+  uint64_t bytes_written_ = 0;
+  uint64_t records_written_ = 0;
+  uint64_t syncs_ = 0;
+};
+
+/// The result of scanning a WAL file: every complete, checksum-valid record
+/// up to the first torn or corrupt one, plus the byte offset where a writer
+/// should resume appending.
+struct WalScan {
+  std::vector<WalRecord> records;
+  uint64_t valid_end_offset = 0;
+  /// True when the scan stopped early at a torn/corrupt tail (informational;
+  /// an uncommitted tail is expected after a crash, never an error).
+  bool truncated_tail = false;
+};
+
+/// Reads the whole WAL file through `file`. Never fails on a bad tail —
+/// that is the normal post-crash state — only on I/O errors.
+Result<WalScan> ScanWal(FileBackend* file);
+
+}  // namespace p3pdb::sqldb
+
+#endif  // P3PDB_SQLDB_WAL_H_

@@ -17,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <iterator>
@@ -55,14 +56,16 @@ struct EngineConfig {
   const char* label;
   EngineKind kind;
   bool cached;  // enable the match cache and match each pair twice
+  bool disk;    // back the server by the disk storage engine (WAL + pages)
 };
 
 constexpr EngineConfig kConfigs[] = {
-    {"native-appel", EngineKind::kNativeAppel, false},
-    {"sql", EngineKind::kSql, false},
-    {"sql-simple", EngineKind::kSqlSimple, false},
-    {"xquery-native", EngineKind::kXQueryNative, false},
-    {"sql+cache", EngineKind::kSql, true},
+    {"native-appel", EngineKind::kNativeAppel, false, false},
+    {"sql", EngineKind::kSql, false, false},
+    {"sql-simple", EngineKind::kSqlSimple, false, false},
+    {"xquery-native", EngineKind::kXQueryNative, false, false},
+    {"sql+cache", EngineKind::kSql, true, false},
+    {"sql+disk", EngineKind::kSql, false, true},
 };
 
 /// Applied to each engine's raw result before comparison; the perturbation
@@ -88,6 +91,14 @@ std::unique_ptr<PolicyServer> MakeEngine(const EngineConfig& config) {
                              ? Augmentation::kPerMatch
                              : Augmentation::kAtInstall;
   options.enable_match_cache = config.cached;
+  if (config.disk) {
+    // Fresh directory per server: minimization rebuilds engines per
+    // candidate and must not recover a previous candidate's catalog.
+    static int next_dir = 0;
+    options.storage_path =
+        ::testing::TempDir() + "p3pdb_diff_disk_" + std::to_string(next_dir++);
+    std::filesystem::remove_all(options.storage_path);
+  }
   auto server = PolicyServer::Create(options);
   EXPECT_TRUE(server.ok()) << server.status();
   return std::move(server).value();
@@ -293,9 +304,13 @@ std::optional<Disagreement> Sweep(uint64_t seed, int preference_count,
       if (!Agree(observations)) {
         // Dump every engine's statement telemetry before minimization
         // rebuilds servers: the counts describe the sweep that diverged.
-        std::string stats_dump;
+        // The header records the seed and each engine's storage mode so
+        // the artifact alone is enough to replay the exact configuration.
+        std::string stats_dump = "seed: " + std::to_string(seed) + "\n\n";
         for (const Fixture& fx : fixtures) {
           stats_dump += std::string("== ") + fx.config.label + " ==\n";
+          stats_dump += std::string("storage: ") +
+                        (fx.config.disk ? "disk" : "in-memory") + "\n";
           stats_dump += fx.server->RenderStatementStatsText(0);
           stats_dump += "\n";
         }
@@ -397,6 +412,10 @@ TEST(DifferentialTest, PerturbedEngineFailsLoudlyWithMinimizedRepro) {
   EXPECT_NE(stats_contents.find("== sql-simple =="), std::string::npos);
   EXPECT_NE(stats_contents.find("fingerprint"), std::string::npos);
   EXPECT_NE(stats_contents.find("select"), std::string::npos);
+  // The artifact records the replay seed and each engine's storage mode.
+  EXPECT_NE(stats_contents.find("seed: 2003"), std::string::npos);
+  EXPECT_NE(stats_contents.find("storage: in-memory"), std::string::npos);
+  EXPECT_NE(stats_contents.find("storage: disk"), std::string::npos);
   std::remove(kStatementsArtifact);
 }
 
