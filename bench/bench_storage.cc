@@ -3,6 +3,11 @@
 // Three questions, each a record in the --json report:
 //
 //   storage/install_memory     baseline install cost, in-memory engine
+//   storage/install_memory_nostats
+//                              the same installs with statistics-catalog
+//                              maintenance disabled (what incremental
+//                              NDV/min-max upkeep costs; absent under
+//                              --no-stats, which disables stats everywhere)
 //   storage/install_disk       the same installs with WAL append + fsync
 //                              per install transaction
 //   storage/open_checkpoint    cold open of a checkpointed directory
@@ -34,11 +39,13 @@ constexpr size_t kPolicyCount = 500;
 constexpr int kOpenRepetitions = 10;
 
 Result<std::unique_ptr<PolicyServer>> MakeServer(const std::string& dir,
-                                                 bool checkpoint_on_close) {
+                                                 bool checkpoint_on_close,
+                                                 bool enable_stats) {
   PolicyServer::Options options;
   options.engine = EngineKind::kSql;
   options.collect_metrics = false;
   options.enable_statement_stats = false;
+  options.enable_cost_model = enable_stats;
   options.storage_path = dir;
   options.storage_checkpoint_on_close = checkpoint_on_close;
   // Never checkpoint mid-run: the "wal_replay" directory must keep its
@@ -49,12 +56,18 @@ Result<std::unique_ptr<PolicyServer>> MakeServer(const std::string& dir,
 }
 
 /// Installs the corpus, timing each install; empty dir = in-memory.
+/// `enable_stats` toggles statistics-catalog maintenance on the write path
+/// (the --no-stats ablation: what incremental NDV/min-max upkeep costs per
+/// shredded install).
 TimingStats InstallCorpus(const std::vector<p3p::Policy>& corpus,
-                          const std::string& dir, bool checkpoint_on_close) {
+                          const std::string& dir, bool checkpoint_on_close,
+                          bool enable_stats) {
   TimingStats per_install;
-  auto server = dir.empty()
-                    ? PolicyServer::Create({.engine = EngineKind::kSql})
-                    : MakeServer(dir, checkpoint_on_close);
+  auto server =
+      dir.empty()
+          ? PolicyServer::Create({.engine = EngineKind::kSql,
+                                  .enable_cost_model = enable_stats})
+          : MakeServer(dir, checkpoint_on_close, enable_stats);
   if (!server.ok()) {
     std::printf("error: %s\n", server.status().ToString().c_str());
     return per_install;
@@ -76,13 +89,13 @@ TimingStats InstallCorpus(const std::vector<p3p::Policy>& corpus,
 /// between repetitions). Returns per-open stats; reports the last open's
 /// storage counters through *stats_out.
 TimingStats TimeColdOpens(const std::string& dir,
-                          sqldb::StorageStats* stats_out) {
+                          sqldb::StorageStats* stats_out, bool enable_stats) {
   TimingStats per_open;
   for (int rep = 0; rep < kOpenRepetitions; ++rep) {
     Stopwatch sw;
     // Opening must not re-checkpoint, or the replay directory would
     // silently convert itself to a checkpointed one after the first rep.
-    auto server = MakeServer(dir, /*checkpoint_on_close=*/false);
+    auto server = MakeServer(dir, /*checkpoint_on_close=*/false, enable_stats);
     double us = sw.ElapsedMicros();
     if (!server.ok()) {
       std::printf("error: %s\n", server.status().ToString().c_str());
@@ -94,19 +107,29 @@ TimingStats TimeColdOpens(const std::string& dir,
   return per_open;
 }
 
-void Run(const std::string& json_path) {
+void Run(const std::string& json_path, bool no_stats) {
   std::vector<p3p::Policy> corpus =
       workload::FortuneCorpus({.seed = 2003, .policy_count = kPolicyCount});
 
-  std::printf("Storage engine: %zu-policy corpus\n\n", kPolicyCount);
-  TimingStats install_memory = InstallCorpus(corpus, "", false);
+  // --no-stats flips statistics maintenance off for the whole run (the
+  // ablation JSON); the default run additionally measures the in-memory
+  // install both ways so one report shows what stats upkeep costs.
+  const bool stats_on = !no_stats;
+  std::printf("Storage engine: %zu-policy corpus%s\n\n", kPolicyCount,
+              no_stats ? " (stats maintenance off)" : "");
+  TimingStats install_memory = InstallCorpus(corpus, "", false, stats_on);
+  TimingStats install_memory_nostats;
+  if (stats_on) {
+    install_memory_nostats =
+        InstallCorpus(corpus, "", false, /*enable_stats=*/false);
+  }
 
   const std::string ckpt_dir = "bench_storage_ckpt.tmp";
   const std::string wal_dir = "bench_storage_wal.tmp";
   std::filesystem::remove_all(ckpt_dir);
   std::filesystem::remove_all(wal_dir);
-  TimingStats install_disk = InstallCorpus(corpus, ckpt_dir, true);
-  InstallCorpus(corpus, wal_dir, /*checkpoint_on_close=*/false);
+  TimingStats install_disk = InstallCorpus(corpus, ckpt_dir, true, stats_on);
+  InstallCorpus(corpus, wal_dir, /*checkpoint_on_close=*/false, stats_on);
 
   std::printf(
       "install per policy:  memory avg %s p99 %s   disk avg %s p99 %s "
@@ -115,10 +138,16 @@ void Run(const std::string& json_path) {
       FormatMicros(install_memory.Percentile(99.0)).c_str(),
       FormatMicros(install_disk.Average()).c_str(),
       FormatMicros(install_disk.Percentile(99.0)).c_str());
+  if (stats_on) {
+    std::printf(
+        "install per policy (stats maintenance off): memory avg %s p99 %s\n",
+        FormatMicros(install_memory_nostats.Average()).c_str(),
+        FormatMicros(install_memory_nostats.Percentile(99.0)).c_str());
+  }
 
   sqldb::StorageStats ckpt_stats, wal_stats;
-  TimingStats open_ckpt = TimeColdOpens(ckpt_dir, &ckpt_stats);
-  TimingStats open_wal = TimeColdOpens(wal_dir, &wal_stats);
+  TimingStats open_ckpt = TimeColdOpens(ckpt_dir, &ckpt_stats, stats_on);
+  TimingStats open_wal = TimeColdOpens(wal_dir, &wal_stats, stats_on);
   std::printf(
       "cold open:  checkpoint avg %s   wal-replay avg %s "
       "(%llu records, %llu txns redone)\n",
@@ -140,6 +169,10 @@ void Run(const std::string& json_path) {
     std::vector<BenchJsonRecord> records;
     records.push_back(
         RecordFromTimings("storage/install_memory", install_memory));
+    if (stats_on) {
+      records.push_back(RecordFromTimings("storage/install_memory_nostats",
+                                          install_memory_nostats));
+    }
     records.push_back(RecordFromTimings("storage/install_disk", install_disk));
     records.push_back(
         RecordFromTimings("storage/open_checkpoint", open_ckpt));
@@ -158,6 +191,7 @@ void Run(const std::string& json_path) {
 }  // namespace p3pdb::bench
 
 int main(int argc, char** argv) {
-  p3pdb::bench::Run(p3pdb::bench::JsonPathFromArgs(argc, argv));
+  p3pdb::bench::Run(p3pdb::bench::JsonPathFromArgs(argc, argv),
+                    p3pdb::bench::FlagInArgs(argc, argv, "--no-stats"));
   return 0;
 }

@@ -107,6 +107,7 @@ PolicyServer::PolicyServer(Options options)
           .enforce_foreign_keys = true,
           .enable_planner = options.enable_planner,
           .enable_plan_cache = options.enable_planner,
+          .enable_cost_model = options.enable_cost_model,
           .enable_vectorized_executor = options.enable_vectorized_executor,
           .enable_statement_stats = options.enable_statement_stats,
           .slow_query_threshold_us = options.slow_query_threshold_us,
@@ -160,6 +161,15 @@ PolicyServer::PolicyServer(Options options)
       metrics_.GetCounter("sqldb_vectorized_filters_total");
   sql_vectorized_fallback_rows_ =
       metrics_.GetCounter("sqldb_vectorized_fallback_rows_total");
+  sql_cost_exists_kept_ = metrics_.GetCounter("sqldb_cost_exists_kept_total");
+  sql_cost_join_reorders_ =
+      metrics_.GetCounter("sqldb_cost_join_reorders_total");
+  sql_cost_seq_forced_ = metrics_.GetCounter("sqldb_cost_seq_forced_total");
+  sql_plan_recosts_ = metrics_.GetCounter("sqldb_plan_recosts_total");
+  sql_stats_updates_ = metrics_.GetCounter("sqldb_stats_updates_total");
+  sql_stats_rebuilds_ = metrics_.GetCounter("sqldb_stats_rebuilds_total");
+  sql_stats_epoch_bumps_ =
+      metrics_.GetCounter("sqldb_stats_epoch_bumps_total");
   if (!options_.storage_path.empty()) {
     storage_wal_records_ =
         metrics_.GetCounter("p3p_storage_wal_records_total");
@@ -1048,6 +1058,14 @@ void PolicyServer::SyncDatabaseMetrics() const {
   sync(sql_batch_rows_, stats.batch_rows);
   sync(sql_vectorized_filters_, stats.vectorized_filters);
   sync(sql_vectorized_fallback_rows_, stats.vectorized_fallback_rows);
+  sync(sql_cost_exists_kept_, stats.cost_exists_kept);
+  sync(sql_cost_join_reorders_, stats.cost_join_reorders);
+  sync(sql_cost_seq_forced_, stats.cost_seq_forced);
+  sync(sql_plan_recosts_, stats.plan_recosts);
+  const sqldb::StatsCounters stats_counters = db_.stats_catalog().counters();
+  sync(sql_stats_updates_, stats_counters.updates);
+  sync(sql_stats_rebuilds_, stats_counters.rebuilds);
+  sync(sql_stats_epoch_bumps_, stats_counters.epoch_bumps);
   if (storage_wal_records_ != nullptr) {
     const sqldb::StorageStats storage = db_.storage_stats();
     sync(storage_wal_records_, storage.wal_records);

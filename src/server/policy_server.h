@@ -128,6 +128,13 @@ class PolicyServer {
     /// bench/CI ablations flip the whole server stack the way they flip
     /// the planner. Off = the scalar row-at-a-time executor.
     bool enable_vectorized_executor = sqldb::VectorizeEnabledFromEnv();
+    /// Maintain the database's statistics catalog (row counts, NDV
+    /// sketches, min/max, null fractions) and let the cost model moderate
+    /// the rule planner (build-side estimates, EXISTS rewrite vetoes,
+    /// cheapest-build-first join ordering, index-vs-seq choice). Defaults
+    /// from the P3PDB_NO_COST environment variable, so the bench/CI
+    /// ablations flip it the way they flip the planner.
+    bool enable_cost_model = sqldb::CostModelEnabledFromEnv();
     /// Log every match into the MatchLog table for site-owner analytics.
     bool record_matches = false;
     /// Bind the translated rule queries once at CompilePreference time and
@@ -482,6 +489,15 @@ class PolicyServer {
   obs::Counter* sql_batch_rows_ = nullptr;
   obs::Counter* sql_vectorized_filters_ = nullptr;
   obs::Counter* sql_vectorized_fallback_rows_ = nullptr;
+  // Mirrors of the database's cost-model decision counters and the stats
+  // catalog's maintenance tallies.
+  obs::Counter* sql_cost_exists_kept_ = nullptr;
+  obs::Counter* sql_cost_join_reorders_ = nullptr;
+  obs::Counter* sql_cost_seq_forced_ = nullptr;
+  obs::Counter* sql_plan_recosts_ = nullptr;
+  obs::Counter* sql_stats_updates_ = nullptr;
+  obs::Counter* sql_stats_rebuilds_ = nullptr;
+  obs::Counter* sql_stats_epoch_bumps_ = nullptr;
   // Mirrors of the storage engine's WAL/buffer-pool counters. Registered
   // only when Options::storage_path is set, so in-memory servers expose
   // exactly the metric set they always did; null pointers mean "no storage".

@@ -175,6 +175,9 @@ struct HashJoinExpr : Expr {
   /// included); the cached key set is stale once any of their versions move.
   std::vector<const Table*> dep_tables;
   std::shared_ptr<HashJoinRuntime> runtime;
+  /// Cost-model output: estimated rows the build side enumerates (drives
+  /// cheapest-build-first ordering of sibling joins). Negative = not costed.
+  double est_build_rows = -1.0;
 };
 
 struct InListExpr : Expr {
@@ -293,6 +296,13 @@ struct SlotPlan {
   const Index* index = nullptr;          // null = sequential scan
   std::vector<const Expr*> key_exprs;    // probe keys, index column order
   bool vector_filter = false;
+  /// Cost-model output: estimated rows this scan produces per loop, after
+  /// the WHERE conjuncts local to the slot. Negative = not costed (cost
+  /// model off or no statistics); EXPLAIN prints it only when present.
+  double est_rows = -1.0;
+  /// True when the cost model overrode the syntactic index choice with a
+  /// sequential scan (the index's estimated selectivity was too poor).
+  bool seq_forced = false;
 };
 
 struct OrderByItem {

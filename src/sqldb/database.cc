@@ -21,6 +21,11 @@ bool VectorizeEnabledFromEnv() {
   return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
 }
 
+bool CostModelEnabledFromEnv() {
+  const char* v = std::getenv("P3PDB_NO_COST");
+  return v == nullptr || v[0] == '\0' || std::string_view(v) == "0";
+}
+
 namespace {
 
 /// Shared ownership of a bound SELECT still owned by its Statement base.
@@ -51,7 +56,7 @@ Database::~Database() {
     (void)storage_->CommitIfImplicit();
     (void)storage_->Checkpoint(*this);
   }
-  for (auto& [key, table] : tables_) table->set_observer(nullptr);
+  for (auto& [key, table] : tables_) table->ClearObservers();
 }
 
 Status Database::OpenStorage() {
@@ -66,10 +71,15 @@ Status Database::OpenStorage() {
   storage_ = std::move(engine).value();
   Status st = storage_->RecoverInto(this);
   if (!st.ok()) {
-    for (auto& [key, table] : tables_) table->set_observer(nullptr);
+    for (auto& [key, table] : tables_) table->ClearObservers();
     storage_.reset();
     return st;
   }
+  // Checkpoint load restores rows through RestoreSlot, which bypasses the
+  // observers; one analysis pass brings the stats catalog up to the
+  // recovered state. The HLL sketches are order/duplicate-insensitive, so
+  // this lands on the same state incremental maintenance would have.
+  if (options_.enable_cost_model) stats_catalog_.AnalyzeAll();
   return Status::OK();
 }
 
@@ -79,7 +89,11 @@ Table* Database::RestoreTable(TableSchema schema) {
   auto [it, inserted] =
       tables_.emplace(std::move(key),
                       std::make_unique<Table>(std::move(schema)));
-  it->second->set_observer(storage_.get());
+  it->second->AddObserver(storage_.get());
+  if (options_.enable_cost_model) {
+    stats_catalog_.Register(it->second.get());
+    it->second->AddObserver(&stats_catalog_);
+  }
   ++catalog_generation_;
   return it->second.get();
 }
@@ -244,15 +258,24 @@ Status Database::BindAndPlan(SelectStmt* select, std::string_view sql) {
   P3PDB_RETURN_IF_ERROR(binder.BindSelect(select));
   ExecStats local;
   ++local.plans_built;
+  const StatsCatalog* catalog =
+      options_.enable_cost_model ? &stats_catalog_ : nullptr;
+  PlannerStats planner_stats;
   if (options_.enable_planner) {
-    PlannerStats planner_stats;
-    PlanSelect(select, &planner_stats);
+    PlanSelect(select, &planner_stats, catalog);
     local.semi_join_rewrites = planner_stats.semi_join_rewrites;
     local.anti_join_rewrites = planner_stats.anti_join_rewrites;
   }
   // Annotation must follow planning: the rewrite replaces EXISTS subtrees
-  // with hash joins, and the slot plans point into the final tree.
-  if (options_.enable_vectorized_executor) AnnotateSelect(select);
+  // with hash joins, and the slot plans point into the final tree. The
+  // cost model needs the slot plans too (est rows, index-vs-seq override),
+  // so annotation also runs — scalar-path or not — whenever stats are on.
+  if (options_.enable_vectorized_executor || catalog != nullptr) {
+    AnnotateSelect(select, catalog, &planner_stats);
+  }
+  local.cost_exists_kept = planner_stats.cost_exists_kept;
+  local.cost_join_reorders = planner_stats.cost_join_reorders;
+  local.cost_seq_forced = planner_stats.cost_seq_forced;
   PrecomputeExecHints(select);
   if (options_.enable_statement_stats && !sql.empty()) {
     select->stats_entry = statement_stats_.Intern(sql);
@@ -357,6 +380,16 @@ std::shared_ptr<const SelectStmt> Database::LookupCachedPlan(
     plan_index_.erase(it);
     return nullptr;
   }
+  if (options_.enable_cost_model &&
+      it->second->second.stats_epoch != stats_catalog_.epoch()) {
+    // Cardinalities drifted past the epoch boundary since this plan was
+    // costed: its build-side/access-path choices may no longer hold. Drop
+    // it and let the caller re-plan against current statistics.
+    plan_lru_.erase(it->second);
+    plan_index_.erase(it);
+    BumpRelaxed(LocalStats().plan_recosts);
+    return nullptr;
+  }
   plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second);
   BumpRelaxed(LocalStats().plan_cache_hits);
   if (it->second->second.stmt->stats_entry != nullptr) {
@@ -370,8 +403,10 @@ void Database::StoreCachedPlan(std::string_view sql,
   if (!options_.enable_plan_cache || options_.plan_cache_capacity == 0) return;
   std::lock_guard<std::mutex> lock(plan_mu_);
   if (plan_index_.find(sql) != plan_index_.end()) return;  // concurrent store
-  plan_lru_.emplace_front(std::string(sql),
-                          CachedPlan{std::move(plan), catalog_generation_});
+  plan_lru_.emplace_front(
+      std::string(sql),
+      CachedPlan{std::move(plan), catalog_generation_,
+                 options_.enable_cost_model ? stats_catalog_.epoch() : 0});
   plan_index_.emplace(plan_lru_.front().first, plan_lru_.begin());
   if (plan_lru_.size() > options_.plan_cache_capacity) {
     plan_index_.erase(plan_lru_.back().first);
@@ -590,9 +625,13 @@ Status Database::CreateTable(TableSchema schema) {
   auto [it, inserted] = tables_.emplace(
       std::move(key), std::make_unique<Table>(std::move(schema)));
   ++catalog_generation_;
+  if (options_.enable_cost_model) {
+    stats_catalog_.Register(it->second.get());
+    it->second->AddObserver(&stats_catalog_);
+  }
   if (storage_active()) {
     storage_->LogCreateTable(it->second->schema());
-    it->second->set_observer(storage_.get());
+    it->second->AddObserver(storage_.get());
     P3PDB_RETURN_IF_ERROR(StorageStatementEnd());
   }
   return Status::OK();
@@ -607,6 +646,7 @@ Status Database::DropTable(std::string_view name, bool if_exists) {
     return Status::NotFound("table '" + std::string(name) +
                             "' does not exist");
   }
+  stats_catalog_.Forget(it->second.get());
   tables_.erase(it);
   ++catalog_generation_;
   if (storage_active() && !storage_->replaying()) {

@@ -27,6 +27,7 @@
 #include "sqldb/binder.h"
 #include "sqldb/query_result.h"
 #include "sqldb/statement_stats.h"
+#include "sqldb/stats.h"
 #include "sqldb/storage.h"
 #include "sqldb/table.h"
 
@@ -46,6 +47,12 @@ bool PlannerEnabledFromEnv();
 /// PlannerEnabledFromEnv, so the bench/CI ablations flip the batch executor
 /// the way they flip the planner.
 bool VectorizeEnabledFromEnv();
+
+/// Cost-model default: on, unless the environment sets P3PDB_NO_COST to a
+/// non-empty value other than "0". Same contract as PlannerEnabledFromEnv,
+/// so bench/CI ablations can compare rule-only planning against cost-based
+/// planning without code changes.
+bool CostModelEnabledFromEnv();
 
 /// A parsed-and-bound SELECT that can be executed repeatedly without
 /// re-preparing — what the generated rule queries become after the
@@ -106,6 +113,13 @@ class Database : public CatalogView {
     bool enable_plan_cache = PlannerEnabledFromEnv();
     /// Bounded LRU capacity of the plan cache.
     size_t plan_cache_capacity = 256;
+    /// Maintain table/column statistics (see stats.h) and let them moderate
+    /// the rule planner: build-side estimates, EXISTS rewrite vetoes,
+    /// cheapest-build-first join ordering, index-vs-seq access choice, and
+    /// stats-epoch invalidation of cached plans. Off = the planner is
+    /// purely syntactic, exactly as before, and stats maintenance costs
+    /// zero on every DML path.
+    bool enable_cost_model = CostModelEnabledFromEnv();
     /// Annotate planned SELECTs with per-slot access paths and run them on
     /// the vectorized batch executor (chunked scans, selection-vector
     /// predicate kernels, batched hash-join probes; see vectorized.cc).
@@ -238,6 +252,10 @@ class Database : public CatalogView {
     return statement_stats_;
   }
   StatementStatsRegistry& mutable_statement_stats() { return statement_stats_; }
+  /// The statistics catalog backing the cost model. Always present; only
+  /// populated (and only consulted) when options().enable_cost_model.
+  const StatsCatalog& stats_catalog() const { return stats_catalog_; }
+  StatsCatalog& mutable_stats_catalog() { return stats_catalog_; }
   /// Slow-query/trace-sample ring; nullptr unless statement stats are on
   /// and a threshold or sampling stride is configured.
   obs::SlowQueryLog* slow_log() { return slow_log_.get(); }
@@ -324,6 +342,10 @@ class Database : public CatalogView {
   struct CachedPlan {
     std::shared_ptr<const SelectStmt> stmt;
     uint64_t generation = 0;
+    /// Stats epoch the plan was costed under (see StatsCatalog). With the
+    /// cost model on, a lookup whose epoch moved drops the entry so the
+    /// statement re-plans against the current cardinality landscape.
+    uint64_t stats_epoch = 0;
   };
   using PlanLruList = std::list<std::pair<std::string, CachedPlan>>;
   mutable std::mutex plan_mu_;
@@ -339,6 +361,10 @@ class Database : public CatalogView {
   // Disk-backed persistence; null for in-memory databases (the default).
   std::unique_ptr<StorageEngine> storage_;
   Status storage_status_ = Status::OK();
+
+  // Cost-model statistics; registered as a table observer (alongside the
+  // storage engine) only when options_.enable_cost_model.
+  StatsCatalog stats_catalog_;
 };
 
 }  // namespace p3pdb::sqldb

@@ -535,31 +535,46 @@ Status Executor::ScanSlot(const SelectStmt& stmt, ScopeStack& stack,
 
   const Table* table = stmt.from[slot].table;
 
-  // Try an index lookup driven by available equality conjuncts.
-  std::vector<IndexableEquality> equalities =
-      CollectIndexableEqualities(stmt.where.get(), slot);
+  // Access path: annotated statements carry the planner's choice (which,
+  // with the cost model on, may have overridden the syntactic index pick
+  // with a forced sequential scan); un-annotated statements re-derive the
+  // syntactic choice per scan, byte-identical to the pre-planner executor.
   const Index* index = nullptr;
-  if (!equalities.empty()) {
-    std::vector<size_t> available_ordinals;
-    available_ordinals.reserve(equalities.size());
-    for (const IndexableEquality& eq : equalities) {
-      available_ordinals.push_back(eq.column_ordinal);
+  std::vector<const Expr*> key_exprs;
+  if (!stmt.slot_plans.empty()) {
+    const SlotPlan& sp = stmt.slot_plans[slot];
+    index = sp.index;
+    key_exprs = sp.key_exprs;
+  } else {
+    std::vector<IndexableEquality> equalities =
+        CollectIndexableEqualities(stmt.where.get(), slot);
+    if (!equalities.empty()) {
+      std::vector<size_t> available_ordinals;
+      available_ordinals.reserve(equalities.size());
+      for (const IndexableEquality& eq : equalities) {
+        available_ordinals.push_back(eq.column_ordinal);
+      }
+      index = table->FindIndexCovering(available_ordinals);
     }
-    index = table->FindIndexCovering(available_ordinals);
+    if (index != nullptr) {
+      for (size_t ord : index->column_ordinals()) {
+        const Expr* key_expr = nullptr;
+        for (const IndexableEquality& eq : equalities) {
+          if (eq.column_ordinal == ord) {
+            key_expr = eq.key_expr;
+            break;
+          }
+        }
+        key_exprs.push_back(key_expr);
+      }
+    }
   }
 
   if (index != nullptr) {
     ++stats_->index_lookups;
     IndexKey key;
-    key.values.reserve(index->column_ordinals().size());
-    for (size_t ord : index->column_ordinals()) {
-      const Expr* key_expr = nullptr;
-      for (const IndexableEquality& eq : equalities) {
-        if (eq.column_ordinal == ord) {
-          key_expr = eq.key_expr;
-          break;
-        }
-      }
+    key.values.reserve(key_exprs.size());
+    for (const Expr* key_expr : key_exprs) {
       P3PDB_ASSIGN_OR_RETURN(Value v, Eval(*key_expr, stack));
       key.values.push_back(std::move(v));
     }

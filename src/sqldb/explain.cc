@@ -1,5 +1,7 @@
 #include "sqldb/explain.h"
 
+#include <cmath>
+
 #include "common/string_util.h"
 #include "sqldb/table.h"
 
@@ -9,6 +11,16 @@ namespace {
 
 void Indent(int depth, std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
+}
+
+/// Renders a cost-model row estimate. Estimates are only stamped when a
+/// StatsCatalog was supplied at plan time; negative means "not costed" and
+/// prints nothing, so rule-only plans render exactly as before.
+void AppendEstimate(double est_rows, bool seq_forced, std::string* out) {
+  if (est_rows < 0.0) return;
+  out->append(" (est rows=" + std::to_string(std::llround(est_rows)));
+  if (seq_forced) out->append(", seq-forced");
+  out->push_back(')');
 }
 
 /// Renders an index-key expression, substituting bound parameter values
@@ -77,6 +89,7 @@ void ExplainSubqueries(const Expr& expr, int depth,
                         RenderKeyExpr(*j.probe_keys[i], options));
       }
       out->append(" on " + Join(conds, ", "));
+      AppendEstimate(j.est_build_rows, /*seq_forced=*/false, out);
       if (options.profile != nullptr) {
         AppendActuals(options.profile->FindHashJoin(&j), options, out);
       }
@@ -128,26 +141,50 @@ void ExplainSelect(const SelectStmt& stmt, int depth,
       out->append(" (unbound)\n");
       continue;
     }
-    std::vector<IndexableEquality> equalities =
-        CollectIndexableEqualities(stmt.where.get(), slot);
+    // Annotated statements carry the planner's final access path (the cost
+    // model may have overridden the syntactic index choice); un-annotated
+    // ones re-derive the syntactic choice, matching the scalar executor.
     const Index* index = nullptr;
-    if (!equalities.empty()) {
-      std::vector<size_t> ordinals;
-      ordinals.reserve(equalities.size());
-      for (const IndexableEquality& eq : equalities) {
-        ordinals.push_back(eq.column_ordinal);
+    std::vector<const Expr*> key_exprs;
+    double est_rows = -1.0;
+    bool seq_forced = false;
+    if (!stmt.slot_plans.empty()) {
+      const SlotPlan& sp = stmt.slot_plans[slot];
+      index = sp.index;
+      key_exprs = sp.key_exprs;
+      est_rows = sp.est_rows;
+      seq_forced = sp.seq_forced;
+    } else {
+      std::vector<IndexableEquality> equalities =
+          CollectIndexableEqualities(stmt.where.get(), slot);
+      if (!equalities.empty()) {
+        std::vector<size_t> ordinals;
+        ordinals.reserve(equalities.size());
+        for (const IndexableEquality& eq : equalities) {
+          ordinals.push_back(eq.column_ordinal);
+        }
+        index = ref.table->FindIndexCovering(ordinals);
       }
-      index = ref.table->FindIndexCovering(ordinals);
+      if (index != nullptr) {
+        for (size_t ord : index->column_ordinals()) {
+          const Expr* key_expr = nullptr;
+          for (const IndexableEquality& eq : equalities) {
+            if (eq.column_ordinal == ord) {
+              key_expr = eq.key_expr;
+              break;
+            }
+          }
+          key_exprs.push_back(key_expr);
+        }
+      }
     }
     if (index != nullptr) {
       std::vector<std::string> cols;
-      for (size_t ord : index->column_ordinals()) {
-        std::string col = ref.table->schema().columns()[ord].name;
-        for (const IndexableEquality& eq : equalities) {
-          if (eq.column_ordinal == ord) {
-            col += " = " + RenderKeyExpr(*eq.key_expr, options);
-            break;
-          }
+      const std::vector<size_t>& ordinals = index->column_ordinals();
+      for (size_t i = 0; i < ordinals.size(); ++i) {
+        std::string col = ref.table->schema().columns()[ordinals[i]].name;
+        if (i < key_exprs.size() && key_exprs[i] != nullptr) {
+          col += " = " + RenderKeyExpr(*key_exprs[i], options);
         }
         cols.push_back(std::move(col));
       }
@@ -156,6 +193,7 @@ void ExplainSelect(const SelectStmt& stmt, int depth,
     } else {
       out->append(" (seq scan)");
     }
+    AppendEstimate(est_rows, seq_forced, out);
     if (options.profile != nullptr) {
       AppendActuals(options.profile->FindScan(&stmt, slot), options, out);
     }

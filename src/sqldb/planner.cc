@@ -1,11 +1,13 @@
 #include "sqldb/planner.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 #include <vector>
 
 #include "sqldb/executor.h"
+#include "sqldb/stats.h"
 #include "sqldb/table.h"
 
 namespace p3pdb::sqldb {
@@ -225,13 +227,189 @@ void FlattenAndView(const Expr* e, std::vector<const Expr*>* out) {
   out->push_back(e);
 }
 
+// ---------------------------------------------------------------------------
+// Cardinality estimation (cost model; see stats.h)
+// ---------------------------------------------------------------------------
+//
+// Textbook selectivity formulas over the statistics catalog:
+//   col = x        ->  1 / NDV(col)        (uniformity assumption)
+//   col <> x       ->  1 - 1/NDV
+//   range compare  ->  1/3
+//   col IS NULL    ->  null_fraction(col)
+//   col IN (n...)  ->  min(1, n / NDV)
+//   LIKE           ->  1/4
+//   AND            ->  product (independence assumption)
+//   OR             ->  1 - prod(1 - s_i)
+// Conjuncts containing subqueries, or level-0 references to other FROM
+// slots (join predicates), contribute selectivity 1 — estimates stay
+// conservative rather than guessing at correlations.
+
+/// A level-0 column reference belonging to FROM slot `slot`, else nullptr.
+const ColumnRefExpr* SlotColumn(const Expr& e, size_t slot) {
+  if (e.kind != ExprKind::kColumnRef) return nullptr;
+  const auto& ref = static_cast<const ColumnRefExpr&>(e);
+  if (ref.level != 0 || ref.table_slot != slot) return nullptr;
+  return &ref;
+}
+
+/// True when `e` can be folded into a selectivity estimate for `slot`: no
+/// subqueries anywhere, and every level-0 column reference belongs to the
+/// slot (outer references and bind params act as opaque constants).
+bool EstimableForSlot(const Expr& e, size_t slot) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kParam:
+      return true;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(e);
+      return ref.level != 0 || ref.table_slot == slot;
+    }
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      return EstimableForSlot(*c.left, slot) &&
+             EstimableForSlot(*c.right, slot);
+    }
+    case ExprKind::kLogical: {
+      for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
+        if (!EstimableForSlot(*op, slot)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kNot:
+      return EstimableForSlot(*static_cast<const NotExpr&>(e).operand, slot);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      if (!EstimableForSlot(*in.operand, slot)) return false;
+      for (const ExprPtr& item : in.items) {
+        if (!EstimableForSlot(*item, slot)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kIsNull:
+      return EstimableForSlot(*static_cast<const IsNullExpr&>(e).operand,
+                              slot);
+    case ExprKind::kLike: {
+      const auto& lk = static_cast<const LikeExpr&>(e);
+      return EstimableForSlot(*lk.operand, slot) &&
+             EstimableForSlot(*lk.pattern, slot);
+    }
+    default:
+      return false;  // EXISTS, hash joins, aggregates
+  }
+}
+
+double EqSelectivity(const Table& table, size_t ordinal,
+                     const StatsCatalog& catalog) {
+  const double ndv = catalog.EstimatedNdv(&table, ordinal);
+  if (ndv < 1.0) return 1.0;  // no data observed: assume nothing
+  return std::min(1.0, 1.0 / ndv);
+}
+
+double ConjSelectivity(const Expr& e, size_t slot, const Table& table,
+                       const StatsCatalog& catalog) {
+  switch (e.kind) {
+    case ExprKind::kComparison: {
+      const auto& c = static_cast<const ComparisonExpr&>(e);
+      const ColumnRefExpr* col = SlotColumn(*c.left, slot);
+      if (col == nullptr) col = SlotColumn(*c.right, slot);
+      if (col == nullptr) return 1.0;
+      switch (c.op) {
+        case CompareOp::kEq:
+          return EqSelectivity(table, col->column_ordinal, catalog);
+        case CompareOp::kNe:
+          return 1.0 - EqSelectivity(table, col->column_ordinal, catalog);
+        default:
+          return 1.0 / 3.0;
+      }
+    }
+    case ExprKind::kLogical: {
+      const auto& l = static_cast<const LogicalExpr&>(e);
+      if (l.is_and) {
+        double sel = 1.0;
+        for (const ExprPtr& op : l.operands) {
+          sel *= ConjSelectivity(*op, slot, table, catalog);
+        }
+        return sel;
+      }
+      double pass_none = 1.0;
+      for (const ExprPtr& op : l.operands) {
+        pass_none *= 1.0 - ConjSelectivity(*op, slot, table, catalog);
+      }
+      return 1.0 - pass_none;
+    }
+    case ExprKind::kNot:
+      return 1.0 - ConjSelectivity(*static_cast<const NotExpr&>(e).operand,
+                                   slot, table, catalog);
+    case ExprKind::kInList: {
+      const auto& in = static_cast<const InListExpr&>(e);
+      const ColumnRefExpr* col = SlotColumn(*in.operand, slot);
+      if (col == nullptr) return 1.0;
+      const double sel = std::min(
+          1.0, static_cast<double>(in.items.size()) *
+                   EqSelectivity(table, col->column_ordinal, catalog));
+      return in.negated ? 1.0 - sel : sel;
+    }
+    case ExprKind::kIsNull: {
+      const auto& isn = static_cast<const IsNullExpr&>(e);
+      const ColumnRefExpr* col = SlotColumn(*isn.operand, slot);
+      if (col == nullptr) return 1.0;
+      const double nf = catalog.NullFraction(&table, col->column_ordinal);
+      return isn.negated ? 1.0 - nf : nf;
+    }
+    case ExprKind::kLike:
+      return static_cast<const LikeExpr&>(e).negated ? 0.75 : 0.25;
+    default:
+      return 1.0;
+  }
+}
+
+/// Estimated rows surviving the WHERE conjuncts local to FROM slot `slot`.
+/// `skip_escaping` additionally drops conjuncts referencing enclosing
+/// scopes — the build-side estimate, where correlation equalities are
+/// stripped before the build executes.
+double EstimateSlotRows(const SelectStmt& s, size_t slot,
+                        const StatsCatalog& catalog, bool skip_escaping) {
+  const Table* table = s.from[slot].table;
+  if (table == nullptr) return 0.0;
+  double rows = catalog.EstimatedRows(table);
+  if (s.where == nullptr) return rows;
+  std::vector<const Expr*> conjuncts;
+  FlattenAndView(s.where.get(), &conjuncts);
+  double sel = 1.0;
+  for (const Expr* c : conjuncts) {
+    if (!EstimableForSlot(*c, slot)) continue;
+    if (skip_escaping && RefsEscape(*c, 0)) continue;
+    sel *= ConjSelectivity(*c, slot, *table, catalog);
+  }
+  return rows * sel;
+}
+
+/// Estimated row combinations a select enumerates (product over FROM).
+double EstimateSelectRows(const SelectStmt& s, const StatsCatalog& catalog,
+                          bool skip_escaping) {
+  if (s.from.empty()) return 0.0;
+  double rows = 1.0;
+  for (size_t slot = 0; slot < s.from.size(); ++slot) {
+    rows *= EstimateSlotRows(s, slot, catalog, skip_escaping);
+  }
+  return rows;
+}
+
+/// An eligible EXISTS stays correlated when the decorrelated build would
+/// enumerate this many times more rows than the outer loop probes it.
+constexpr double kCorrelatedBuildFactor = 8.0;
+
 class Planner {
  public:
-  explicit Planner(PlannerStats* stats) : stats_(stats) {}
+  Planner(PlannerStats* stats, const StatsCatalog* catalog)
+      : stats_(stats), catalog_(catalog) {}
 
   void Plan(SelectStmt* stmt) {
     path_.push_back(stmt);
-    if (stmt->where != nullptr) PlanExpr(&stmt->where);
+    if (stmt->where != nullptr) {
+      PlanExpr(&stmt->where);
+      if (catalog_ != nullptr) CostWhere(stmt);
+    }
     path_.pop_back();
   }
 
@@ -336,6 +514,15 @@ class Planner {
     }
     if (correlations == 0) return nullptr;
 
+    // Cost gate: an eligible rewrite can still lose. When the build side
+    // would enumerate far more rows than the outer loop will ever probe,
+    // and the correlated path is an index point-lookup per outer row, the
+    // rule rewrite is vetoed and the EXISTS stays correlated.
+    if (catalog_ != nullptr && KeepCorrelated(*sub, view, classes)) {
+      if (stats_ != nullptr) ++stats_->cost_exists_kept;
+      return nullptr;
+    }
+
     // Phase 2: eligible — dismantle the WHERE and assemble the join node.
     std::vector<ExprPtr> conjuncts;
     FlattenAndOwned(std::move(sub->where), &conjuncts);
@@ -383,25 +570,127 @@ class Planner {
     return join;
   }
 
+  /// The cost model's rewrite veto (see planner.h). `view`/`classes` are
+  /// the phase-1 classification of the subquery's conjuncts.
+  bool KeepCorrelated(const SelectStmt& sub,
+                      const std::vector<const Expr*>& view,
+                      const std::vector<Conjunct>& classes) const {
+    // The correlated plan is only competitive as a point lookup: every
+    // correlation column must sit on one build slot with a covering index.
+    std::vector<size_t> ordinals;
+    size_t inner_slot = 0;
+    bool have_slot = false;
+    for (size_t i = 0; i < view.size(); ++i) {
+      if (!classes[i].is_correlation) continue;
+      const auto* cmp = static_cast<const ComparisonExpr*>(view[i]);
+      const auto* inner = static_cast<const ColumnRefExpr*>(
+          classes[i].left_is_inner ? cmp->left.get() : cmp->right.get());
+      if (!have_slot) {
+        inner_slot = inner->table_slot;
+        have_slot = true;
+      } else if (inner->table_slot != inner_slot) {
+        return false;
+      }
+      ordinals.push_back(inner->column_ordinal);
+    }
+    if (!have_slot || inner_slot >= sub.from.size()) return false;
+    const Table* table = sub.from[inner_slot].table;
+    if (table == nullptr || table->FindIndexCovering(ordinals) == nullptr) {
+      return false;
+    }
+    const double build_rows =
+        EstimateSelectRows(sub, *catalog_, /*skip_escaping=*/true);
+    const double outer_rows =
+        path_.empty() ? 1.0
+                      : EstimateSelectRows(*path_.back(), *catalog_,
+                                           /*skip_escaping=*/false);
+    return build_rows > kCorrelatedBuildFactor * std::max(1.0, outer_rows);
+  }
+
+  /// Post-rewrite cost pass over one select's WHERE: stamp every hash join
+  /// with its estimated build cardinality, then reorder sibling joins under
+  /// the top-level AND cheapest-build-first (scalar conjuncts keep their
+  /// positions; the joins' three-valued AND verdict is order-independent).
+  void CostWhere(SelectStmt* stmt) {
+    StampJoinEstimates(stmt->where.get());
+    if (stmt->where->kind != ExprKind::kLogical) return;
+    auto* l = static_cast<LogicalExpr*>(stmt->where.get());
+    if (!l->is_and) return;
+    std::vector<size_t> join_slots;
+    for (size_t i = 0; i < l->operands.size(); ++i) {
+      if (l->operands[i]->kind == ExprKind::kHashJoin) join_slots.push_back(i);
+    }
+    if (join_slots.size() < 2) return;
+    std::vector<ExprPtr> joins;
+    joins.reserve(join_slots.size());
+    for (size_t i : join_slots) joins.push_back(std::move(l->operands[i]));
+    const auto build_rows = [](const ExprPtr& e) {
+      return static_cast<const HashJoinExpr*>(e.get())->est_build_rows;
+    };
+    bool reordered = false;
+    for (size_t i = 1; i < joins.size(); ++i) {
+      if (build_rows(joins[i]) < build_rows(joins[i - 1])) reordered = true;
+    }
+    std::stable_sort(joins.begin(), joins.end(),
+                     [&](const ExprPtr& a, const ExprPtr& b) {
+                       return build_rows(a) < build_rows(b);
+                     });
+    for (size_t i = 0; i < join_slots.size(); ++i) {
+      l->operands[join_slots[i]] = std::move(joins[i]);
+    }
+    if (reordered && stats_ != nullptr) ++stats_->cost_join_reorders;
+  }
+
+  void StampJoinEstimates(Expr* e) {
+    switch (e->kind) {
+      case ExprKind::kLogical:
+        for (ExprPtr& op : static_cast<LogicalExpr*>(e)->operands) {
+          StampJoinEstimates(op.get());
+        }
+        return;
+      case ExprKind::kNot:
+        StampJoinEstimates(static_cast<NotExpr*>(e)->operand.get());
+        return;
+      case ExprKind::kHashJoin: {
+        auto* j = static_cast<HashJoinExpr*>(e);
+        // Correlations were stripped into the keys, so no escaping
+        // conjuncts remain in the build's WHERE.
+        j->est_build_rows =
+            EstimateSelectRows(*j->build, *catalog_, /*skip_escaping=*/false);
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
   PlannerStats* stats_;
+  const StatsCatalog* catalog_;  // null = pure rule-based planning
   std::vector<const SelectStmt*> path_;  // enclosing selects, innermost last
 };
 
 }  // namespace
 
-void PlanSelect(SelectStmt* stmt, PlannerStats* stats) {
-  Planner planner(stats);
+void PlanSelect(SelectStmt* stmt, PlannerStats* stats,
+                const StatsCatalog* catalog) {
+  Planner planner(stats, catalog);
   planner.Plan(stmt);
 }
 
 namespace {
 
-void AnnotateExpr(const Expr& e);
+void AnnotateExpr(const Expr& e, const StatsCatalog* catalog,
+                  PlannerStats* stats);
 
 /// Resolves the access path of every FROM slot of `stmt`, mirroring the
 /// executor's per-scan derivation exactly (same equality collection, same
 /// FindIndexCovering tie-break) so plans and actuals match either way.
-void AnnotateOne(SelectStmt* stmt) {
+/// With a catalog, each slot is additionally costed: estimated rows are
+/// stamped for EXPLAIN, and a syntactically chosen index whose key is so
+/// unselective that the lookup would return most of the table (low-NDV
+/// column) is overridden back to a sequential scan.
+void AnnotateOne(SelectStmt* stmt, const StatsCatalog* catalog,
+                 PlannerStats* stats) {
   stmt->slot_plans.assign(stmt->from.size(), SlotPlan{});
   for (size_t slot = 0; slot < stmt->from.size(); ++slot) {
     SlotPlan& sp = stmt->slot_plans[slot];
@@ -430,6 +719,32 @@ void AnnotateOne(SelectStmt* stmt) {
         sp.key_exprs.push_back(key_expr);
       }
     }
+    if (catalog != nullptr) {
+      const double table_rows = catalog->EstimatedRows(table);
+      if (sp.index == nullptr) {
+        sp.est_rows = table_rows;
+      } else {
+        double key_sel = 1.0;
+        for (size_t ord : sp.index->column_ordinals()) {
+          key_sel *= EqSelectivity(*table, ord, *catalog);
+        }
+        // Index vs seq: a lookup expected to return around half the table
+        // buys nothing over scanning it (and pays key evaluation plus
+        // id-list chasing per loop). The threshold sits below the nominal
+        // 1/2 so the HLL's estimate of a two-value column (NDV slightly
+        // above 2 => selectivity slightly below 0.5) still trips it. Tiny
+        // tables are left alone — either plan touches a handful of rows.
+        if (key_sel >= 0.45 && table_rows >= 4.0) {
+          sp.index = nullptr;
+          sp.key_exprs.clear();
+          sp.seq_forced = true;
+          sp.est_rows = table_rows;
+          if (stats != nullptr) ++stats->cost_seq_forced;
+        } else {
+          sp.est_rows = table_rows * key_sel;
+        }
+      }
+    }
   }
   // Only the innermost slot may filter in chunks: outer slots must stay
   // row-at-a-time so EXISTS early-out never scans rows the scalar path
@@ -438,49 +753,57 @@ void AnnotateOne(SelectStmt* stmt) {
     stmt->slot_plans.back().vector_filter = true;
   }
 
-  if (stmt->where != nullptr) AnnotateExpr(*stmt->where);
+  if (stmt->where != nullptr) AnnotateExpr(*stmt->where, catalog, stats);
   for (const SelectItem& item : stmt->items) {
-    if (!item.is_star) AnnotateExpr(*item.expr);
+    if (!item.is_star) AnnotateExpr(*item.expr, catalog, stats);
   }
-  for (const ExprPtr& g : stmt->group_by) AnnotateExpr(*g);
-  for (const OrderByItem& ob : stmt->order_by) AnnotateExpr(*ob.expr);
+  for (const ExprPtr& g : stmt->group_by) AnnotateExpr(*g, catalog, stats);
+  for (const OrderByItem& ob : stmt->order_by) {
+    AnnotateExpr(*ob.expr, catalog, stats);
+  }
 }
 
-void AnnotateExpr(const Expr& e) {
+void AnnotateExpr(const Expr& e, const StatsCatalog* catalog,
+                  PlannerStats* stats) {
   switch (e.kind) {
     case ExprKind::kComparison: {
       const auto& c = static_cast<const ComparisonExpr&>(e);
-      AnnotateExpr(*c.left);
-      AnnotateExpr(*c.right);
+      AnnotateExpr(*c.left, catalog, stats);
+      AnnotateExpr(*c.right, catalog, stats);
       return;
     }
     case ExprKind::kLogical:
       for (const ExprPtr& op : static_cast<const LogicalExpr&>(e).operands) {
-        AnnotateExpr(*op);
+        AnnotateExpr(*op, catalog, stats);
       }
       return;
     case ExprKind::kNot:
-      AnnotateExpr(*static_cast<const NotExpr&>(e).operand);
+      AnnotateExpr(*static_cast<const NotExpr&>(e).operand, catalog, stats);
       return;
     case ExprKind::kExists:
-      AnnotateOne(static_cast<const ExistsExpr&>(e).subquery.get());
+      AnnotateOne(static_cast<const ExistsExpr&>(e).subquery.get(), catalog,
+                  stats);
       return;
     case ExprKind::kHashJoin:
-      AnnotateOne(static_cast<const HashJoinExpr&>(e).build.get());
+      AnnotateOne(static_cast<const HashJoinExpr&>(e).build.get(), catalog,
+                  stats);
       return;
     case ExprKind::kInList: {
       const auto& in = static_cast<const InListExpr&>(e);
-      AnnotateExpr(*in.operand);
-      for (const ExprPtr& item : in.items) AnnotateExpr(*item);
+      AnnotateExpr(*in.operand, catalog, stats);
+      for (const ExprPtr& item : in.items) {
+        AnnotateExpr(*item, catalog, stats);
+      }
       return;
     }
     case ExprKind::kIsNull:
-      AnnotateExpr(*static_cast<const IsNullExpr&>(e).operand);
+      AnnotateExpr(*static_cast<const IsNullExpr&>(e).operand, catalog,
+                   stats);
       return;
     case ExprKind::kLike: {
       const auto& lk = static_cast<const LikeExpr&>(e);
-      AnnotateExpr(*lk.operand);
-      AnnotateExpr(*lk.pattern);
+      AnnotateExpr(*lk.operand, catalog, stats);
+      AnnotateExpr(*lk.pattern, catalog, stats);
       return;
     }
     default:
@@ -490,6 +813,9 @@ void AnnotateExpr(const Expr& e) {
 
 }  // namespace
 
-void AnnotateSelect(SelectStmt* stmt) { AnnotateOne(stmt); }
+void AnnotateSelect(SelectStmt* stmt, const StatsCatalog* catalog,
+                    PlannerStats* stats) {
+  AnnotateOne(stmt, catalog, stats);
+}
 
 }  // namespace p3pdb::sqldb

@@ -42,16 +42,37 @@
 
 namespace p3pdb::sqldb {
 
+class StatsCatalog;
+
 /// Rewrite tallies, merged into the database's ExecStats by the caller.
 struct PlannerStats {
   uint64_t semi_join_rewrites = 0;  // EXISTS -> hash semi-join
   uint64_t anti_join_rewrites = 0;  // NOT EXISTS -> hash anti-join
+  // Cost-model decisions (only tick when a StatsCatalog was supplied).
+  uint64_t cost_exists_kept = 0;    // rewrite vetoed: correlated path cheaper
+  uint64_t cost_join_reorders = 0;  // AND chains reordered cheapest-first
+  uint64_t cost_seq_forced = 0;     // index access overridden to seq scan
 };
 
 /// Rewrites eligible [NOT] EXISTS predicates of a *bound* SELECT into
 /// HashJoinExpr nodes, in place. Idempotent-safe to skip: an unplanned
 /// statement executes identically (modulo speed) on the correlated path.
-void PlanSelect(SelectStmt* stmt, PlannerStats* stats = nullptr);
+///
+/// With a non-null `catalog`, the rule rewrites are moderated by the cost
+/// model (see stats.h):
+///   - an eligible EXISTS stays correlated when its estimated build
+///     cardinality dwarfs the estimated outer loop count AND the build
+///     table indexes the correlation columns — the point-lookup-per-outer-
+///     row plan beats materializing a huge key set for a handful of probes;
+///   - sibling hash joins under one AND are reordered cheapest-build-first
+///     (scalar conjuncts keep their positions), so when a cheap join
+///     rejects an outer row the expensive builds are never forced. Result-
+///     identical: AND over the joins' three-valued verdicts is order-
+///     independent.
+/// Every surviving HashJoinExpr is stamped with its estimated build rows
+/// for EXPLAIN.
+void PlanSelect(SelectStmt* stmt, PlannerStats* stats = nullptr,
+                const StatsCatalog* catalog = nullptr);
 
 /// Fills `slot_plans` on `stmt` and every nested SELECT (EXISTS subqueries,
 /// hash-join build sides): the access path the executor would otherwise
@@ -59,7 +80,13 @@ void PlanSelect(SelectStmt* stmt, PlannerStats* stats = nullptr);
 /// vectorized-filter eligibility of the innermost FROM slot. Must run after
 /// PlanSelect (rewrites change the tree) and only on bound statements.
 /// Statements left un-annotated always execute on the scalar path.
-void AnnotateSelect(SelectStmt* stmt);
+///
+/// With a non-null `catalog` each slot plan additionally carries estimated
+/// rows, and the cost model may override the syntactic index choice with a
+/// sequential scan when the index's estimated selectivity is so poor (low
+/// NDV key) that the lookup would return most of the table anyway.
+void AnnotateSelect(SelectStmt* stmt, const StatsCatalog* catalog = nullptr,
+                    PlannerStats* stats = nullptr);
 
 }  // namespace p3pdb::sqldb
 

@@ -87,6 +87,14 @@ struct ExecStats {
   uint64_t hash_join_build_rows = 0;  // rows enumerated by builds
   uint64_t hash_join_probes = 0;      // O(1) probes answered from a key set
 
+  // Cost-model counters (see stats.h / planner.h). Decision counters tick
+  // at plan time; plan_recosts ticks when the plan cache drops an entry
+  // whose stats epoch drifted.
+  uint64_t cost_exists_kept = 0;    // EXISTS rewrites vetoed by cost
+  uint64_t cost_join_reorders = 0;  // AND chains reordered cheapest-first
+  uint64_t cost_seq_forced = 0;     // index access overridden to seq scan
+  uint64_t plan_recosts = 0;        // cached plans dropped on epoch drift
+
   // Vectorized-executor counters (see vectorized.cc). `batches` counts the
   // columnar chunks emitted by batch scans and `batch_rows` the rows
   // gathered into them; `vectorized_filters` counts WHERE clauses evaluated
@@ -112,6 +120,10 @@ struct ExecStats {
     hash_join_builds += s.hash_join_builds;
     hash_join_build_rows += s.hash_join_build_rows;
     hash_join_probes += s.hash_join_probes;
+    cost_exists_kept += s.cost_exists_kept;
+    cost_join_reorders += s.cost_join_reorders;
+    cost_seq_forced += s.cost_seq_forced;
+    plan_recosts += s.plan_recosts;
     batches += s.batches;
     batch_rows += s.batch_rows;
     vectorized_filters += s.vectorized_filters;
@@ -136,6 +148,10 @@ struct AtomicExecStats {
   std::atomic<uint64_t> hash_join_builds{0};
   std::atomic<uint64_t> hash_join_build_rows{0};
   std::atomic<uint64_t> hash_join_probes{0};
+  std::atomic<uint64_t> cost_exists_kept{0};
+  std::atomic<uint64_t> cost_join_reorders{0};
+  std::atomic<uint64_t> cost_seq_forced{0};
+  std::atomic<uint64_t> plan_recosts{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> batch_rows{0};
   std::atomic<uint64_t> vectorized_filters{0};
@@ -161,6 +177,10 @@ struct AtomicExecStats {
     add(hash_join_builds, s.hash_join_builds);
     add(hash_join_build_rows, s.hash_join_build_rows);
     add(hash_join_probes, s.hash_join_probes);
+    add(cost_exists_kept, s.cost_exists_kept);
+    add(cost_join_reorders, s.cost_join_reorders);
+    add(cost_seq_forced, s.cost_seq_forced);
+    add(plan_recosts, s.plan_recosts);
     add(batches, s.batches);
     add(batch_rows, s.batch_rows);
     add(vectorized_filters, s.vectorized_filters);
@@ -191,6 +211,10 @@ struct AtomicExecStats {
     add(hash_join_builds, s.hash_join_builds);
     add(hash_join_build_rows, s.hash_join_build_rows);
     add(hash_join_probes, s.hash_join_probes);
+    add(cost_exists_kept, s.cost_exists_kept);
+    add(cost_join_reorders, s.cost_join_reorders);
+    add(cost_seq_forced, s.cost_seq_forced);
+    add(plan_recosts, s.plan_recosts);
     add(batches, s.batches);
     add(batch_rows, s.batch_rows);
     add(vectorized_filters, s.vectorized_filters);
@@ -213,6 +237,10 @@ struct AtomicExecStats {
     s.hash_join_build_rows =
         hash_join_build_rows.load(std::memory_order_relaxed);
     s.hash_join_probes = hash_join_probes.load(std::memory_order_relaxed);
+    s.cost_exists_kept = cost_exists_kept.load(std::memory_order_relaxed);
+    s.cost_join_reorders = cost_join_reorders.load(std::memory_order_relaxed);
+    s.cost_seq_forced = cost_seq_forced.load(std::memory_order_relaxed);
+    s.plan_recosts = plan_recosts.load(std::memory_order_relaxed);
     s.batches = batches.load(std::memory_order_relaxed);
     s.batch_rows = batch_rows.load(std::memory_order_relaxed);
     s.vectorized_filters = vectorized_filters.load(std::memory_order_relaxed);
@@ -235,6 +263,10 @@ struct AtomicExecStats {
     hash_join_builds.store(0, std::memory_order_relaxed);
     hash_join_build_rows.store(0, std::memory_order_relaxed);
     hash_join_probes.store(0, std::memory_order_relaxed);
+    cost_exists_kept.store(0, std::memory_order_relaxed);
+    cost_join_reorders.store(0, std::memory_order_relaxed);
+    cost_seq_forced.store(0, std::memory_order_relaxed);
+    plan_recosts.store(0, std::memory_order_relaxed);
     batches.store(0, std::memory_order_relaxed);
     batch_rows.store(0, std::memory_order_relaxed);
     vectorized_filters.store(0, std::memory_order_relaxed);

@@ -92,8 +92,25 @@ Status Table::Insert(Row row) {
   live_.push_back(true);
   ++live_count_;
   version_.fetch_add(1, std::memory_order_relaxed);
-  if (observer_ != nullptr) observer_->OnInsert(*this, row_id, rows_[row_id]);
+  for (TableObserver* obs : observers_) {
+    obs->OnInsert(*this, row_id, rows_[row_id]);
+  }
   return Status::OK();
+}
+
+void Table::AddObserver(TableObserver* observer) {
+  if (observer == nullptr) return;
+  if (std::find(observers_.begin(), observers_.end(), observer) !=
+      observers_.end()) {
+    return;
+  }
+  observers_.push_back(observer);
+}
+
+void Table::RemoveObserver(TableObserver* observer) {
+  observers_.erase(
+      std::remove(observers_.begin(), observers_.end(), observer),
+      observers_.end());
 }
 
 void Table::Delete(size_t row_id) {
@@ -102,7 +119,7 @@ void Table::Delete(size_t row_id) {
   live_[row_id] = false;
   --live_count_;
   version_.fetch_add(1, std::memory_order_relaxed);
-  if (observer_ != nullptr) observer_->OnDelete(*this, row_id);
+  for (TableObserver* obs : observers_) obs->OnDelete(*this, row_id);
 }
 
 Status Table::RestoreSlot(Row row, bool live) {
@@ -151,7 +168,9 @@ Status Table::CreateIndex(const std::string& index_name,
     P3PDB_RETURN_IF_ERROR(index->Insert(rows_[row_id], row_id));
   }
   indexes_.push_back(std::move(index));
-  if (observer_ != nullptr) observer_->OnCreateIndex(*this, *indexes_.back());
+  for (TableObserver* obs : observers_) {
+    obs->OnCreateIndex(*this, *indexes_.back());
+  }
   return Status::OK();
 }
 

@@ -198,11 +198,14 @@ class Table {
   /// synchronization point.
   uint64_t version() const { return version_.load(std::memory_order_relaxed); }
 
-  /// Registers (or clears, with nullptr) the mutation observer. Not
-  /// retroactive: the implicit PK index built by the constructor predates
-  /// any observer, which is exactly right — it is part of the schema, not a
-  /// logged mutation.
-  void set_observer(TableObserver* observer) { observer_ = observer; }
+  /// Registers a mutation observer (the storage engine, the statistics
+  /// catalog). Observers fire in registration order. Not retroactive: the
+  /// implicit PK index built by the constructor predates any observer,
+  /// which is exactly right — it is part of the schema, not a logged
+  /// mutation. Duplicate registration is a no-op.
+  void AddObserver(TableObserver* observer);
+  void RemoveObserver(TableObserver* observer);
+  void ClearObservers() { observers_.clear(); }
 
   /// Re-creates one physical slot from a storage checkpoint: appends the
   /// row at the next id, dead slots as tombstones (placeholder rows,
@@ -218,7 +221,7 @@ class Table {
   size_t live_count_ = 0;
   std::vector<std::unique_ptr<Index>> indexes_;
   std::atomic<uint64_t> version_{0};
-  TableObserver* observer_ = nullptr;
+  std::vector<TableObserver*> observers_;
 };
 
 }  // namespace p3pdb::sqldb

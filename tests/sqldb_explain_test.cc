@@ -257,6 +257,124 @@ TEST(ExplainTest, OrExactRuleQueryPlanUsesHashAntiJoin) {
   EXPECT_NE(plan.find("hash-semi-join"), std::string::npos) << plan;
 }
 
+// -- cost-model plan-flip goldens: same SQL, same schema, different data
+// shape => different plan. Each case pins both sides of the flip by running
+// one database with the cost model and one without (rule-only).
+
+TEST(ExplainTest, CostModelKeepsCorrelatedExistsWhenBuildDwarfsOuter) {
+  // 3 outer rows vs a 400-row indexed build side: materializing the key set
+  // enumerates 400 rows to answer 3 probes, while the correlated plan does
+  // 3 point lookups on s_pid. The cost model vetoes the rewrite; the
+  // rule-only planner takes it unconditionally.
+  const char* schema =
+      "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
+      "CREATE TABLE s (pid INTEGER);"
+      "CREATE INDEX s_pid ON s (pid);";
+  const std::string sql =
+      "SELECT * FROM p WHERE EXISTS (SELECT * FROM s WHERE s.pid = p.id)";
+
+  Database cost;  // cost model on by default
+  ASSERT_TRUE(cost.ExecuteScript(schema).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(cost.InsertRow("p", {Value::Integer(i)}).ok());
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(cost.InsertRow("s", {Value::Integer(i % 40)}).ok());
+  }
+  std::string costed = Plan(&cost, sql);
+  EXPECT_NE(costed.find("exists-subquery"), std::string::npos) << costed;
+  EXPECT_EQ(costed.find("hash-semi-join"), std::string::npos) << costed;
+  EXPECT_NE(costed.find("index s_pid on pid"), std::string::npos) << costed;
+
+  Database rule(Database::Options{.enable_cost_model = false});
+  ASSERT_TRUE(rule.ExecuteScript(schema).ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rule.InsertRow("p", {Value::Integer(i)}).ok());
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(rule.InsertRow("s", {Value::Integer(i % 40)}).ok());
+  }
+  std::string ruled = Plan(&rule, sql);
+  EXPECT_NE(ruled.find("hash-semi-join on s.pid = p.id"), std::string::npos)
+      << ruled;
+  EXPECT_EQ(ruled.find("exists-subquery"), std::string::npos) << ruled;
+
+  // Both plans return the identical rows.
+  auto cost_rows = cost.Execute(sql);
+  auto rule_rows = rule.Execute(sql);
+  ASSERT_TRUE(cost_rows.ok());
+  ASSERT_TRUE(rule_rows.ok());
+  EXPECT_EQ(cost_rows.value().rows.size(), rule_rows.value().rows.size());
+  EXPECT_GT(cost.stats().cost_exists_kept, 0u);
+}
+
+TEST(ExplainTest, CostModelForcesSeqScanOnLowCardinalityIndex) {
+  // An index on a 2-value column: the syntactic planner always takes it,
+  // but the lookup returns ~half the table — more work than scanning. With
+  // statistics, NDV=2 => selectivity 1/2 >= the seq-force threshold.
+  const char* schema =
+      "CREATE TABLE t (flag INTEGER, v INTEGER);"
+      "CREATE INDEX t_flag ON t (flag);";
+  const std::string sql = "SELECT * FROM t WHERE flag = 1";
+
+  Database cost;
+  ASSERT_TRUE(cost.ExecuteScript(schema).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        cost.InsertRow("t", {Value::Integer(i % 2), Value::Integer(i)}).ok());
+  }
+  std::string costed = Plan(&cost, sql);
+  EXPECT_NE(costed.find("scan t (seq scan) (est rows=100, seq-forced)"),
+            std::string::npos)
+      << costed;
+  EXPECT_EQ(costed.find("index t_flag"), std::string::npos) << costed;
+  EXPECT_GT(cost.stats().cost_seq_forced, 0u);
+
+  Database rule(Database::Options{.enable_cost_model = false});
+  ASSERT_TRUE(rule.ExecuteScript(schema).ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        rule.InsertRow("t", {Value::Integer(i % 2), Value::Integer(i)}).ok());
+  }
+  std::string ruled = Plan(&rule, sql);
+  EXPECT_NE(ruled.find("index t_flag on flag"), std::string::npos) << ruled;
+  EXPECT_EQ(ruled.find("seq-forced"), std::string::npos) << ruled;
+
+  // Row-identical either way.
+  auto cost_rows = cost.Execute(sql);
+  auto rule_rows = rule.Execute(sql);
+  ASSERT_TRUE(cost_rows.ok());
+  ASSERT_TRUE(rule_rows.ok());
+  EXPECT_EQ(cost_rows.value().rows.size(), 50u);
+  EXPECT_EQ(rule_rows.value().rows.size(), 50u);
+
+  // A near-unique key on the same schema keeps its index: the flip is
+  // driven by the data, not the shape of the SQL.
+  std::string selective = Plan(&cost, "SELECT * FROM t WHERE v = 7");
+  EXPECT_EQ(selective.find("seq-forced"), std::string::npos) << selective;
+}
+
+TEST(ExplainAnalyzeTest, EstimatedVersusActualRows) {
+  // The est-vs-actual golden: a unique key estimates 1 row and finds 1; a
+  // seq scan estimates the full table and visits it.
+  Database db;
+  ASSERT_TRUE(db.ExecuteScript(
+                    "CREATE TABLE t (a INTEGER, b INTEGER, PRIMARY KEY (a));")
+                  .ok());
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(
+        db.InsertRow("t", {Value::Integer(i), Value::Integer(i / 10)}).ok());
+  }
+  std::string point = AnalyzePlan(&db, "SELECT * FROM t WHERE a = 7");
+  EXPECT_NE(point.find("(est rows=1) (actual rows=1 loops=1"),
+            std::string::npos)
+      << point;
+  std::string scan = AnalyzePlan(&db, "SELECT * FROM t WHERE b = 2");
+  EXPECT_NE(scan.find("(est rows=50) (actual rows=50 loops=1"),
+            std::string::npos)
+      << scan;
+}
+
 TEST(ExplainTest, ExplainValidates) {
   Database db;
   EXPECT_FALSE(db.Execute("EXPLAIN SELECT * FROM missing").ok());
@@ -273,7 +391,7 @@ TEST(ExplainAnalyzeTest, ReportsActualRowsAndLoops) {
   std::string plan = AnalyzePlan(&db, "SELECT * FROM t WHERE a >= 2");
   EXPECT_NE(plan.find("select (actual rows=2 loops=1"), std::string::npos)
       << plan;
-  EXPECT_NE(plan.find("scan t (seq scan) (actual rows=3 loops=1"),
+  EXPECT_NE(plan.find("scan t (seq scan) (est rows=3) (actual rows=3 loops=1"),
             std::string::npos)
       << plan;
   // Elapsed time is attached (value not pinned — timings are not
@@ -312,8 +430,9 @@ TEST(ExplainAnalyzeTest, VectorizedScanReportsBatchActuals) {
   EXPECT_NE(plan.find("batches=2 rows/batch=32.0 selectivity=50.0%"),
             std::string::npos)
       << plan;
-  EXPECT_NE(plan.find("scan t (seq scan) (actual rows=64 loops=1"),
-            std::string::npos)
+  EXPECT_NE(
+      plan.find("scan t (seq scan) (est rows=64) (actual rows=64 loops=1"),
+      std::string::npos)
       << plan;
   // Stripping the actuals recovers the structural EXPLAIN plan.
   EXPECT_EQ(StripActuals(plan), Plan(&db, sql));

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <optional>
 #include <set>
@@ -260,34 +262,90 @@ TEST_P(SqldbRandomTest, ExecutorAgreesWithBruteForce) {
   }
 }
 
-// Plan-equivalence differential: every generated query runs on a planner-on
-// database and a planner-off database over identical data (with NULL join
-// keys on both sides) and must return identical rows in identical order.
-// 90 trials x 6 seeds = 540 queries, clearing the >=500 bar. The stats
-// assertions at the end prove the battery actually exercised both the
-// semi-join and anti-join rewrites and the hash-join probe path — a battery
-// that silently stopped rewriting would otherwise pass vacuously.
+/// EXPLAIN text for `sql` on one database, for the failure artifact.
+std::string ExplainOrError(Database* db, const std::string& sql) {
+  auto result = db->Execute("EXPLAIN " + sql);
+  if (!result.ok()) return "  <explain failed: " + result.status().ToString() +
+                           ">\n";
+  std::string plan;
+  for (const Row& row : result.value().rows) {
+    plan += "  " + row[0].AsText() + "\n";
+  }
+  return plan;
+}
+
+/// On a three-way disagreement, writes the query plus each mode's EXPLAIN
+/// plan and result to plan_equivalence_failure.txt so CI can upload the
+/// repro as an artifact (mirrors differential_failure.txt).
+void WritePlanEquivalenceFailure(uint64_t seed, const std::string& sql,
+                                 Database* none, Database* rule,
+                                 Database* cost) {
+  std::ofstream out("plan_equivalence_failure.txt", std::ios::trunc);
+  out << "plan-equivalence disagreement (seed " << seed << ")\n"
+      << sql << "\n\n";
+  struct Mode {
+    const char* name;
+    Database* db;
+  } modes[] = {{"no-planner", none}, {"rule-only", rule}, {"cost-based", cost}};
+  for (const Mode& m : modes) {
+    out << "[" << m.name << "] plan:\n" << ExplainOrError(m.db, sql);
+    auto result = m.db->Execute(sql);
+    out << "[" << m.name << "] rows:\n"
+        << (result.ok() ? result.value().ToString()
+                        : result.status().ToString())
+        << "\n";
+  }
+  out << "replay: ./sqldb_random_test "
+      << "--gtest_filter='*PlannerEquivalenceDifferential*'\n";
+}
+
+// Plan-equivalence differential, three ways: every generated query runs on
+// a no-planner database (ground truth), a rule-only database (PR-4 rewrites,
+// no statistics), and a cost-based database (statistics moderate the
+// rewrites, access paths, and build order) over identical data — and all
+// three must return identical rows in identical order. 90 trials x 6 seeds
+// = 540 queries, clearing the >=500 bar in each mode pair. The data is
+// deliberately skewed: u.k draws from a min-of-two-uniforms distribution
+// and u outweighs t by an order of magnitude, so the cost model's
+// EXISTS-rewrite veto and join-order choices actually fire (asserted at the
+// end — a cost model that never diverged from the rules would make the
+// third mode vacuous). On any disagreement the EXPLAIN plans of all three
+// modes land in plan_equivalence_failure.txt for CI to upload.
 TEST_P(SqldbRandomTest, PlannerEquivalenceDifferential) {
-  Random rng(GetParam() * 7919 + 1);
-  Database planner_on(Database::Options{.enable_planner = true,
-                                        .enable_plan_cache = true});
-  Database planner_off(Database::Options{.enable_planner = false,
-                                         .enable_plan_cache = false});
+  const uint64_t seed = GetParam();
+  Random rng(seed * 7919 + 1);
+  Database none(Database::Options{.enable_planner = false,
+                                  .enable_plan_cache = false,
+                                  .enable_cost_model = false});
+  Database rule(Database::Options{.enable_planner = true,
+                                  .enable_plan_cache = true,
+                                  .enable_cost_model = false});
+  Database cost(Database::Options{.enable_planner = true,
+                                  .enable_plan_cache = true,
+                                  .enable_cost_model = true});
+  Database* dbs[] = {&none, &rule, &cost};
   const char* schema =
       "CREATE TABLE t (a INTEGER, b INTEGER, c VARCHAR(4));"
       "CREATE TABLE u (k INTEGER, v INTEGER, w VARCHAR(4));"
-      "CREATE TABLE s (m INTEGER, n INTEGER);";
-  ASSERT_TRUE(planner_on.ExecuteScript(schema).ok());
-  ASSERT_TRUE(planner_off.ExecuteScript(schema).ok());
+      "CREATE TABLE s (m INTEGER, n INTEGER);"
+      "CREATE INDEX u_k ON u (k);";
+  for (Database* db : dbs) ASSERT_TRUE(db->ExecuteScript(schema).ok());
 
   static const char* texts[] = {"x", "y", "z", "w", "xz", "xyz"};
-  auto insert_both = [&](const char* table, Row row) {
-    ASSERT_TRUE(planner_on.InsertRow(table, row).ok());
-    ASSERT_TRUE(planner_off.InsertRow(table, std::move(row)).ok());
+  auto insert_all = [&](const char* table, const Row& row) {
+    for (Database* db : dbs) ASSERT_TRUE(db->InsertRow(table, row).ok());
   };
   auto maybe_null_int = [&](double p_null, int64_t hi) {
     return rng.Bernoulli(p_null) ? Value::Null()
                                  : Value::Integer(rng.UniformInt(0, hi));
+  };
+  // Skewed non-null key: min of two uniforms piles mass on the low values,
+  // so per-key cardinalities differ enough for selectivity to matter.
+  auto skewed_int = [&](double p_null, int hi) {
+    return rng.Bernoulli(p_null)
+               ? Value::Null()
+               : Value::Integer(std::min(rng.UniformInt(0, hi),
+                                         rng.UniformInt(0, hi)));
   };
   for (int i = 0; i < 40; ++i) {
     Row row;
@@ -295,21 +353,24 @@ TEST_P(SqldbRandomTest, PlannerEquivalenceDifferential) {
     row.push_back(maybe_null_int(0.25, 5));  // t.b
     row.push_back(rng.Bernoulli(0.2) ? Value::Null()
                                      : Value::Text(texts[rng.Uniform(6)]));
-    insert_both("t", std::move(row));
+    insert_all("t", row);
   }
-  for (int i = 0; i < 30; ++i) {
+  // u dwarfs t (400 vs 40 rows): single-key EXISTS correlations cross the
+  // cost model's build-side veto threshold, while composite and
+  // non-equality shapes keep taking the rewrite / fallback paths.
+  for (int i = 0; i < 400; ++i) {
     Row row;
-    row.push_back(maybe_null_int(0.25, 5));  // u.k — build key, NULLs matter
+    row.push_back(skewed_int(0.15, 5));      // u.k — skewed build key
     row.push_back(maybe_null_int(0.25, 5));  // u.v
     row.push_back(rng.Bernoulli(0.3) ? Value::Null()
                                      : Value::Text(texts[rng.Uniform(6)]));
-    insert_both("u", std::move(row));
+    insert_all("u", row);
   }
   for (int i = 0; i < 15; ++i) {
     Row row;
     row.push_back(maybe_null_int(0.25, 5));  // s.m
     row.push_back(maybe_null_int(0.25, 3));  // s.n
-    insert_both("s", std::move(row));
+    insert_all("s", row);
   }
 
   PredicateGen scalar(&rng);
@@ -325,21 +386,39 @@ TEST_P(SqldbRandomTest, PlannerEquivalenceDifferential) {
       where += (rng.Bernoulli(0.5) ? " AND " : " OR ") + sub.Generate();
     }
     const std::string sql = "SELECT a, b, c FROM t WHERE " + where;
-    auto on = planner_on.Execute(sql);
-    auto off = planner_off.Execute(sql);
-    ASSERT_TRUE(on.ok()) << on.status() << "\n" << sql;
-    ASSERT_TRUE(off.ok()) << off.status() << "\n" << sql;
-    ASSERT_EQ(on.value().ToString(), off.value().ToString()) << sql;
+    auto want = none.Execute(sql);
+    auto got_rule = rule.Execute(sql);
+    auto got_cost = cost.Execute(sql);
+    ASSERT_TRUE(want.ok()) << want.status() << "\n" << sql;
+    ASSERT_TRUE(got_rule.ok()) << got_rule.status() << "\n" << sql;
+    ASSERT_TRUE(got_cost.ok()) << got_cost.status() << "\n" << sql;
+    const std::string expected = want.value().ToString();
+    if (got_rule.value().ToString() != expected ||
+        got_cost.value().ToString() != expected) {
+      WritePlanEquivalenceFailure(seed, sql, &none, &rule, &cost);
+    }
+    ASSERT_EQ(got_rule.value().ToString(), expected) << "rule-only\n" << sql;
+    ASSERT_EQ(got_cost.value().ToString(), expected) << "cost-based\n" << sql;
   }
 
-  const ExecStats on_stats = planner_on.stats();
-  const ExecStats off_stats = planner_off.stats();
-  EXPECT_GT(on_stats.semi_join_rewrites, 0u);
-  EXPECT_GT(on_stats.anti_join_rewrites, 0u);
-  EXPECT_GT(on_stats.hash_join_builds, 0u);
-  EXPECT_GT(on_stats.hash_join_probes, 0u);
-  EXPECT_EQ(off_stats.semi_join_rewrites, 0u);
-  EXPECT_EQ(off_stats.anti_join_rewrites, 0u);
+  const ExecStats none_stats = none.stats();
+  const ExecStats rule_stats = rule.stats();
+  const ExecStats cost_stats = cost.stats();
+  // The rule battery still exercises both rewrites and the hash-join path.
+  EXPECT_GT(rule_stats.semi_join_rewrites, 0u);
+  EXPECT_GT(rule_stats.anti_join_rewrites, 0u);
+  EXPECT_GT(rule_stats.hash_join_builds, 0u);
+  EXPECT_GT(rule_stats.hash_join_probes, 0u);
+  EXPECT_EQ(none_stats.semi_join_rewrites, 0u);
+  EXPECT_EQ(none_stats.anti_join_rewrites, 0u);
+  // The cost model actually diverged from the rules: it vetoed at least one
+  // EXISTS rewrite the rule planner took (build 400 rows vs outer 40, with
+  // u_k covering the correlation), yet still rewrote the shapes where a
+  // hash build stays cheap.
+  EXPECT_GT(cost_stats.cost_exists_kept, 0u);
+  EXPECT_GT(cost_stats.semi_join_rewrites + cost_stats.anti_join_rewrites, 0u);
+  EXPECT_LT(cost_stats.semi_join_rewrites + cost_stats.anti_join_rewrites,
+            rule_stats.semi_join_rewrites + rule_stats.anti_join_rewrites);
 }
 
 // Vectorized-executor differential: the same generated battery (scalar
