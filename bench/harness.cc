@@ -236,6 +236,10 @@ std::string BenchRecordsToJson(const std::vector<BenchJsonRecord>& records) {
       out += "\"cache_hits\": " + std::to_string(r.cache_hits) + ", ";
       out += "\"cache_misses\": " + std::to_string(r.cache_misses);
     }
+    if (r.hardware_concurrency > 0) {
+      out += ", \"hardware_concurrency\": " +
+             std::to_string(r.hardware_concurrency);
+    }
     out += "}";
     if (i + 1 < records.size()) out += ",";
     out += "\n";

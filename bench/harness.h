@@ -152,6 +152,10 @@ struct BenchJsonRecord {
   double hit_rate = -1.0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
+  // std::thread::hardware_concurrency() of the machine that produced the
+  // record, for benches whose numbers only compare across runs on the same
+  // core count. 0 (the default) leaves the field out of the JSON.
+  unsigned hardware_concurrency = 0;
 };
 
 /// Builds a record from per-op samples held in microseconds (the unit

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Serving-tier smoke gate: sanity-check a bench_serving JSON report.
+
+Usage:
+    serving_smoke.py BENCH_SERVING.json [--min-qps N] [--max-p99-ms N]
+
+The report is the array bench_serving writes with --json: one record each
+for serving/match_baseline, serving/match_churn, and serving/install. The
+gate fails (exit 1) when:
+
+  - a phase record is missing or measured zero requests,
+  - achieved throughput fell below --min-qps (the tier fell hopelessly
+    behind its arrival grid; pass a fraction of the offered rate), or
+  - a match phase's p99 exceeds --max-p99-ms.
+
+Latency samples are open-loop (completion minus *scheduled* arrival), so
+p99 already includes queueing from falling behind — a tier that can't hold
+the rate fails the p99 bar before it fails the throughput bar. Thresholds
+are deliberately loose: shared CI runners are noisy, so the gate catches
+"the serving tier stopped serving", not single-digit regressions.
+"""
+
+import argparse
+import json
+import sys
+
+MATCH_PHASES = ("serving/match_baseline", "serving/match_churn")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("report")
+    parser.add_argument(
+        "--min-qps",
+        type=float,
+        default=1.0,
+        help="minimum achieved match throughput per phase (default: >0)",
+    )
+    parser.add_argument(
+        "--max-p99-ms",
+        type=float,
+        default=500.0,
+        help="maximum open-loop p99 per match phase, in ms",
+    )
+    args = parser.parse_args()
+
+    with open(args.report) as f:
+        data = json.load(f)
+    if not isinstance(data, list):
+        raise SystemExit(f"{args.report}: expected a JSON array of records")
+    records = {r["name"]: r for r in data if isinstance(r, dict) and "name" in r}
+
+    failed = []
+    print(f"{'record':<26} {'ops':>8} {'qps':>10} {'p99':>12}")
+    for name in MATCH_PHASES + ("serving/install",):
+        record = records.get(name)
+        if record is None:
+            failed.append(f"record '{name}' missing from {args.report}")
+            continue
+        ops = record.get("iters", 0)
+        qps = record.get("matches_per_sec", 0.0)
+        p99_ms = record.get("p99_ns", 0.0) / 1e6
+        print(f"{name:<26} {ops:>8} {qps:>10.1f} {p99_ms:>10.2f}ms")
+        if ops <= 0:
+            failed.append(f"'{name}' measured zero requests")
+        if name in MATCH_PHASES:
+            if qps < args.min_qps:
+                failed.append(
+                    f"'{name}' achieved {qps:.1f} qps "
+                    f"(minimum {args.min_qps:.1f})"
+                )
+            if p99_ms > args.max_p99_ms:
+                failed.append(
+                    f"'{name}' p99 {p99_ms:.1f}ms "
+                    f"(limit {args.max_p99_ms:.1f}ms)"
+                )
+
+    if failed:
+        for msg in failed:
+            print(f"SERVING SMOKE FAILED: {msg}", file=sys.stderr)
+        return 1
+    print(
+        f"serving smoke OK (min qps {args.min_qps:.1f}, "
+        f"p99 limit {args.max_p99_ms:.1f}ms)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

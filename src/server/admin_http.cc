@@ -60,16 +60,34 @@ void SendAll(int fd, std::string_view data) {
 
 }  // namespace
 
-AdminHttpServer::AdminHttpServer(PolicyServer* server, Options options)
-    : server_(server), options_(std::move(options)) {}
+AdminHttpServer::AdminHttpServer(Handlers handlers, Options options)
+    : handlers_(std::move(handlers)), options_(std::move(options)) {}
 
 Result<std::unique_ptr<AdminHttpServer>> AdminHttpServer::Start(
-    PolicyServer* server, Options options) {
+    Handlers handlers, Options options) {
   std::unique_ptr<AdminHttpServer> admin(
-      new AdminHttpServer(server, std::move(options)));
+      new AdminHttpServer(std::move(handlers), std::move(options)));
   P3PDB_RETURN_IF_ERROR(admin->Bind());
   admin->thread_ = std::thread([raw = admin.get()] { raw->AcceptLoop(); });
   return admin;
+}
+
+Result<std::unique_ptr<AdminHttpServer>> AdminHttpServer::Start(
+    PolicyServer* server, Options options) {
+  Handlers handlers;
+  handlers.healthz_json = [server] { return server->RenderHealthzJson(); };
+  handlers.metrics_text = [server] { return server->RenderMetricsText(); };
+  handlers.metrics_json = [server] { return server->RenderMetricsJson(); };
+  handlers.statements_json = [server](size_t top) {
+    return server->RenderStatementStatsJson(top);
+  };
+  handlers.slow_json = [server] {
+    return server->RenderSlowLogJson(obs::SlowQueryEntry::Kind::kSlow);
+  };
+  handlers.traces_json = [server] {
+    return server->RenderSlowLogJson(obs::SlowQueryEntry::Kind::kTraceSample);
+  };
+  return Start(std::move(handlers), std::move(options));
 }
 
 AdminHttpServer::~AdminHttpServer() { Stop(); }
@@ -204,28 +222,29 @@ std::string AdminHttpServer::Route(std::string_view method,
     path = target.substr(0, qmark);
     query = target.substr(qmark + 1);
   }
-  if (path == "/healthz") {
-    return "ok\n";
+  if (path == "/healthz" && handlers_.healthz_json) {
+    *content_type = "application/json";
+    return handlers_.healthz_json();
   }
-  if (path == "/metrics") {
+  if (path == "/metrics" && handlers_.metrics_text) {
     *content_type = "text/plain; version=0.0.4; charset=utf-8";
-    return server_->RenderMetricsText();
+    return handlers_.metrics_text();
   }
-  if (path == "/metrics.json") {
+  if (path == "/metrics.json" && handlers_.metrics_json) {
     *content_type = "application/json";
-    return server_->RenderMetricsJson();
+    return handlers_.metrics_json();
   }
-  if (path == "/statements") {
+  if (path == "/statements" && handlers_.statements_json) {
     *content_type = "application/json";
-    return server_->RenderStatementStatsJson(TopFromQuery(query, 20));
+    return handlers_.statements_json(TopFromQuery(query, 20));
   }
-  if (path == "/slow") {
+  if (path == "/slow" && handlers_.slow_json) {
     *content_type = "application/json";
-    return server_->RenderSlowLogJson(obs::SlowQueryEntry::Kind::kSlow);
+    return handlers_.slow_json();
   }
-  if (path == "/traces") {
+  if (path == "/traces" && handlers_.traces_json) {
     *content_type = "application/json";
-    return server_->RenderSlowLogJson(obs::SlowQueryEntry::Kind::kTraceSample);
+    return handlers_.traces_json();
   }
   *status = 404;
   return "not found\n";

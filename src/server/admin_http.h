@@ -2,7 +2,8 @@
 // server's telemetry for scraping and debugging.
 //
 // URL map (all GET, all `Connection: close`):
-//   /healthz          liveness probe ("ok")
+//   /healthz          liveness probe: JSON with catalog epoch and per-shard
+//                     entry counts (so a stuck shard is observable)
 //   /metrics          Prometheus exposition text of the server registry
 //   /metrics.json     the same registry as JSON
 //   /statements?top=N per-statement aggregates, JSON, ordered by total time
@@ -13,15 +14,20 @@
 //
 // Deliberately not a framework: one blocking accept loop on a dedicated
 // thread, one request per connection, loopback by default. The handlers
-// call only the PolicyServer's lock-free snapshot/render paths, so a scrape
-// never contends with matching. Shutdown is a self-pipe write that wakes
-// the poll(); the destructor joins the thread.
+// call only lock-free snapshot/render paths, so a scrape never contends
+// with matching. Shutdown is a self-pipe write that wakes the poll(); the
+// destructor joins the thread.
+//
+// The endpoint is render-agnostic: it serves a Handlers bundle of
+// std::functions, so both PolicyServer and the sharded serving tier mount
+// the same URL map over their own telemetry.
 
 #ifndef P3PDB_SERVER_ADMIN_HTTP_H_
 #define P3PDB_SERVER_ADMIN_HTTP_H_
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -39,8 +45,24 @@ class AdminHttpServer {
     uint16_t port = 0;               // 0 = ephemeral (read back via port())
   };
 
+  /// Response providers for each route; a null function 404s its route.
+  /// Every function must be safe to call from the accept thread for the
+  /// server's whole lifetime.
+  struct Handlers {
+    std::function<std::string()> healthz_json;
+    std::function<std::string()> metrics_text;
+    std::function<std::string()> metrics_json;
+    std::function<std::string(size_t top)> statements_json;
+    std::function<std::string()> slow_json;
+    std::function<std::string()> traces_json;
+  };
+
   /// Binds, listens, and starts the accept thread. Fails (rather than
   /// crashing later) when the address cannot be bound.
+  static Result<std::unique_ptr<AdminHttpServer>> Start(Handlers handlers,
+                                                        Options options);
+
+  /// Convenience: the standard URL map over a PolicyServer's renderers.
   static Result<std::unique_ptr<AdminHttpServer>> Start(PolicyServer* server,
                                                         Options options);
 
@@ -62,7 +84,7 @@ class AdminHttpServer {
   }
 
  private:
-  AdminHttpServer(PolicyServer* server, Options options);
+  AdminHttpServer(Handlers handlers, Options options);
 
   Status Bind();
   void AcceptLoop();
@@ -72,7 +94,7 @@ class AdminHttpServer {
   std::string Route(std::string_view method, std::string_view target,
                     std::string* content_type, int* status);
 
-  PolicyServer* const server_;
+  const Handlers handlers_;
   Options options_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // self-pipe: write end wakes the poll()

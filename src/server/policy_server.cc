@@ -62,14 +62,6 @@ CREATE TABLE RefFileCatalog (
 );
 )sql";
 
-/// Resolves the fragment of a POLICY-REF `about` URI to a policy name:
-/// "/P3P/policies.xml#shopping" -> "shopping"; no fragment -> whole string.
-std::string AboutToPolicyName(std::string_view about) {
-  size_t hash = about.find('#');
-  if (hash == std::string_view::npos) return std::string(about);
-  return std::string(about.substr(hash + 1));
-}
-
 /// Microseconds since `start`. Callers read the clock only when
 /// collect_metrics is on, so the start point is a plain time_point rather
 /// than a Stopwatch (whose constructor always reads the clock).
@@ -100,6 +92,12 @@ void FinishMatchSpan(obs::ScopedSpan& span,
 
 }  // namespace
 
+std::string AboutToPolicyName(std::string_view about) {
+  size_t hash = about.find('#');
+  if (hash == std::string_view::npos) return std::string(about);
+  return std::string(about.substr(hash + 1));
+}
+
 PolicyServer::PolicyServer(Options options)
     : options_(options),
       db_(sqldb::Database::Options{
@@ -117,6 +115,9 @@ PolicyServer::PolicyServer(Options options)
           .storage_buffer_pool_pages = options.storage_buffer_pool_pages,
           .storage_sync_on_commit = options.storage_sync_on_commit,
           .storage_checkpoint_wal_bytes = options.storage_checkpoint_wal_bytes,
+          .storage_group_commit = options.storage_group_commit,
+          .storage_group_commit_window_us =
+              options.storage_group_commit_window_us,
           .storage_checkpoint_on_close = options.storage_checkpoint_on_close,
           .storage_backend_factory = options.storage_backend_factory}),
       native_engine_(appel::NativeEngine::Options{
@@ -176,6 +177,8 @@ PolicyServer::PolicyServer(Options options)
     storage_wal_commits_ =
         metrics_.GetCounter("p3p_storage_wal_commits_total");
     storage_wal_syncs_ = metrics_.GetCounter("p3p_storage_wal_syncs_total");
+    storage_wal_group_syncs_ =
+        metrics_.GetCounter("p3p_storage_wal_group_syncs_total");
     storage_wal_bytes_ = metrics_.GetCounter("p3p_storage_wal_bytes_total");
     storage_checkpoints_ =
         metrics_.GetCounter("p3p_storage_checkpoints_total");
@@ -395,6 +398,33 @@ Status PolicyServer::RestoreFromStorage() {
   return Status::OK();
 }
 
+Result<std::vector<InstalledPolicyRecord>>
+PolicyServer::InstalledPolicyRecords() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  const sqldb::Table* catalog = db_.LookupTable("PolicyCatalog");
+  if (catalog == nullptr) {
+    return Status::Internal("PolicyCatalog table missing");
+  }
+  std::vector<InstalledPolicyRecord> records;
+  records.reserve(policy_ids_.size());
+  // Slots are in install order (append-only inserts), which is the order a
+  // replaying tier must re-install in to reproduce versions.
+  for (size_t slot = 0; slot < catalog->SlotCount(); ++slot) {
+    if (!catalog->IsLive(slot)) continue;
+    const sqldb::Row& row = catalog->RowAt(slot);
+    records.push_back({row[0].AsInteger(), row[1].AsText(),
+                       row[2].AsInteger(), row[3].AsText()});
+  }
+  return records;
+}
+
+std::optional<p3p::ReferenceFile> PolicyServer::InstalledReferenceFile()
+    const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  if (!has_reference_file_) return std::nullopt;
+  return reference_file_;
+}
+
 Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   // One durable unit: every row the shred writes plus the catalog entry
@@ -404,6 +434,18 @@ Result<int64_t> PolicyServer::InstallPolicy(const p3p::Policy& policy) {
   // every path to keep disk and memory identical.
   P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
   auto result = InstallPolicyLocked(policy);
+  if (options_.storage_group_commit) {
+    // Two-phase commit: every WAL record (including the commit record) is
+    // already appended, so the exclusive lock can be released before the
+    // fsync — matches proceed and concurrent installers coalesce their
+    // fsyncs in WaitDurable's leader/follower queue.
+    auto ticket = db_.CommitTransactionStaged();
+    if (!ticket.ok()) return result.ok() ? ticket.status() : result;
+    lock.unlock();
+    Status durable = db_.WaitDurable(ticket.value());
+    if (result.ok() && !durable.ok()) return durable;
+    return result;
+  }
   Status commit = db_.CommitTransaction();
   if (result.ok() && !commit.ok()) return commit;
   return result;
@@ -467,6 +509,14 @@ Status PolicyServer::InstallReferenceFile(const p3p::ReferenceFile& rf) {
   // the reshred, and the RefFileCatalog swap commit together.
   P3PDB_RETURN_IF_ERROR(db_.BeginTransaction());
   Status result = InstallReferenceFileLocked(rf);
+  if (options_.storage_group_commit) {
+    auto ticket = db_.CommitTransactionStaged();
+    if (!ticket.ok()) return result.ok() ? ticket.status() : result;
+    lock.unlock();
+    Status durable = db_.WaitDurable(ticket.value());
+    if (result.ok() && !durable.ok()) return durable;
+    return result;
+  }
   Status commit = db_.CommitTransaction();
   if (result.ok() && !commit.ok()) return commit;
   return result;
@@ -1071,6 +1121,7 @@ void PolicyServer::SyncDatabaseMetrics() const {
     sync(storage_wal_records_, storage.wal_records);
     sync(storage_wal_commits_, storage.wal_commits);
     sync(storage_wal_syncs_, storage.wal_syncs);
+    sync(storage_wal_group_syncs_, storage.wal_group_syncs);
     sync(storage_wal_bytes_, storage.wal_bytes);
     sync(storage_checkpoints_, storage.checkpoints);
     sync(storage_pool_hits_, storage.pool.hits);
@@ -1110,6 +1161,23 @@ std::string PolicyServer::RenderSlowLogJson(
   const obs::SlowQueryLog* log = db_.slow_log();
   if (log == nullptr) return "[]\n";
   return log->RenderJson(kind);
+}
+
+std::string PolicyServer::RenderHealthzJson() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::string out = "{\"status\":\"ok\",\"catalog_epoch\":" +
+                    std::to_string(catalog_epoch_) +
+                    ",\"policies\":" + std::to_string(policy_ids_.size()) +
+                    ",\"match_cache_shards\":[";
+  if (match_cache_ != nullptr) {
+    for (size_t shard = 0; shard < match_cache_->shard_count(); ++shard) {
+      if (shard > 0) out += ',';
+      out += "{\"shard\":" + std::to_string(shard) + ",\"entries\":" +
+             std::to_string(match_cache_->ShardStats(shard).entries) + "}";
+    }
+  }
+  out += "]}\n";
+  return out;
 }
 
 bool PolicyServer::admin_endpoint_running() const { return admin_ != nullptr; }

@@ -81,6 +81,21 @@ namespace p3pdb::server {
 
 class AdminHttpServer;
 
+/// Resolves the fragment of a POLICY-REF `about` URI to a policy name:
+/// "/P3P/policies.xml#shopping" -> "shopping"; no fragment -> whole string.
+/// Shared with the sharded serving tier, whose shard map hashes this name.
+std::string AboutToPolicyName(std::string_view about);
+
+/// One PolicyCatalog row, in install order: everything needed to replay the
+/// install elsewhere (the sharded tier's recovery path re-parses `text`
+/// with p3p::PolicyFromText and re-installs).
+struct InstalledPolicyRecord {
+  int64_t id = 0;
+  std::string name;
+  int64_t version = 0;
+  std::string text;
+};
+
 /// Where category augmentation (base data schema expansion) happens.
 enum class Augmentation {
   kAtInstall,  // once, while shredding/storing — the server-centric choice
@@ -207,6 +222,17 @@ class PolicyServer {
     /// Auto-checkpoint once this many WAL bytes accumulate; 0 disables.
     uint64_t storage_checkpoint_wal_bytes = 4ull << 20;
     bool storage_checkpoint_on_close = true;
+    /// WAL group commit: installs stage their commit record under the
+    /// exclusive lock but fsync *after releasing it*, joining a
+    /// leader/follower queue that coalesces concurrent installs into one
+    /// fsync. Durability is unchanged (InstallPolicy still returns only
+    /// once its commit record is on disk); what changes is that matches no
+    /// longer wait behind an installer's fsync, and N concurrent installers
+    /// pay ~1 fsync instead of N.
+    bool storage_group_commit = false;
+    /// Extra microseconds a group-commit leader waits for followers before
+    /// fsyncing; 0 adds no latency.
+    uint64_t storage_group_commit_window_us = 0;
     /// File-backend factory for storage files; null = plain POSIX files.
     /// The kill-and-recover harness injects fault backends here.
     sqldb::FileBackendFactory storage_backend_factory;
@@ -297,6 +323,13 @@ class PolicyServer {
   /// Ids of installed policies, in install order.
   const std::vector<int64_t>& policy_ids() const { return policy_ids_; }
 
+  /// PolicyCatalog rows in install order (the durable system of record a
+  /// sharded tier replays on recovery). Read-only; takes the shared lock.
+  Result<std::vector<InstalledPolicyRecord>> InstalledPolicyRecords() const;
+
+  /// Copy of the installed reference file; nullopt when none is installed.
+  std::optional<p3p::ReferenceFile> InstalledReferenceFile() const;
+
   // -- Observability -------------------------------------------------------
 
   /// Frozen copy of every server instrument (counters such as
@@ -322,6 +355,11 @@ class PolicyServer {
   /// JSON array of slow-query-log entries of one kind (what /slow and
   /// /traces serve; "[]" when capture is not configured).
   std::string RenderSlowLogJson(obs::SlowQueryEntry::Kind kind) const;
+
+  /// What /healthz serves: catalog epoch, installed-policy count, and
+  /// per-match-cache-shard entry counts, so a stuck or lopsided shard is
+  /// observable from the probe that used to be a bare 200.
+  std::string RenderHealthzJson() const;
 
   /// Per-statement aggregates of the underlying database.
   const sqldb::StatementStatsRegistry& statement_stats() const {
@@ -504,6 +542,7 @@ class PolicyServer {
   obs::Counter* storage_wal_records_ = nullptr;
   obs::Counter* storage_wal_commits_ = nullptr;
   obs::Counter* storage_wal_syncs_ = nullptr;
+  obs::Counter* storage_wal_group_syncs_ = nullptr;
   obs::Counter* storage_wal_bytes_ = nullptr;
   obs::Counter* storage_checkpoints_ = nullptr;
   obs::Counter* storage_pool_hits_ = nullptr;

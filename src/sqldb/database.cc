@@ -65,6 +65,8 @@ Status Database::OpenStorage() {
   sopts.buffer_pool_pages = options_.storage_buffer_pool_pages;
   sopts.sync_on_commit = options_.storage_sync_on_commit;
   sopts.checkpoint_wal_bytes = options_.storage_checkpoint_wal_bytes;
+  sopts.group_commit = options_.storage_group_commit;
+  sopts.group_commit_window_us = options_.storage_group_commit_window_us;
   sopts.backend_factory = options_.storage_backend_factory;
   auto engine = StorageEngine::Open(std::move(sopts));
   if (!engine.ok()) return engine.status();
@@ -115,6 +117,22 @@ Status Database::CommitTransaction() {
   if (storage_ == nullptr) return Status::OK();
   P3PDB_RETURN_IF_ERROR(storage_->Commit());
   return storage_->MaybeCheckpoint(*this);
+}
+
+Result<uint64_t> Database::CommitTransactionStaged() {
+  if (!storage_status_.ok()) return storage_status_;
+  if (storage_ == nullptr) return 0;
+  P3PDB_ASSIGN_OR_RETURN(uint64_t ticket, storage_->CommitStaged());
+  // MaybeCheckpoint runs here, under the caller's serialization — if it
+  // fires, the checkpoint itself durably covers the staged commit and
+  // WaitDurable(ticket) returns without another fsync.
+  P3PDB_RETURN_IF_ERROR(storage_->MaybeCheckpoint(*this));
+  return ticket;
+}
+
+Status Database::WaitDurable(uint64_t ticket) {
+  if (storage_ == nullptr || ticket == 0) return Status::OK();
+  return storage_->WaitDurable(ticket);
 }
 
 Status Database::Checkpoint() {

@@ -154,6 +154,13 @@ class Database : public CatalogView {
     bool storage_sync_on_commit = true;
     /// Auto-checkpoint once this many WAL bytes accumulate; 0 disables.
     uint64_t storage_checkpoint_wal_bytes = 4ull << 20;
+    /// Group commit: concurrent committers share one WAL fsync via a
+    /// leader/follower queue instead of paying one fsync each. Also enables
+    /// the two-phase CommitTransactionStaged/WaitDurable surface.
+    bool storage_group_commit = false;
+    /// Extra microseconds a group-commit leader waits for followers to
+    /// stage before fsyncing; 0 adds no latency.
+    uint64_t storage_group_commit_window_us = 0;
     /// Take a final checkpoint in the destructor so the next open loads a
     /// compact image instead of replaying the whole WAL.
     bool storage_checkpoint_on_close = true;
@@ -199,6 +206,16 @@ class Database : public CatalogView {
   /// effects of a failed statement remain, exactly as in-memory.
   Status BeginTransaction();
   Status CommitTransaction();
+
+  /// Two-phase variant of CommitTransaction: appends the commit record and
+  /// returns a durability ticket without fsyncing, so a caller holding an
+  /// exclusive lock can release it before blocking on the disk in
+  /// WaitDurable. Ticket 0 = already durable (in-memory database, empty
+  /// transaction, or sync-on-commit off); WaitDurable(0) returns
+  /// immediately. Staging must be serialized by the caller (like every
+  /// other mutating call); WaitDurable is thread-safe.
+  Result<uint64_t> CommitTransactionStaged();
+  Status WaitDurable(uint64_t ticket);
 
   /// Forces a checkpoint (full catalog image + WAL truncation). No-op when
   /// in-memory.

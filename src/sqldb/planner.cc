@@ -305,12 +305,73 @@ double EqSelectivity(const Table& table, size_t ordinal,
   return std::min(1.0, 1.0 / ndv);
 }
 
+/// Range selectivity for `col <op> literal` by interpolating the literal
+/// against the column's observed [min, max] span under the uniform
+/// assumption — (v - lo) / (hi - lo) of the rows fall below v. Clamped to
+/// [0.001, 1] so a literal outside the span never zeroes a cardinality
+/// product outright. Falls back to the System R 1/3 guess when the literal
+/// or the extrema are not integers (or no data has been observed).
+double RangeSelectivity(CompareOp op, const Table& table, size_t ordinal,
+                        const Value* literal, const StatsCatalog& catalog) {
+  constexpr double kDefault = 1.0 / 3.0;
+  if (literal == nullptr || literal->type() != ValueType::kInteger) {
+    return kDefault;
+  }
+  const auto minmax = catalog.MinMax(&table, ordinal);
+  if (!minmax.has_value() ||
+      minmax->first.type() != ValueType::kInteger ||
+      minmax->second.type() != ValueType::kInteger) {
+    return kDefault;
+  }
+  const double lo = static_cast<double>(minmax->first.AsInteger());
+  const double hi = static_cast<double>(minmax->second.AsInteger());
+  const double v = static_cast<double>(literal->AsInteger());
+  const double span = hi - lo;
+  double below;  // fraction of rows strictly below v (uniform assumption)
+  if (span <= 0.0) {
+    below = v > lo ? 1.0 : 0.0;  // single-valued column: all or nothing
+  } else {
+    below = (v - lo) / span;
+  }
+  double sel;
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      sel = below;
+      break;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      sel = 1.0 - below;
+      break;
+    default:
+      return kDefault;
+  }
+  return std::clamp(sel, 0.001, 1.0);
+}
+
+/// `5 < col` is `col > 5`: the op as seen from the column side.
+CompareOp FlipCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
 double ConjSelectivity(const Expr& e, size_t slot, const Table& table,
                        const StatsCatalog& catalog) {
   switch (e.kind) {
     case ExprKind::kComparison: {
       const auto& c = static_cast<const ComparisonExpr&>(e);
       const ColumnRefExpr* col = SlotColumn(*c.left, slot);
+      const bool col_on_left = col != nullptr;
       if (col == nullptr) col = SlotColumn(*c.right, slot);
       if (col == nullptr) return 1.0;
       switch (c.op) {
@@ -318,8 +379,16 @@ double ConjSelectivity(const Expr& e, size_t slot, const Table& table,
           return EqSelectivity(table, col->column_ordinal, catalog);
         case CompareOp::kNe:
           return 1.0 - EqSelectivity(table, col->column_ordinal, catalog);
-        default:
-          return 1.0 / 3.0;
+        default: {
+          const Expr& other = col_on_left ? *c.right : *c.left;
+          const Value* literal =
+              other.kind == ExprKind::kLiteral
+                  ? &static_cast<const LiteralExpr&>(other).value
+                  : nullptr;
+          const CompareOp op = col_on_left ? c.op : FlipCompare(c.op);
+          return RangeSelectivity(op, table, col->column_ordinal, literal,
+                                  catalog);
+        }
       }
     }
     case ExprKind::kLogical: {

@@ -178,6 +178,20 @@ double StatsCatalog::NullFraction(const Table* table,
   return std::clamp(f, 0.0, 1.0);
 }
 
+std::optional<std::pair<Value, Value>> StatsCatalog::MinMax(
+    const Table* table, size_t column_ordinal) const {
+  TableEntry* entry = Find(table);
+  if (entry == nullptr) return std::nullopt;
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (column_ordinal >= entry->columns.size()) return std::nullopt;
+  if (entry->columns[column_ordinal].minmax_stale) {
+    RebuildLocked(*table, entry);
+  }
+  const ColumnEntry& col = entry->columns[column_ordinal];
+  if (!col.min.has_value() || !col.max.has_value()) return std::nullopt;
+  return std::make_pair(*col.min, *col.max);
+}
+
 std::optional<TableStatsSnapshot> StatsCatalog::Snapshot(
     const Table* table) const {
   TableEntry* entry = Find(table);

@@ -40,6 +40,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sqldb/table.h"
@@ -129,6 +130,13 @@ class StatsCatalog : public TableObserver {
   double EstimatedNdv(const Table* table, size_t column_ordinal) const;
   /// Fraction of rows where the column is NULL, in [0, 1].
   double NullFraction(const Table* table, size_t column_ordinal) const;
+
+  /// Exact (min, max) over the column's non-null values, rescanning lazily
+  /// when a deleted extremum left them stale. nullopt when the table is
+  /// untracked or the column has no non-null values. The planner's range
+  /// selectivity interpolates literals against this span.
+  std::optional<std::pair<Value, Value>> MinMax(const Table* table,
+                                                size_t column_ordinal) const;
 
   /// Full snapshot for tests and the admin endpoint; nullopt if untracked.
   std::optional<TableStatsSnapshot> Snapshot(const Table* table) const;

@@ -1,5 +1,6 @@
 #include "sqldb/storage.h"
 
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 
@@ -452,8 +453,18 @@ Status StorageEngine::RecoverInto(Database* db) {
 
 // ---- Logging hooks ---------------------------------------------------------
 
+Status StorageEngine::FirstError() const {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  return io_error_;
+}
+
+void StorageEngine::RecordError(const Status& st) {
+  std::lock_guard<std::mutex> lock(err_mu_);
+  if (io_error_.ok()) io_error_ = st;
+}
+
 Status StorageEngine::EnsureTxn() {
-  if (!io_error_.ok()) return io_error_;
+  P3PDB_RETURN_IF_ERROR(FirstError());
   if (current_txn_id_ == 0) {
     current_txn_id_ = next_txn_id_++;
     pending_ops_ = 0;
@@ -470,7 +481,7 @@ Status StorageEngine::AppendRecord(WalRecordType type,
   record.payload = std::move(payload);
   Status st = wal_writer_->Append(record);
   if (!st.ok()) {
-    io_error_ = st;
+    RecordError(st);
     return st;
   }
   ++pending_ops_;
@@ -508,7 +519,7 @@ void StorageEngine::LogDropTable(const std::string& name) {
 // ---- Commit ----------------------------------------------------------------
 
 Status StorageEngine::Begin() {
-  if (!io_error_.ok()) return io_error_;
+  P3PDB_RETURN_IF_ERROR(FirstError());
   if (explicit_txn_) {
     return Status::Internal("nested explicit transaction");
   }
@@ -530,7 +541,13 @@ Status StorageEngine::CommitIfImplicit() {
 }
 
 Status StorageEngine::CommitCurrentTxn() {
-  if (!io_error_.ok()) return io_error_;
+  if (options_.group_commit) {
+    // Even a lone committer goes through the queue, so a commit racing a
+    // leader's in-flight fsync piggybacks on it instead of issuing its own.
+    P3PDB_ASSIGN_OR_RETURN(uint64_t ticket, StageCurrentTxn());
+    return WaitDurable(ticket);
+  }
+  P3PDB_RETURN_IF_ERROR(FirstError());
   if (current_txn_id_ == 0 || pending_ops_ == 0) {
     current_txn_id_ = 0;  // an empty transaction writes nothing
     return Status::OK();
@@ -540,13 +557,13 @@ Status StorageEngine::CommitCurrentTxn() {
   commit.type = WalRecordType::kCommit;
   Status st = wal_writer_->Append(commit);
   if (!st.ok()) {
-    io_error_ = st;
+    RecordError(st);
     return st;
   }
   if (options_.sync_on_commit) {
     st = wal_writer_->Sync();
     if (!st.ok()) {
-      io_error_ = st;
+      RecordError(st);
       return st;
     }
   }
@@ -557,10 +574,82 @@ Status StorageEngine::CommitCurrentTxn() {
   return Status::OK();
 }
 
+Result<uint64_t> StorageEngine::StageCurrentTxn() {
+  P3PDB_RETURN_IF_ERROR(FirstError());
+  if (current_txn_id_ == 0 || pending_ops_ == 0) {
+    current_txn_id_ = 0;  // an empty transaction writes nothing
+    return 0;
+  }
+  WalRecord commit;
+  commit.txn_id = current_txn_id_;
+  commit.type = WalRecordType::kCommit;
+  Status st = wal_writer_->Append(commit);
+  if (!st.ok()) {
+    RecordError(st);
+    return st;
+  }
+  ++stats_.wal_records;
+  ++stats_.wal_commits;
+  current_txn_id_ = 0;
+  pending_ops_ = 0;
+  if (!options_.sync_on_commit) return 0;  // durability off: nothing to wait on
+  // The ticket is issued after the append (still under the caller's append
+  // serialization), so every ticket <= commit_seq_ has its commit record
+  // fully written — a leader that fsyncs up to commit_seq_ covers them all.
+  std::lock_guard<std::mutex> lock(gc_mu_);
+  return ++commit_seq_;
+}
+
+Result<uint64_t> StorageEngine::CommitStaged() {
+  if (!explicit_txn_) {
+    return Status::Internal("COMMIT without an open transaction");
+  }
+  explicit_txn_ = false;
+  return StageCurrentTxn();
+}
+
+Status StorageEngine::WaitDurable(uint64_t ticket) {
+  if (ticket == 0) return Status::OK();
+  std::unique_lock<std::mutex> lock(gc_mu_);
+  for (;;) {
+    if (synced_seq_ >= ticket) return Status::OK();
+    {
+      std::lock_guard<std::mutex> err_lock(err_mu_);
+      if (!io_error_.ok()) return io_error_;
+    }
+    if (!sync_in_progress_) break;  // no leader active: become one
+    gc_cv_.wait(lock);
+  }
+  sync_in_progress_ = true;
+  if (options_.group_commit_window_us > 0) {
+    // Hold the leader role (but not the lock) briefly so more committers
+    // can stage behind this fsync. Spurious wakeups only shorten the wait.
+    gc_cv_.wait_for(
+        lock, std::chrono::microseconds(options_.group_commit_window_us));
+  }
+  const uint64_t target = commit_seq_;
+  // Checkpoint swaps wal_writer_ only after waiting for !sync_in_progress_,
+  // so the pointer captured here stays valid for the unlocked fsync below.
+  WalWriter* writer = wal_writer_.get();
+  lock.unlock();
+  Status st = writer->Sync();
+  lock.lock();
+  sync_in_progress_ = false;
+  group_syncs_.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) {
+    RecordError(st);
+    gc_cv_.notify_all();
+    return st;
+  }
+  if (target > synced_seq_) synced_seq_ = target;
+  gc_cv_.notify_all();
+  return Status::OK();
+}
+
 // ---- Checkpoint ------------------------------------------------------------
 
 Status StorageEngine::Checkpoint(const Database& db) {
-  if (!io_error_.ok()) return io_error_;
+  P3PDB_RETURN_IF_ERROR(FirstError());
   if (explicit_txn_ || current_txn_id_ != 0) {
     // A checkpoint mid-transaction would make uncommitted rows durable.
     return Status::OK();
@@ -640,20 +729,30 @@ Status StorageEngine::Checkpoint(const Database& db) {
   if (st.ok()) st = meta_file_->Sync();
   if (!st.ok()) {
     generation_ = old_gen;
-    io_error_ = st;
+    RecordError(st);
     return st;
   }
 
   // 4. Retire the old generation's files (best-effort; stale files are
-  //    ignored by recovery).
-  if (wal_writer_ != nullptr) {
-    // Fold the retired writer's tallies in so stats stay monotonic across
-    // the swap (the server's delta-sync metrics depend on that).
-    stats_.wal_bytes += wal_writer_->bytes_written();
-    stats_.wal_syncs += wal_writer_->syncs();
+  //    ignored by recovery). A group-commit leader may still be fsyncing
+  //    the retired WAL — wait it out under gc_mu_ before freeing the file,
+  //    then mark every staged commit durable: the image just made durable
+  //    (fsync before the meta flip) contains all of them, so waiters can
+  //    stop waiting for a WAL fsync that will never cover them.
+  {
+    std::unique_lock<std::mutex> lock(gc_mu_);
+    gc_cv_.wait(lock, [this] { return !sync_in_progress_; });
+    if (wal_writer_ != nullptr) {
+      // Fold the retired writer's tallies in so stats stay monotonic across
+      // the swap (the server's delta-sync metrics depend on that).
+      stats_.wal_bytes += wal_writer_->bytes_written();
+      stats_.wal_syncs += wal_writer_->syncs();
+    }
+    wal_file_ = std::move(new_wal);
+    wal_writer_ = std::make_unique<WalWriter>(wal_file_.get(), 0);
+    synced_seq_ = commit_seq_;
+    gc_cv_.notify_all();
   }
-  wal_file_ = std::move(new_wal);
-  wal_writer_ = std::make_unique<WalWriter>(wal_file_.get(), 0);
   wal_bytes_since_checkpoint_ = 0;
   std::error_code ec;
   std::filesystem::remove(FilePath("wal." + std::to_string(old_gen) + ".log"),
@@ -688,6 +787,7 @@ StorageStats StorageEngine::stats() const {
     s.wal_bytes += wal_writer_->bytes_written();
     s.wal_syncs += wal_writer_->syncs();
   }
+  s.wal_group_syncs = group_syncs_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -27,8 +27,11 @@
 #ifndef P3PDB_SQLDB_STORAGE_H_
 #define P3PDB_SQLDB_STORAGE_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -47,6 +50,10 @@ struct StorageStats {
   uint64_t wal_commits = 0;
   uint64_t wal_syncs = 0;
   uint64_t wal_bytes = 0;
+  /// fsyncs issued by group-commit leaders (each may cover many commits;
+  /// wal_commits - wal_group_syncs is the number of fsyncs amortized away
+  /// when every commit goes through the group path).
+  uint64_t wal_group_syncs = 0;
   uint64_t checkpoints = 0;
   uint64_t recovered_txns = 0;
   uint64_t recovered_records = 0;
@@ -66,6 +73,15 @@ class StorageEngine : public TableObserver {
     bool sync_on_commit = true;
     /// Auto-checkpoint once this many WAL bytes accumulate; 0 disables.
     uint64_t checkpoint_wal_bytes = 4ull << 20;
+    /// Group commit: route commit fsyncs through a leader/follower queue so
+    /// concurrent committers share one fsync instead of paying one each.
+    /// Durability is unchanged — Commit (or WaitDurable on a staged ticket)
+    /// still returns only after the commit record is on disk.
+    bool group_commit = false;
+    /// Extra microseconds a group-commit leader waits before fsyncing, to
+    /// let more committers stage behind it. 0 adds no latency; coalescing
+    /// then comes only from commits staged while a previous fsync runs.
+    uint64_t group_commit_window_us = 0;
     /// Backend factory; defaults to OpenPosixFile. The fault harness
     /// installs MakeFaultInjectingFactory here.
     FileBackendFactory backend_factory;
@@ -105,6 +121,18 @@ class StorageEngine : public TableObserver {
   /// explicit one is open. Empty transactions write nothing.
   Status CommitIfImplicit();
 
+  /// Two-phase commit surface for callers that want to release their own
+  /// locks before blocking on the disk: CommitStaged appends the commit
+  /// record (no fsync) and returns a durability ticket; WaitDurable blocks
+  /// until that ticket's commit record is on disk, joining the group-commit
+  /// fsync queue. Ticket 0 means "already durable" (empty transaction, or
+  /// sync_on_commit off) — WaitDurable(0) returns immediately.
+  ///
+  /// Staging (like every append) must be serialized by the caller; WaitDurable
+  /// is safe from any number of threads concurrently.
+  Result<uint64_t> CommitStaged();
+  Status WaitDurable(uint64_t ticket);
+
   /// Serializes the catalog into a new checkpoint generation and truncates
   /// the WAL (by switching to a fresh one). No-op while a transaction is
   /// open.
@@ -123,6 +151,12 @@ class StorageEngine : public TableObserver {
   Status WriteMeta();
   Status EnsureTxn();
   Status CommitCurrentTxn();
+  /// Appends the commit record and issues a durability ticket (0 when there
+  /// is nothing to sync). Shared by CommitStaged and the group-commit path
+  /// of CommitCurrentTxn.
+  Result<uint64_t> StageCurrentTxn();
+  Status FirstError() const;
+  void RecordError(const Status& st);
   Status AppendRecord(WalRecordType type, std::vector<uint8_t> payload);
   Status ApplyRecord(Database* db, const WalRecord& record);
   Status LoadCheckpoint(Database* db);
@@ -140,7 +174,24 @@ class StorageEngine : public TableObserver {
   uint64_t pending_ops_ = 0;       // records appended in the current txn
   bool explicit_txn_ = false;
   bool replaying_ = false;
-  Status io_error_ = Status::OK();  // first WAL append failure, sticky
+
+  /// First WAL append/fsync failure, sticky. Guarded by err_mu_ because a
+  /// group-commit leader can record an fsync failure while the (externally
+  /// serialized) append path checks for one.
+  mutable std::mutex err_mu_;
+  Status io_error_ = Status::OK();
+
+  /// Group-commit state (guarded by gc_mu_). Tickets are a monotonic count
+  /// of staged commit records — deliberately not byte offsets, so they stay
+  /// valid across the WAL generation switch at checkpoint. A checkpoint
+  /// implicitly makes every staged commit durable (the image is fsynced
+  /// before the meta flip), so it advances synced_seq_ to commit_seq_.
+  mutable std::mutex gc_mu_;
+  std::condition_variable gc_cv_;
+  uint64_t commit_seq_ = 0;   // tickets issued
+  uint64_t synced_seq_ = 0;   // tickets durable
+  bool sync_in_progress_ = false;
+  std::atomic<uint64_t> group_syncs_{0};
 
   StorageStats stats_;
   uint64_t wal_bytes_since_checkpoint_ = 0;

@@ -38,15 +38,16 @@ Status WalWriter::Append(const WalRecord& record) {
   frame.bytes.insert(frame.bytes.end(), record.payload.begin(),
                      record.payload.end());
   P3PDB_RETURN_IF_ERROR(
-      file_->WriteAt(offset_, frame.bytes.data(), frame.bytes.size()));
-  offset_ += frame.bytes.size();
-  bytes_written_ += frame.bytes.size();
-  ++records_written_;
+      file_->WriteAt(offset_.load(std::memory_order_relaxed),
+                     frame.bytes.data(), frame.bytes.size()));
+  offset_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+  bytes_written_.fetch_add(frame.bytes.size(), std::memory_order_relaxed);
+  records_written_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
 Status WalWriter::Sync() {
-  ++syncs_;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
   return file_->Sync();
 }
 

@@ -14,6 +14,7 @@
 #ifndef P3PDB_SQLDB_WAL_H_
 #define P3PDB_SQLDB_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -41,6 +42,12 @@ struct WalRecord {
 /// Appends framed records to a WAL file. Append buffers nothing: each record
 /// is written immediately (so a crash tears at most the record being
 /// written); Sync makes everything appended so far durable.
+///
+/// Thread-safety: Append calls must be externally serialized (StorageEngine
+/// holds its WAL mutex across them). Sync may run concurrently with Append
+/// — the group-commit leader fsyncs while later transactions keep appending
+/// (pwrite and fsync on one fd are independently safe) — so the tallies are
+/// relaxed atomics readable from any thread without tearing.
 class WalWriter {
  public:
   /// `start_offset` is where appends begin — recovery passes the end of the
@@ -51,17 +58,21 @@ class WalWriter {
   Status Append(const WalRecord& record);
   Status Sync();
 
-  uint64_t offset() const { return offset_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t records_written() const { return records_written_; }
-  uint64_t syncs() const { return syncs_; }
+  uint64_t offset() const { return offset_.load(std::memory_order_relaxed); }
+  uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t records_written() const {
+    return records_written_.load(std::memory_order_relaxed);
+  }
+  uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
 
  private:
   FileBackend* file_;
-  uint64_t offset_;
-  uint64_t bytes_written_ = 0;
-  uint64_t records_written_ = 0;
-  uint64_t syncs_ = 0;
+  std::atomic<uint64_t> offset_;
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> records_written_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 /// The result of scanning a WAL file: every complete, checksum-valid record

@@ -97,7 +97,14 @@ TEST(AdminHttpTest, BindsEphemeralPortAndServesHealthz) {
   std::string response = HttpGet(server->admin_port(), "/healthz");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   EXPECT_NE(response.find("Connection: close"), std::string::npos);
-  EXPECT_EQ(Body(response), "ok\n");
+  // The probe reports catalog state, not a bare ok: epoch, policy count,
+  // and one entry-count object per match-cache shard.
+  const std::string body = Body(response);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(body.find("\"catalog_epoch\":"), std::string::npos);
+  EXPECT_NE(body.find("\"policies\":"), std::string::npos);
+  EXPECT_NE(body.find("\"match_cache_shards\":["), std::string::npos);
+  EXPECT_NE(body.find("{\"shard\":0,\"entries\":"), std::string::npos);
 }
 
 TEST(AdminHttpTest, MetricsRouteServesPrometheusText) {

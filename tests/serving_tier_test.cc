@@ -1,0 +1,405 @@
+// ShardedPolicyServer tests: global-id routing, cross-shard URI matching,
+// epoch publication, durable recovery, and the torn-epoch stress — a match
+// racing installs must only ever observe a fully installed catalog (run
+// under TSan in CI via the `concurrency` ctest label).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/policy_server.h"
+#include "server/sharded_server.h"
+#include "workload/corpus.h"
+#include "workload/jrc_preferences.h"
+#include "workload/paper_examples.h"
+
+namespace p3pdb::server {
+namespace {
+
+using workload::JrcPreference;
+using workload::PreferenceLevel;
+
+std::string TestDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "p3pdb_serving_tier_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+ShardedPolicyServer::Options TierOptions(size_t shards) {
+  ShardedPolicyServer::Options o;
+  o.shards = shards;
+  o.engine = EngineKind::kSql;
+  return o;
+}
+
+TEST(ServingTierTest, RejectsZeroShardsAndXTable) {
+  EXPECT_FALSE(ShardedPolicyServer::Create(TierOptions(0)).ok());
+  ShardedPolicyServer::Options o = TierOptions(2);
+  o.engine = EngineKind::kXQueryXTable;
+  EXPECT_FALSE(ShardedPolicyServer::Create(o).ok());
+}
+
+// Every corpus policy, matched by its global id on the tier, must yield
+// the behavior a single PolicyServer yields for the same policy — the
+// shard map and the local/global id arithmetic are pure routing.
+TEST(ServingTierTest, GlobalIdMatchesAgreeWithSingleServer) {
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+
+  auto single = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(single.ok());
+  std::vector<int64_t> single_ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = single.value()->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    single_ids.push_back(id.value());
+  }
+
+  auto tier = ShardedPolicyServer::Create(TierOptions(4));
+  ASSERT_TRUE(tier.ok()) << tier.status().message();
+  std::vector<int64_t> global_ids;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = tier.value()->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok()) << id.status().message();
+    global_ids.push_back(id.value());
+  }
+  // Global ids are unique and decode to a valid shard.
+  std::set<int64_t> unique(global_ids.begin(), global_ids.end());
+  EXPECT_EQ(unique.size(), corpus.size());
+
+  auto single_pref = single.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(single_pref.ok());
+  auto tier_pref =
+      tier.value()->CompilePreference(JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(tier_pref.ok());
+
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    auto expected = single.value()->MatchPolicyId(single_pref.value(),
+                                                  single_ids[i]);
+    ASSERT_TRUE(expected.ok());
+    auto got =
+        tier.value()->MatchPolicyId(tier_pref.value(), global_ids[i]);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_EQ(got.value().behavior, expected.value().behavior)
+        << corpus[i].name;
+    EXPECT_EQ(got.value().policy_id, global_ids[i]);
+  }
+
+  // Shard policy counts sum to the corpus; every install published.
+  size_t total = 0;
+  uint64_t publishes = 0;
+  for (size_t k = 0; k < tier.value()->shard_count(); ++k) {
+    total += tier.value()->ShardPolicyCount(k);
+    publishes += tier.value()->ShardPublishes(k);
+  }
+  EXPECT_EQ(total, corpus.size());
+  EXPECT_EQ(publishes, corpus.size());
+  EXPECT_EQ(tier.value()->GlobalPolicyIds().size(), corpus.size());
+  // Epoch: initial 1 + one bump per install.
+  EXPECT_EQ(tier.value()->catalog_epoch(), 1 + corpus.size());
+}
+
+TEST(ServingTierTest, MatchUriResolvesAcrossShards) {
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  auto tier = ShardedPolicyServer::Create(TierOptions(3));
+  ASSERT_TRUE(tier.ok());
+  auto pref =
+      tier.value()->CompilePreference(JrcPreference(PreferenceLevel::kMedium));
+  ASSERT_TRUE(pref.ok());
+
+  // No reference file yet: same contract as the single server.
+  EXPECT_FALSE(tier.value()->MatchUri(pref.value(), "/x").ok());
+
+  for (const p3p::Policy& policy : corpus) {
+    ASSERT_TRUE(tier.value()->InstallPolicy(policy).ok());
+  }
+  ASSERT_TRUE(tier.value()
+                  ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+                  .ok());
+
+  auto single = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(single.ok());
+  for (const p3p::Policy& policy : corpus) {
+    ASSERT_TRUE(single.value()->InstallPolicy(policy).ok());
+  }
+  ASSERT_TRUE(single.value()
+                  ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+                  .ok());
+  auto single_pref = single.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kMedium));
+  ASSERT_TRUE(single_pref.ok());
+
+  for (const p3p::Policy& policy : corpus) {
+    const std::string path = "/" + policy.name + "/index.html";
+    auto expected = single.value()->MatchUri(single_pref.value(), path);
+    ASSERT_TRUE(expected.ok());
+    auto got = tier.value()->MatchUri(pref.value(), path);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    EXPECT_TRUE(got.value().policy_found) << path;
+    EXPECT_EQ(got.value().behavior, expected.value().behavior) << path;
+
+    auto by_about = tier.value()->FindPolicyIdByAbout("#" + policy.name);
+    ASSERT_TRUE(by_about.has_value()) << policy.name;
+    EXPECT_EQ(got.value().policy_id, *by_about) << path;
+  }
+
+  // A path no POLICY-REF covers resolves to the no-policy result.
+  auto miss = tier.value()->MatchUri(pref.value(), "/definitely/not/covered");
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss.value().policy_found);
+  EXPECT_EQ(miss.value().behavior, kNoPolicyBehavior);
+}
+
+TEST(ServingTierTest, HealthzAndMetricsExposeShards) {
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  auto tier = ShardedPolicyServer::Create(TierOptions(2));
+  ASSERT_TRUE(tier.ok());
+  for (const p3p::Policy& policy : corpus) {
+    ASSERT_TRUE(tier.value()->InstallPolicy(policy).ok());
+  }
+  auto pref =
+      tier.value()->CompilePreference(JrcPreference(PreferenceLevel::kLow));
+  ASSERT_TRUE(pref.ok());
+  for (int64_t id : tier.value()->GlobalPolicyIds()) {
+    ASSERT_TRUE(tier.value()->MatchPolicyId(pref.value(), id).ok());
+  }
+
+  const std::string healthz = tier.value()->RenderHealthzJson();
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"catalog_epoch\":"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"shards\":[{\"shard\":0,"), std::string::npos)
+      << healthz;
+  EXPECT_NE(healthz.find("{\"shard\":1,"), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"policies\":" + std::to_string(corpus.size())),
+            std::string::npos)
+      << healthz;
+
+  const std::string metrics = tier.value()->RenderMetricsText();
+  EXPECT_NE(metrics.find("p3p_shard_0_policies"), std::string::npos);
+  EXPECT_NE(metrics.find("p3p_shard_1_policies"), std::string::npos);
+  EXPECT_NE(metrics.find("p3p_shard_0_matches_total"), std::string::npos);
+  EXPECT_NE(metrics.find("p3p_installs_total"), std::string::npos);
+}
+
+// Durable tier: reopening from the same storage directory must reproduce
+// the global ids and the match outcomes exactly (deterministic replay
+// through the same shard routing).
+TEST(ServingTierTest, RecoversFromDurableStore) {
+  const std::string dir = TestDir("recover");
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+
+  std::vector<int64_t> installed_ids;
+  std::vector<std::string> behaviors;
+  {
+    ShardedPolicyServer::Options o = TierOptions(4);
+    o.storage_path = dir;
+    auto tier = ShardedPolicyServer::Create(o);
+    ASSERT_TRUE(tier.ok()) << tier.status().message();
+    ASSERT_NE(tier.value()->durable_store(), nullptr);
+    for (const p3p::Policy& policy : corpus) {
+      auto id = tier.value()->InstallPolicy(policy);
+      ASSERT_TRUE(id.ok());
+      installed_ids.push_back(id.value());
+    }
+    ASSERT_TRUE(
+        tier.value()
+            ->InstallReferenceFile(workload::CorpusReferenceFile(corpus))
+            .ok());
+    auto pref = tier.value()->CompilePreference(
+        JrcPreference(PreferenceLevel::kHigh));
+    ASSERT_TRUE(pref.ok());
+    for (int64_t id : installed_ids) {
+      auto r = tier.value()->MatchPolicyId(pref.value(), id);
+      ASSERT_TRUE(r.ok());
+      behaviors.push_back(r.value().behavior);
+    }
+  }
+  {
+    ShardedPolicyServer::Options o = TierOptions(4);
+    o.storage_path = dir;
+    auto tier = ShardedPolicyServer::Create(o);
+    ASSERT_TRUE(tier.ok()) << tier.status().message();
+    std::vector<int64_t> recovered = tier.value()->GlobalPolicyIds();
+    std::vector<int64_t> expected = installed_ids;
+    std::sort(recovered.begin(), recovered.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(recovered, expected);
+    auto pref = tier.value()->CompilePreference(
+        JrcPreference(PreferenceLevel::kHigh));
+    ASSERT_TRUE(pref.ok());
+    for (size_t i = 0; i < installed_ids.size(); ++i) {
+      auto r = tier.value()->MatchPolicyId(pref.value(), installed_ids[i]);
+      ASSERT_TRUE(r.ok()) << installed_ids[i];
+      EXPECT_EQ(r.value().behavior, behaviors[i]);
+    }
+    // The reference file came back too.
+    auto p = tier.value()->MatchUri(pref.value(),
+                                    "/" + corpus[0].name + "/index.html");
+    ASSERT_TRUE(p.ok());
+    EXPECT_TRUE(p.value().policy_found);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Matches racing installs across shards: every outcome must equal the
+// single-threaded reference outcome for the id it matched (policies are
+// immutable once installed; re-versioning happens under distinct names
+// in the torn-epoch test below).
+TEST(ServingTierTest, ConcurrentInstallsAndMatchesAcrossShards) {
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  auto tier = ShardedPolicyServer::Create(TierOptions(4));
+  ASSERT_TRUE(tier.ok());
+
+  // Seed half the corpus so matchers have work from the start.
+  const size_t seed_count = corpus.size() / 2;
+  std::vector<int64_t> ids;
+  for (size_t i = 0; i < seed_count; ++i) {
+    auto id = tier.value()->InstallPolicy(corpus[i]);
+    ASSERT_TRUE(id.ok());
+    ids.push_back(id.value());
+  }
+  auto pref =
+      tier.value()->CompilePreference(JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(pref.ok());
+  std::vector<std::string> expected;
+  for (int64_t id : ids) {
+    auto r = tier.value()->MatchPolicyId(pref.value(), id);
+    ASSERT_TRUE(r.ok());
+    expected.push_back(r.value().behavior);
+  }
+
+  std::atomic<int> errors{0};
+  std::thread installer([&] {
+    for (size_t i = seed_count; i < corpus.size(); ++i) {
+      if (!tier.value()->InstallPolicy(corpus[i]).ok()) ++errors;
+    }
+  });
+  std::vector<std::thread> matchers;
+  for (int t = 0; t < 4; ++t) {
+    matchers.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        size_t pick = static_cast<size_t>(t * 31 + i) % ids.size();
+        auto r = tier.value()->MatchPolicyId(pref.value(), ids[pick]);
+        if (!r.ok() || r.value().behavior != expected[pick]) ++errors;
+      }
+    });
+  }
+  installer.join();
+  for (std::thread& t : matchers) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(tier.value()->GlobalPolicyIds().size(), corpus.size());
+}
+
+// The torn-epoch stress: one name is re-installed over and over, flipping
+// between two variants with *different* match outcomes, while matchers
+// resolve the name and match continuously. Every observed behavior must be
+// one of the two variants' legitimate outcomes — a half-installed catalog
+// (policy row present but statements missing, or version map ahead of the
+// evidence tables) would surface as an error or a third behavior. The
+// schedule is seeded by fixed stride arithmetic so failures reproduce.
+TEST(ServingTierTest, TornEpochNeverObserved) {
+  const std::vector<p3p::Policy> corpus = workload::FortuneCorpus();
+  auto probe = PolicyServer::Create({.engine = EngineKind::kSql});
+  ASSERT_TRUE(probe.ok());
+  auto probe_pref = probe.value()->CompilePreference(
+      JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(probe_pref.ok());
+
+  // Find two corpus policies with different outcomes under the preference;
+  // they become the two variants of the churned name.
+  std::optional<p3p::Policy> variant_a, variant_b;
+  std::string behavior_a, behavior_b;
+  for (const p3p::Policy& policy : corpus) {
+    auto id = probe.value()->InstallPolicy(policy);
+    ASSERT_TRUE(id.ok());
+    auto r = probe.value()->MatchPolicyId(probe_pref.value(), id.value());
+    ASSERT_TRUE(r.ok());
+    if (!variant_a.has_value()) {
+      variant_a = policy;
+      behavior_a = r.value().behavior;
+    } else if (r.value().behavior != behavior_a) {
+      variant_b = policy;
+      behavior_b = r.value().behavior;
+      break;
+    }
+  }
+  ASSERT_TRUE(variant_b.has_value())
+      << "corpus has no pair of policies with distinct outcomes";
+  variant_a->name = "churn";
+  variant_b->name = "churn";
+
+  auto tier = ShardedPolicyServer::Create(TierOptions(2));
+  ASSERT_TRUE(tier.ok());
+  ASSERT_TRUE(tier.value()->InstallPolicy(*variant_a).ok());
+  p3p::ReferenceFile rf;
+  p3p::PolicyRef ref;
+  ref.about = "/P3P/policies.xml#churn";
+  ref.includes = {"/churn/*"};
+  rf.refs.push_back(ref);
+  ASSERT_TRUE(tier.value()->InstallReferenceFile(rf).ok());
+
+  auto pref =
+      tier.value()->CompilePreference(JrcPreference(PreferenceLevel::kHigh));
+  ASSERT_TRUE(pref.ok());
+
+  // Sanity: the two variants produce their expected behaviors on the tier.
+  {
+    auto r = tier.value()->MatchUri(pref.value(), "/churn/index.html");
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value().behavior, behavior_a);
+  }
+
+  constexpr int kInstalls = 60;
+  constexpr int kMatcherThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> errors{0};
+  std::atomic<int> torn{0};
+  std::atomic<uint64_t> observed_a{0};
+  std::atomic<uint64_t> observed_b{0};
+
+  std::thread installer([&] {
+    for (int i = 0; i < kInstalls; ++i) {
+      const p3p::Policy& next = (i % 2 == 0) ? *variant_b : *variant_a;
+      if (!tier.value()->InstallPolicy(next).ok()) ++errors;
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> matchers;
+  for (int t = 0; t < kMatcherThreads; ++t) {
+    matchers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        auto r = tier.value()->MatchUri(pref.value(), "/churn/index.html");
+        if (!r.ok() || !r.value().policy_found) {
+          ++errors;
+        } else if (r.value().behavior == behavior_a) {
+          ++observed_a;
+        } else if (r.value().behavior == behavior_b) {
+          ++observed_b;
+        } else {
+          ++torn;  // a behavior neither variant produces: torn catalog
+        }
+      }
+    });
+  }
+  installer.join();
+  for (std::thread& t : matchers) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GT(observed_a.load() + observed_b.load(), 0u);
+  // After the final install (kInstalls even: last installed is variant_a)
+  // every new match sees variant_a's behavior.
+  auto final_match =
+      tier.value()->MatchUri(pref.value(), "/churn/index.html");
+  ASSERT_TRUE(final_match.ok());
+  EXPECT_EQ(final_match.value().behavior, behavior_a);
+}
+
+}  // namespace
+}  // namespace p3pdb::server

@@ -308,6 +308,70 @@ TEST(ExplainTest, CostModelKeepsCorrelatedExistsWhenBuildDwarfsOuter) {
   EXPECT_GT(cost.stats().cost_exists_kept, 0u);
 }
 
+TEST(ExplainTest, RangeSelectivityInterpolationFlipsExistsRewrite) {
+  // Golden plan-flip for min/max range interpolation. s has 400 rows with
+  // val uniform over 1..100; p has 8. Under the old constant 1/3 range
+  // guess, any `s.val > X` build side estimates 133 rows — past the 8x veto
+  // threshold (64), so the correlated plan is always kept. Interpolating X
+  // against the observed [1, 100] span estimates ~20 rows for X=95, which
+  // is under the threshold, so the narrow predicate now flips the plan to
+  // the hash-semi-join while the wide one (X=40, ~242 rows) still keeps
+  // the correlated point-lookup plan.
+  const char* schema =
+      "CREATE TABLE p (id INTEGER, PRIMARY KEY (id));"
+      "CREATE TABLE s (pid INTEGER, val INTEGER);"
+      "CREATE INDEX s_pid ON s (pid);";
+  Database db;  // cost model on by default
+  ASSERT_TRUE(db.ExecuteScript(schema).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(db.InsertRow("p", {Value::Integer(i)}).ok());
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(db.InsertRow("s", {Value::Integer(i % 40),
+                                   Value::Integer(i % 100 + 1)})
+                    .ok());
+  }
+  const std::string narrow =
+      "SELECT * FROM p WHERE EXISTS "
+      "(SELECT * FROM s WHERE s.pid = p.id AND s.val > 95)";
+  const std::string wide =
+      "SELECT * FROM p WHERE EXISTS "
+      "(SELECT * FROM s WHERE s.pid = p.id AND s.val > 40)";
+
+  std::string narrow_plan = Plan(&db, narrow);
+  EXPECT_NE(narrow_plan.find("hash-semi-join on s.pid = p.id"),
+            std::string::npos)
+      << narrow_plan;
+  EXPECT_EQ(narrow_plan.find("exists-subquery"), std::string::npos)
+      << narrow_plan;
+
+  std::string wide_plan = Plan(&db, wide);
+  EXPECT_NE(wide_plan.find("exists-subquery"), std::string::npos)
+      << wide_plan;
+  EXPECT_EQ(wide_plan.find("hash-semi-join"), std::string::npos) << wide_plan;
+
+  // The flip is a cost choice, not a semantic one: both shapes return the
+  // same rows as the rule-only planner's unconditional rewrite.
+  Database rule(Database::Options{.enable_cost_model = false});
+  ASSERT_TRUE(rule.ExecuteScript(schema).ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(rule.InsertRow("p", {Value::Integer(i)}).ok());
+  }
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(rule.InsertRow("s", {Value::Integer(i % 40),
+                                     Value::Integer(i % 100 + 1)})
+                    .ok());
+  }
+  for (const std::string& sql : {narrow, wide}) {
+    auto cost_rows = db.Execute(sql);
+    auto rule_rows = rule.Execute(sql);
+    ASSERT_TRUE(cost_rows.ok());
+    ASSERT_TRUE(rule_rows.ok());
+    EXPECT_EQ(cost_rows.value().rows.size(), rule_rows.value().rows.size())
+        << sql;
+  }
+}
+
 TEST(ExplainTest, CostModelForcesSeqScanOnLowCardinalityIndex) {
   // An index on a 2-value column: the syntactic planner always takes it,
   // but the lookup returns ~half the table — more work than scanning. With
